@@ -1,0 +1,46 @@
+"""ABL.* — ablations of the design choices DESIGN.md calls out."""
+
+from conftest import run_once
+
+from repro.experiments import ablate_beta, ablate_probe, ablate_ps
+
+
+def test_ablate_probe(benchmark):
+    results, table = run_once(benchmark, ablate_probe, n=12, seeds=(0, 1, 2))
+    print("\n" + table)
+    # Remark 9 probes must cut worst-vertex energy in CD.
+    assert results["probe"] < results["no-probe"]
+
+
+def test_ablate_ps(benchmark):
+    results, table = run_once(benchmark, ablate_ps, n=12, seeds=(0, 1))
+    print("\n" + table)
+    thm11 = results["thm11 (p=1/2, s=1)"]
+    thm12 = results["thm12 (small p, s=log n)"]
+    # Theorem 12 uses fewer, heavier refinements.
+    assert thm12["iterations"] < thm11["iterations"]
+    assert thm12["spread_s"] > thm11["spread_s"]
+
+
+def test_ablate_beta(benchmark):
+    rows, table = run_once(
+        benchmark, ablate_beta, n=40, betas=(0.15, 0.3, 0.6), seeds=(0, 1, 2)
+    )
+    print("\n" + table)
+    # Lemma 14: measured edge-cut rate below ~2 beta (+ slack).
+    for row in rows:
+        assert row["edge_cut_rate"] <= row["lemma14_bound"] + 0.15
+    # More aggressive beta -> more clusters.
+    assert rows[0]["clusters"] <= rows[-1]["clusters"]
+
+
+def test_baseline_decay_energy_grows_with_d(benchmark):
+    from repro.experiments import baseline_decay
+
+    points, table = run_once(
+        benchmark, baseline_decay, sizes=(16, 36, 64), seeds=(0, 1)
+    )
+    print("\n" + table)
+    assert all(p.delivered == p.seeds for p in points)
+    # The baseline's pathology: energy grows with diameter.
+    assert points[-1].max_energy_median > points[0].max_energy_median

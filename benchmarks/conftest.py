@@ -1,0 +1,14 @@
+"""Benchmark configuration: every bench prints its reproduction table."""
+
+import pytest
+
+
+def pytest_configure(config):
+    # Benches are single-shot system experiments, not microbenchmarks:
+    # one round, one iteration, no warmup.
+    config.option.benchmark_warmup = False
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Robustness under channel erasures.
+
+Real radios fade.  The paper's algorithms budget a per-frame failure
+probability f; this example stresses that budget by wrapping the channel
+in an erasure model (each transmission independently lost with rate p)
+and measuring delivery and energy of the decay baseline and the
+Theorem 11 clustering broadcast as the loss rate grows.
+
+Run:  python examples/lossy_channels.py
+"""
+
+from repro.broadcast import (
+    cluster_broadcast_protocol,
+    decay_broadcast_protocol,
+    run_broadcast,
+    theorem11_params,
+)
+from repro.graphs import diameter, grid_graph
+from repro.sim import NO_CD, Knowledge
+from repro.sim.models import LossyModel
+
+
+def main() -> None:
+    graph = grid_graph(3, 4)
+    knowledge = Knowledge(
+        n=graph.n, max_degree=graph.max_degree, diameter=diameter(graph)
+    )
+    print(
+        f"network: 3x4 grid, n={graph.n}, Delta={graph.max_degree}, "
+        f"D={knowledge.diameter}\n"
+    )
+    print(f"{'loss rate':>9}  {'algorithm':28s} {'informed':>8} {'worstE':>7}")
+    print("-" * 60)
+    for rate in (0.0, 0.1, 0.25, 0.4):
+        for name, protocol in (
+            ("decay baseline", decay_broadcast_protocol(failure=0.005)),
+            (
+                "Theorem 11 clustering",
+                cluster_broadcast_protocol(
+                    theorem11_params(graph.n, "No-CD", failure=0.005)
+                ),
+            ),
+        ):
+            model = LossyModel(NO_CD, rate, seed=17)
+            outcome = run_broadcast(
+                graph, model, protocol, knowledge=knowledge, seed=3
+            )
+            print(
+                f"{rate:>9.2f}  {name:28s} {outcome.informed:>5}/{graph.n:<2} "
+                f"{outcome.max_energy:>7}"
+            )
+    print(
+        "\nBoth algorithms ride out mild erasure inside their failure "
+        "budget f;\nheavy loss first shows up as partial delivery, not "
+        "crashes — the per-frame\nrepetitions are doing their job."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Quickstart: where energy-aware broadcast pays off.
+
+The paper's thesis: classic time-centric broadcast (decay) forces every
+uninformed device to listen continuously, so its per-device energy grows
+with the network diameter D; the paper's algorithms sleep almost always
+and pay only polylog(n).  On a 128-hop chain the gap is already an order
+of magnitude — this script measures it.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.broadcast import decay_broadcast_protocol, run_broadcast
+from repro.broadcast.local_sim import local_sim_broadcast_protocol
+from repro.broadcast.path import path_broadcast_protocol
+from repro.graphs import path_graph
+from repro.sim import LOCAL, NO_CD, Knowledge
+
+
+def main() -> None:
+    n = 128
+    graph = path_graph(n)
+    knowledge = Knowledge(n=n, max_degree=2, diameter=n - 1)
+    print(f"network: {n}-vertex path (Delta=2, D={n - 1})\n")
+
+    decay = run_broadcast(
+        graph, NO_CD, decay_broadcast_protocol(failure=0.02),
+        knowledge=knowledge, seed=1,
+    )
+    cor13 = run_broadcast(
+        graph, NO_CD, local_sim_broadcast_protocol(failure=0.02),
+        knowledge=knowledge, seed=1,
+    )
+    path = run_broadcast(
+        graph, LOCAL, path_broadcast_protocol(oriented=True),
+        knowledge=knowledge, seed=1,
+    )
+
+    rows = [
+        ("decay baseline [4] (No-CD)", decay),
+        ("Corollary 13: LOCAL-simulation (No-CD)", cor13),
+        ("Algorithm 1: path-optimal (LOCAL)", path),
+    ]
+    print(f"{'algorithm':40s} {'ok':>3} {'slots':>8} {'worstE':>7} {'meanE':>8}")
+    print("-" * 72)
+    for name, outcome in rows:
+        print(
+            f"{name:40s} {str(outcome.delivered):>3} {outcome.duration:>8} "
+            f"{outcome.max_energy:>7} {outcome.mean_energy:>8.1f}"
+        )
+
+    print(
+        f"\ndecay spends {decay.max_energy / max(1, cor13.max_energy):.1f}x "
+        "the energy of the Theorem 3 simulation, and "
+        f"{decay.max_energy / max(1, path.max_energy):.0f}x the energy of "
+        "the specialized path algorithm —\nenergy complexity is about "
+        "sleeping through almost every slot."
+    )
+
+
+if __name__ == "__main__":
+    main()

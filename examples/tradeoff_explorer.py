@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Time/energy tradeoff explorer across the paper's CD algorithms.
+
+The paper's central tension: Energy and Time are in conflict (Section 1).
+This example fixes one network and walks the frontier:
+
+* decay baseline       — fastest, most energy-hungry;
+* Theorem 11 (p=1/2,s=1)  — the balanced clustering point;
+* Theorem 12 (eps sweep)  — trade refinement count against cast weight;
+* Theorem 20           — the energy-optimal extreme, super-linear time.
+
+Run:  python examples/tradeoff_explorer.py
+"""
+
+import random
+
+from repro.broadcast import (
+    cluster_broadcast_protocol,
+    decay_broadcast_protocol,
+    run_broadcast,
+    theorem11_params,
+    theorem12_params,
+)
+from repro.broadcast.cd_optimal import CDOptimalParams, cd_optimal_broadcast_protocol
+from repro.graphs import diameter, random_gnp
+from repro.sim import CD, NO_CD, Knowledge
+
+
+def main() -> None:
+    n = 12
+    graph = random_gnp(n, 0.3, random.Random(n))
+    knowledge = Knowledge(
+        n=n, max_degree=graph.max_degree, diameter=diameter(graph)
+    )
+    print(
+        f"network: n={n}, Delta={graph.max_degree}, D={knowledge.diameter}\n"
+    )
+
+    runs = [
+        ("decay baseline (No-CD)", NO_CD, decay_broadcast_protocol(failure=0.02)),
+        (
+            "Theorem 11 (CD)",
+            CD,
+            cluster_broadcast_protocol(theorem11_params(n, "CD", failure=0.02)),
+        ),
+    ]
+    for eps in (0.3, 0.6, 0.9):
+        runs.append((
+            f"Theorem 12 (CD, eps={eps})",
+            CD,
+            cluster_broadcast_protocol(
+                theorem12_params(n, epsilon=eps, failure=0.02)
+            ),
+        ))
+    runs.append((
+        "Theorem 20 (CD, energy-optimal)",
+        CD,
+        cd_optimal_broadcast_protocol(
+            CDOptimalParams.for_graph(n, graph.max_degree, iterations=3, rounds_s=2)
+        ),
+    ))
+
+    print(f"{'algorithm':34s} {'ok':>3} {'time (slots)':>12} {'worstE':>7}")
+    print("-" * 60)
+    frontier = []
+    for name, model, protocol in runs:
+        outcome = run_broadcast(graph, model, protocol, knowledge=knowledge, seed=2)
+        print(
+            f"{name:34s} {str(outcome.delivered):>3} "
+            f"{outcome.duration:>12} {outcome.max_energy:>7}"
+        )
+        frontier.append((name, outcome.duration, outcome.max_energy))
+
+    fastest = min(frontier, key=lambda r: r[1])
+    leanest = min(frontier, key=lambda r: r[2])
+    print(f"\nfastest:        {fastest[0]} ({fastest[1]} slots)")
+    print(f"most frugal:    {leanest[0]} ({leanest[2]} energy)")
+    print(
+        "\nNo point dominates everywhere — exactly the open question the "
+        "paper closes with (can both be optimal simultaneously?)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+"""repro — a reproduction of "The Energy Complexity of Broadcast" (PODC 2018).
+
+A slot-synchronous multi-hop radio-network simulator with per-device energy
+accounting, the paper's broadcast algorithms in every collision model
+(LOCAL / CD / No-CD / CD*), the single-hop substrates they build on, and
+experiment harnesses reproducing Table 1 and Figure 1.
+"""
+
+__version__ = "1.0.0"
+
+from repro.graphs import (
+    Graph,
+    clique,
+    cycle_graph,
+    diameter,
+    grid_graph,
+    k2k_gadget,
+    path_graph,
+    random_gnp,
+    random_regular,
+    random_tree,
+)
+from repro.sim import (
+    BEEPING,
+    CD,
+    CD_STAR,
+    LOCAL,
+    NO_CD,
+    NOISE,
+    SILENCE,
+    Idle,
+    Knowledge,
+    Listen,
+    NodeCtx,
+    Send,
+    SendListen,
+    Simulator,
+    SimResult,
+)
+
+__all__ = [
+    "__version__",
+    "Graph",
+    "clique",
+    "cycle_graph",
+    "diameter",
+    "grid_graph",
+    "k2k_gadget",
+    "path_graph",
+    "random_gnp",
+    "random_regular",
+    "random_tree",
+    "BEEPING",
+    "CD",
+    "CD_STAR",
+    "LOCAL",
+    "NO_CD",
+    "NOISE",
+    "SILENCE",
+    "Idle",
+    "Knowledge",
+    "Listen",
+    "NodeCtx",
+    "Send",
+    "SendListen",
+    "Simulator",
+    "SimResult",
+]

@@ -1,0 +1,38 @@
+"""Broadcast algorithms: the paper's contributions plus baselines."""
+
+from repro.broadcast.base import BroadcastOutcome, run_broadcast, source_inputs
+from repro.broadcast.cd_optimal import CDOptimalParams, cd_optimal_broadcast_protocol
+from repro.broadcast.clustering import (
+    ClusterBroadcastParams,
+    cluster_broadcast_protocol,
+    theorem11_params,
+    theorem12_params,
+)
+from repro.broadcast.deterministic import (
+    det_cd_broadcast_protocol,
+    det_local_broadcast_protocol,
+)
+from repro.broadcast.dtime import DTimeParams, dtime_broadcast_protocol
+from repro.broadcast.flooding import decay_broadcast_protocol, local_flood_protocol
+from repro.broadcast.local_sim import local_sim_broadcast_protocol
+from repro.broadcast.path import path_broadcast_protocol
+
+__all__ = [
+    "BroadcastOutcome",
+    "run_broadcast",
+    "source_inputs",
+    "CDOptimalParams",
+    "cd_optimal_broadcast_protocol",
+    "ClusterBroadcastParams",
+    "cluster_broadcast_protocol",
+    "theorem11_params",
+    "theorem12_params",
+    "det_cd_broadcast_protocol",
+    "det_local_broadcast_protocol",
+    "DTimeParams",
+    "dtime_broadcast_protocol",
+    "decay_broadcast_protocol",
+    "local_flood_protocol",
+    "local_sim_broadcast_protocol",
+    "path_broadcast_protocol",
+]

@@ -1,0 +1,87 @@
+"""Common runner and result type for Broadcast experiments.
+
+Protocol convention: a broadcast protocol factory receives a
+:class:`~repro.sim.node.NodeCtx`; the source vertex has
+``ctx.inputs == {"source": True, "payload": <m>}``; every vertex's
+generator must *return* the payload it learned (or None).  Delivery is
+verified by comparing every output against the source's payload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Optional, Sequence
+
+from repro.graphs.graph import Graph
+from repro.sim.engine import SimResult, Simulator
+from repro.sim.models import ChannelModel
+from repro.sim.node import Knowledge, NodeCtx
+
+__all__ = ["BroadcastOutcome", "run_broadcast", "source_inputs"]
+
+
+@dataclass
+class BroadcastOutcome:
+    """A broadcast run plus its verification verdict.
+
+    Attributes:
+        sim: the raw simulation result (per-node energy, duration, trace).
+        delivered: True iff every vertex returned the payload.
+        payload: the broadcast message.
+        informed: number of vertices that learned the payload.
+    """
+
+    sim: SimResult
+    delivered: bool
+    payload: Any
+    informed: int
+
+    @property
+    def duration(self) -> int:
+        """Time complexity of the run (slots)."""
+        return self.sim.duration
+
+    @property
+    def max_energy(self) -> int:
+        """Worst-vertex energy — the paper's energy complexity measure."""
+        return self.sim.max_energy
+
+    @property
+    def mean_energy(self) -> float:
+        return self.sim.mean_energy
+
+
+def source_inputs(source: int, payload: Any):
+    return {source: {"source": True, "payload": payload}}
+
+
+def run_broadcast(
+    graph: Graph,
+    model: ChannelModel,
+    protocol_factory: Callable[[NodeCtx], Any],
+    source: int = 0,
+    payload: Any = "m",
+    seed: int = 0,
+    knowledge: Optional[Knowledge] = None,
+    uids: Optional[Sequence[int]] = None,
+    time_limit: int = 200_000_000,
+    record_trace: bool = False,
+) -> BroadcastOutcome:
+    """Run one broadcast protocol and verify delivery."""
+    sim = Simulator(
+        graph,
+        model,
+        seed=seed,
+        time_limit=time_limit,
+        knowledge=knowledge,
+        uids=uids,
+        record_trace=record_trace,
+    )
+    result = sim.run(protocol_factory, inputs=source_inputs(source, payload))
+    informed = sum(1 for out in result.outputs if out == payload)
+    return BroadcastOutcome(
+        sim=result,
+        delivered=(informed == graph.n),
+        payload=payload,
+        informed=informed,
+    )

@@ -1,0 +1,258 @@
+"""Near-energy-optimal randomized Broadcast in CD (Section 7, Theorem 20).
+
+High-level structure (Sections 7.1-7.3): maintain a clustering whose
+clusters are rooted trees with designated parents identified by color
+tuples; repeatedly run the Active/Wait/Halt group-merging procedure of
+Section 7.2, implemented with the colored tree transmissions of
+Section 7.1 (Downward failure-free, Upward via Lemma 8 with probe + ack);
+finish with Lemma 10's broadcast over the final good labeling.
+
+Per top-level iteration:
+
+1. Lemma 19: (re-)learn Ind(u, parent(u)) for the current trees.
+2. Every cluster tosses its shared coin: Active with probability p.
+3. s merge rounds; in each round Active members SR-broadcast merging
+   requests carrying (group id, group seed, new label, sender colors);
+   each Wait cluster that heard requests elects one receiving vertex v*
+   (tree Up-cast + Down-cast), re-roots and relabels through v*
+   (Section 6.4 casts over tree edges), adopts the sender's group, and
+   turns Active for the next round; senders Halt.
+
+Parameters follow Theorem 20: p = 1/sqrt(log log Delta),
+s = log log Delta, f = log^{-3/2} log Delta — all clamped to useful
+ranges at simulable sizes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Optional, Tuple
+
+from repro.core.cluster_casts import cluster_coin
+from repro.core.clustering import broadcast_on_labeling
+from repro.core.schemes import SRScheme
+from repro.core.sr_comm import CDParams, Role, sr_cd
+from repro.sim.actions import Idle
+from repro.core.tree_clusters import (
+    TreeParams,
+    learn_ind,
+    sample_colors,
+    tree_down_cast,
+    tree_up_cast,
+)
+from repro.sim.node import NodeCtx
+from repro.util import ceil_log2
+
+__all__ = ["CDOptimalParams", "cd_optimal_broadcast_protocol"]
+
+_ACTIVE, _WAIT, _HALT = "active", "wait", "halt"
+
+
+@dataclass(frozen=True)
+class CDOptimalParams:
+    """Knobs of the Theorem 20 algorithm."""
+
+    xi: float
+    survive_p: float
+    rounds_s: int
+    iterations: int
+    request_failure: float
+    tree_failure: float
+    final_failure: float
+    gl_diameter_bound: Optional[int] = None  # None -> n-1 (safe default)
+    num_colorings: Optional[int] = None
+
+    @classmethod
+    def for_graph(
+        cls,
+        n: int,
+        max_degree: int,
+        xi: float = 0.5,
+        iterations: Optional[int] = None,
+        rounds_s: Optional[int] = None,
+        survive_p: Optional[float] = None,
+        request_failure: Optional[float] = None,
+        gl_diameter_bound: Optional[int] = None,
+        num_colorings: Optional[int] = None,
+    ) -> "CDOptimalParams":
+        loglog_d = max(2.0, math.log2(max(2.0, math.log2(max(4, max_degree)))) + 1)
+        if survive_p is None:
+            survive_p = min(0.5, 1.0 / math.sqrt(loglog_d))
+        if rounds_s is None:
+            rounds_s = max(2, math.ceil(loglog_d))
+        if request_failure is None:
+            request_failure = min(0.2, loglog_d ** (-1.5) + 0.05)
+        if iterations is None:
+            logloglog = max(1.0, math.log2(loglog_d))
+            iterations = max(2, math.ceil(2.0 * ceil_log2(max(2, n)) / logloglog))
+        return cls(
+            xi=xi,
+            survive_p=survive_p,
+            rounds_s=rounds_s,
+            iterations=iterations,
+            request_failure=request_failure,
+            tree_failure=0.02,
+            final_failure=1.0 / (n * n),
+            gl_diameter_bound=gl_diameter_bound,
+            num_colorings=num_colorings,
+        )
+
+
+def cd_optimal_broadcast_protocol(
+    params: Optional[CDOptimalParams] = None, return_labels: bool = False
+):
+    """Factory for the Theorem 20 protocol (CD model)."""
+
+    def protocol(ctx: NodeCtx):
+        n = ctx.n
+        p = params or CDOptimalParams.for_graph(n, ctx.max_degree)
+        tree = TreeParams.for_graph(
+            n, ctx.max_degree, xi=p.xi, failure=p.tree_failure,
+            num_colorings=p.num_colorings,
+        )
+        request_sr = CDParams.for_graph(
+            ctx.max_degree, p.request_failure, probe=True
+        )
+
+        # Singleton clusters: every vertex roots itself.
+        my_colors = sample_colors(ctx.rng, tree)
+        cid = (ctx.rng.getrandbits(48) << 16) | (ctx.uid & 0xFFFF)
+        seed = ctx.rng.getrandbits(64)
+        label = 0
+        parent_colors: Optional[Tuple[int, ...]] = None
+        max_layers = 1
+
+        for iteration in range(p.iterations):
+            cid, seed, label, parent_colors = yield from _merge_iteration(
+                ctx, p, tree, request_sr, iteration,
+                cid, seed, label, parent_colors, my_colors, max_layers,
+            )
+            max_layers = min(n, (max_layers + 1) * (p.rounds_s + 2))
+
+        payload = ctx.inputs.get("payload") if ctx.inputs.get("source") else None
+        scheme = SRScheme(
+            "CD", ctx.max_degree, failure=p.final_failure, probe=True
+        )
+        d_bound = p.gl_diameter_bound if p.gl_diameter_bound is not None else n - 1
+        payload = yield from broadcast_on_labeling(
+            ctx, scheme, label, payload, n, d_bound
+        )
+        if return_labels:
+            return (payload, cid, label)
+        return payload
+
+    return protocol
+
+
+def _merge_iteration(
+    ctx: NodeCtx,
+    p: CDOptimalParams,
+    tree: TreeParams,
+    request_sr: CDParams,
+    iteration: int,
+    cid: int,
+    seed: int,
+    label: int,
+    parent_colors,
+    my_colors,
+    max_layers: int,
+):
+    """One Section 7.2 group-merging pass.  Returns the new
+    (cid, seed, label, parent_colors)."""
+    ind = yield from learn_ind(ctx, tree, my_colors, parent_colors)
+
+    active = cluster_coin(seed, ("status", iteration), 0, p.survive_p)
+    status = _ACTIVE if active else _WAIT
+    # The vertex's state in the *new* clustering (its group).
+    new_state: Optional[Tuple[int, int, int, Any]] = None
+    if active:
+        new_state = (cid, seed, label, parent_colors)
+
+    sweep = (max_layers - 1) if max_layers > 1 else 0
+    up_slots = sweep * tree.upward_slots
+    down_slots = sweep * tree.downward_slots
+
+    for merge_round in range(p.rounds_s):
+        # --- merging requests ------------------------------------------
+        got = None
+        if status is _ACTIVE and new_state is not None:
+            yield from sr_cd(
+                ctx, Role.SENDER,
+                ("req", new_state[0], new_state[1], new_state[2], my_colors),
+                request_sr,
+            )
+            status = _HALT
+        elif status is _WAIT:
+            got = yield from sr_cd(ctx, Role.RECEIVER, None, request_sr)
+            if got is not None and not (
+                isinstance(got, tuple) and got and got[0] == "req"
+            ):
+                got = None
+        else:
+            yield from sr_cd(ctx, Role.IDLE, None, request_sr)
+
+        # --- elect v* within Wait clusters ------------------------------
+        participating = status is _WAIT
+        candidate = None
+        if participating and got is not None:
+            token = ctx.rng.getrandbits(48)
+            candidate = (token, got[1], got[2], got[3], got[4])
+        if participating:
+            root_value = yield from tree_up_cast(
+                ctx, tree, label, candidate, max_layers,
+                my_colors, parent_colors, ind, lambda m: m,
+            )
+            winner_init = root_value if label == 0 else None
+            winner = yield from tree_down_cast(
+                ctx, tree, label, winner_init, max_layers,
+                my_colors, parent_colors, ind, lambda m: m,
+            )
+            if winner is None and label == 0 and candidate is not None:
+                winner = candidate
+        else:
+            if up_slots:
+                yield Idle(up_slots)
+            if down_slots:
+                yield Idle(down_slots)
+            winner = None
+
+        # --- relabel through v* (Section 6.4 over tree edges) -----------
+        if participating and winner is not None:
+            # Wire format: (gcid, gseed, sender_new_label, sender_colors).
+            # A receiver adopts label sender_new_label + 1 and parent = the
+            # relaying vertex; what it relays onward carries *its own*
+            # colors, captured via new_parent_cell.
+            new_parent_cell = [None]
+            relabel = None
+            if candidate is not None and winner[0] == candidate[0]:
+                # I am v*: new label = requester's label + 1; new parent =
+                # the requesting vertex (candidate carries its colors).
+                new_parent_cell[0] = winner[4]
+                relabel = (winner[1], winner[2], winner[3] + 1, my_colors)
+
+            def bump(message):
+                new_parent_cell[0] = message[3]
+                return (message[0], message[1], message[2] + 1, my_colors)
+
+            relabel = yield from tree_up_cast(
+                ctx, tree, label, relabel,
+                max_layers, my_colors, parent_colors, ind,
+                bump,
+            )
+            relabel = yield from tree_down_cast(
+                ctx, tree, label, relabel, max_layers,
+                my_colors, parent_colors, ind, bump,
+            )
+            if relabel is not None and new_state is None:
+                new_state = (relabel[0], relabel[1], relabel[2], new_parent_cell[0])
+                status = _ACTIVE
+        else:
+            if up_slots:
+                yield Idle(up_slots)
+            if down_slots:
+                yield Idle(down_slots)
+
+    if new_state is None:
+        new_state = (cid, seed, label, parent_colors)
+    return new_state

@@ -1,0 +1,146 @@
+"""Energy-efficient Broadcast by iterative clustering (Section 5).
+
+Implements Theorem 11 (LOCAL / CD / No-CD) and Theorem 12 (the CD
+time-energy tradeoff): start from the trivial all-zero good labeling,
+repeatedly thin out the layer-0 roots with :func:`refine_labeling`, then
+run Lemma 10's cast schedule over the final labeling to deliver the
+payload.
+
+The protocol returns the payload the vertex learned; pass
+``return_labels=True`` to get ``(payload, final_label)`` for labeling
+diagnostics (used by tests that check goodness and root counts).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.clustering import broadcast_on_labeling, refine_labeling
+from repro.core.schemes import SRScheme
+from repro.sim.node import NodeCtx
+from repro.util import ceil_log2
+
+__all__ = [
+    "ClusterBroadcastParams",
+    "theorem11_params",
+    "theorem12_params",
+    "cluster_broadcast_protocol",
+]
+
+
+@dataclass(frozen=True)
+class ClusterBroadcastParams:
+    """Knobs of the Section 5 algorithm.
+
+    Attributes:
+        model_name: "LOCAL", "CD" or "No-CD".
+        survive_p: probability a root survives a refinement (paper's p).
+        spread_s: cast repetitions per refinement (paper's s).
+        iterations: number of refinements.
+        gl_diameter_bound: Lemma 10's d for the final broadcast.
+        failure: SR-communication failure probability f.
+        probe: use Remark 9 probes (CD only; defaults on for CD).
+    """
+
+    model_name: str
+    survive_p: float
+    spread_s: int
+    iterations: int
+    gl_diameter_bound: int
+    failure: float
+    probe: bool = False
+
+
+def theorem11_params(
+    n: int,
+    model_name: str,
+    failure: Optional[float] = None,
+    iterations: Optional[int] = None,
+) -> ClusterBroadcastParams:
+    """Theorem 11 setting: p = 1/2, s = 1, O(log n) refinements.
+
+    Each refinement keeps a root with probability <= 3/4 (+ SR failures),
+    so 4 log2 n + 6 refinements leave one root w.h.p.; we broadcast with a
+    small constant d as slack for the low-probability multi-root outcome.
+    """
+    log_n = ceil_log2(max(2, n))
+    return ClusterBroadcastParams(
+        model_name=model_name,
+        survive_p=0.5,
+        spread_s=1,
+        iterations=iterations if iterations is not None else 4 * log_n + 6,
+        gl_diameter_bound=1,
+        failure=failure if failure is not None else 1.0 / (n * n),
+        probe=(model_name == "CD"),
+    )
+
+
+def theorem12_params(
+    n: int,
+    epsilon: float = 0.5,
+    failure: Optional[float] = None,
+    iterations: Optional[int] = None,
+) -> ClusterBroadcastParams:
+    """Theorem 12 (CD): p = log^{-eps/2} n, s = log n.
+
+    Root-retention probability per refinement is O(log^{-eps/2} n) while
+    more than log n roots remain, so O(log n / (eps log log n)) refinements
+    leave at most ~log n roots; the final Lemma 10 call uses d = log n.
+    """
+    if not 0 < epsilon < 1:
+        raise ValueError(f"epsilon must be in (0,1), got {epsilon}")
+    log_n = ceil_log2(max(4, n))
+    loglog_n = max(1.0, math.log2(log_n))
+    p = float(log_n) ** (-epsilon / 2.0)
+    if iterations is None:
+        iterations = max(2, math.ceil(3.0 * log_n / (epsilon * loglog_n)))
+    return ClusterBroadcastParams(
+        model_name="CD",
+        survive_p=p,
+        spread_s=log_n,
+        iterations=iterations,
+        gl_diameter_bound=log_n + 1,
+        failure=failure if failure is not None else 1.0 / (n * n),
+        probe=True,
+    )
+
+
+def cluster_broadcast_protocol(
+    params: ClusterBroadcastParams, return_labels: bool = False
+):
+    """Factory for the Section 5 broadcast protocol."""
+
+    def protocol(ctx: NodeCtx):
+        scheme = SRScheme(
+            params.model_name,
+            ctx.max_degree,
+            failure=params.failure,
+            probe=params.probe,
+        )
+        max_layers = ctx.n
+        label = 0
+        for _ in range(params.iterations):
+            label = yield from refine_labeling(
+                ctx,
+                scheme,
+                label,
+                survive_p=params.survive_p,
+                spread_s=params.spread_s,
+                max_layers=max_layers,
+            )
+        payload = ctx.inputs.get("payload") if ctx.inputs.get("source") else None
+        payload = yield from broadcast_on_labeling(
+            ctx,
+            scheme,
+            label,
+            payload,
+            max_layers,
+            params.gl_diameter_bound,
+        )
+        if return_labels:
+            return (payload, label)
+        return payload
+
+    return protocol

@@ -1,0 +1,258 @@
+"""The O~(D^{1+eps})-time, polylog-energy Broadcast (Section 6, Theorem 16).
+
+Phase 1 iterates Partition(beta) on the *cluster graph*: every vertex
+carries (cluster id, shared seed, good-labeling layer); one cluster-level
+Partition epoch is simulated with the Section 6.2/6.4 machinery —
+
+1. start check: all members compute their cluster's start epoch from the
+   shared seed (no communication needed);
+2. All-cast: assigned clusters broadcast merge offers
+   (new cid, new seed, offer layer);
+3. candidate selection: an Up-cast carries one received offer to the old
+   root, a Down-cast announces the winning candidate token (Section 6.4
+   step 1, "electing v*");
+4. relabeling: from the elected vertex v*, an Up-cast + Down-cast assign
+   new labels offer_layer + 1 + (cast hops), re-rooting the old cluster
+   inside the new one (Section 6.4 step 2).
+
+Phase 2 runs Lemma 10's broadcast over the final good labeling, with the
+G_L-diameter budget from Lemma 15 (D shrinks by 3 beta per iteration).
+
+Caveat recorded in DESIGN/EXPERIMENTS: the asymptotic advantage of
+Theorem 16 needs n far beyond laptop simulation (the polylog factors are
+log^{O(1/eps)} n); we reproduce the algorithm's structure, its
+correctness, and its polylog per-vertex energy at small n.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.core.cluster_casts import (
+    cluster_all_cast,
+    cluster_down_cast,
+    cluster_up_cast,
+)
+from repro.core.clustering import broadcast_on_labeling
+from repro.core.schemes import SRScheme
+from repro.core.sr_comm import Role
+from repro.sim.node import NodeCtx
+from repro.util import ceil_log2
+
+__all__ = ["DTimeParams", "dtime_broadcast_protocol"]
+
+
+@dataclass(frozen=True)
+class DTimeParams:
+    """Parameters of the Theorem 16 algorithm.
+
+    Attributes:
+        beta: Partition rate; the paper sets beta = log^{-1/eps} n.
+        iterations: Partition rounds (paper: log_{1/(3 beta)} D).
+        contention: the paper's C — bound on distinct neighboring clusters.
+        reps: Lemma 17 repetitions per transmission (paper: O(C log n)).
+        failure: SR failure probability.
+        gl_diameter_bound: Lemma 10's d for phase 2 (Lemma 15 bound).
+    """
+
+    beta: float
+    iterations: int
+    contention: int
+    reps: int
+    failure: float
+    gl_diameter_bound: int
+
+    @classmethod
+    def for_graph(
+        cls,
+        n: int,
+        diameter: Optional[int],
+        epsilon: float = 0.5,
+        beta: Optional[float] = None,
+        iterations: Optional[int] = None,
+        contention: Optional[int] = None,
+        reps: Optional[int] = None,
+        failure: Optional[float] = None,
+        gl_diameter_bound: Optional[int] = None,
+    ) -> "DTimeParams":
+        log_n = ceil_log2(max(4, n))
+        if beta is None:
+            beta = min(0.3, float(log_n) ** (-1.0 / epsilon))
+        d_bound = diameter if diameter is not None else n - 1
+        if iterations is None:
+            if 3 * beta < 1:
+                iterations = max(1, math.ceil(
+                    math.log(max(2, d_bound)) / math.log(1.0 / (3 * beta))
+                ))
+            else:
+                iterations = 2
+        if contention is None:
+            contention = max(2, min(8, log_n))
+        if reps is None:
+            reps = contention * (log_n + 1)
+        if failure is None:
+            failure = 1.0 / (n * n)
+        if gl_diameter_bound is None:
+            shrunk = max(2, math.ceil(d_bound * (3 * beta) ** iterations))
+            gl_diameter_bound = min(max(2, n - 1), shrunk + 2 * log_n)
+        return cls(
+            beta=beta,
+            iterations=iterations,
+            contention=contention,
+            reps=reps,
+            failure=failure,
+            gl_diameter_bound=gl_diameter_bound,
+        )
+
+    def epochs(self, n: int) -> int:
+        return max(1, math.ceil(2 * ceil_log2(max(2, n)) / self.beta))
+
+
+def _start_epoch(seed: int, iteration: int, beta: float, t_max: int) -> int:
+    """Cluster start epoch, derivable by every member from the shared seed."""
+    delta = random.Random(f"{seed}|start|{iteration}").expovariate(beta)
+    return max(1, t_max - math.ceil(delta))
+
+
+def _is_offer(message) -> bool:
+    return isinstance(message, tuple) and message and message[0] == "offer"
+
+
+def _any(message) -> bool:
+    del message
+    return True
+
+
+def dtime_broadcast_protocol(params_factory=None, return_labels: bool = False):
+    """Factory for the Theorem 16 protocol.
+
+    Args:
+        params_factory: optional callable (n, diameter) -> DTimeParams;
+            defaults to :meth:`DTimeParams.for_graph` with eps = 0.5.
+        return_labels: return (payload, cid, label) for diagnostics.
+    """
+
+    def protocol(ctx: NodeCtx):
+        n = ctx.n
+        if params_factory is not None:
+            params = params_factory(n, ctx.diameter)
+        else:
+            params = DTimeParams.for_graph(n, ctx.diameter)
+        scheme = SRScheme("No-CD", ctx.max_degree, failure=params.failure)
+        t_max = params.epochs(n)
+
+        # Iteration-0 clustering: singletons.
+        cid = (ctx.rng.getrandbits(48) << 16) | (ctx.uid & 0xFFFF)
+        seed = ctx.rng.getrandbits(64)
+        label = 0
+        max_layers = 1
+
+        for iteration in range(params.iterations):
+            cid, seed, label = yield from _partition_on_clusters(
+                ctx, scheme, params, iteration, t_max,
+                cid, seed, label, max_layers,
+            )
+            max_layers = min(n, max(2, 2 * t_max * max_layers))
+
+        payload = ctx.inputs.get("payload") if ctx.inputs.get("source") else None
+        payload = yield from broadcast_on_labeling(
+            ctx, scheme, label, payload, min(n, max_layers),
+            params.gl_diameter_bound,
+        )
+        if return_labels:
+            return (payload, cid, label)
+        return payload
+
+    return protocol
+
+
+def _partition_on_clusters(
+    ctx: NodeCtx,
+    scheme: SRScheme,
+    params: DTimeParams,
+    iteration: int,
+    t_max: int,
+    cid: int,
+    seed: int,
+    label: int,
+    max_layers: int,
+):
+    """One Partition(beta) on the current cluster graph.
+
+    Returns the vertex's (new cid, new seed, new label).  The old
+    (cid, seed, label) keep structuring intra-cluster casts throughout;
+    ``assigned`` carries the new clustering as it forms.
+    """
+    start = _start_epoch(seed, iteration, params.beta, t_max)
+    assigned: Optional[Tuple[int, int, int]] = None  # (cid, seed, label)
+    C, reps = params.contention, params.reps
+    sweep_frames = max(0, max_layers - 1) * reps
+
+    for epoch in range(1, t_max + 1):
+        if assigned is None and epoch >= start:
+            # Our cluster founds its own new cluster; every member knows
+            # (shared start), keeping ids, seed, and layers unchanged.
+            assigned = (cid, seed, label)
+        etag = (iteration, epoch)
+
+        # --- merge offers across cluster boundaries -------------------
+        if assigned is not None:
+            yield from cluster_all_cast(
+                ctx, scheme, Role.SENDER,
+                ("offer", assigned[0], assigned[1], assigned[2]),
+                seed, C, reps, etag, _any,
+            )
+            offer = None
+        else:
+            offer = yield from cluster_all_cast(
+                ctx, scheme, Role.RECEIVER, None, seed, C, reps, etag, _is_offer
+            )
+
+        # --- elect v* inside each still-unassigned old cluster --------
+        if assigned is None:
+            candidate = None
+            if offer is not None:
+                token = ctx.rng.getrandbits(48)
+                candidate = (token, offer[1], offer[2], offer[3] + 1)
+            root_value = yield from cluster_up_cast(
+                ctx, scheme, label, cid, seed, candidate, max_layers,
+                C, reps, (etag, "cand"), lambda m: m,
+            )
+            winner_init = root_value if label == 0 else None
+            winner = yield from cluster_down_cast(
+                ctx, scheme, label, cid, seed, winner_init, max_layers,
+                C, reps, (etag, "win"), lambda m: m,
+            )
+            if winner is None and candidate is not None and label == 0:
+                winner = candidate  # singleton-cluster shortcut
+        else:
+            yield from scheme.idle_frames(2 * sweep_frames)
+            winner = None
+            candidate = None
+
+        # --- relabel from v* (Section 6.4 step 2) ---------------------
+        if assigned is None and winner is not None:
+            if candidate is not None and winner[0] == candidate[0]:
+                relabel = (winner[1], winner[2], winner[3])
+            else:
+                relabel = None
+            bump = lambda m: (m[0], m[1], m[2] + 1)
+            relabel = yield from cluster_up_cast(
+                ctx, scheme, label, cid, seed, relabel, max_layers,
+                C, reps, (etag, "rlu"), bump,
+            )
+            relabel = yield from cluster_down_cast(
+                ctx, scheme, label, cid, seed, relabel, max_layers,
+                C, reps, (etag, "rld"), bump,
+            )
+            if relabel is not None:
+                assigned = (relabel[0], relabel[1], relabel[2])
+        else:
+            yield from scheme.idle_frames(2 * sweep_frames)
+
+    if assigned is None:
+        assigned = (cid, seed, label)
+    return assigned

@@ -1,0 +1,54 @@
+"""Broadcast by simulating a LOCAL algorithm in No-CD (Theorem 3, Cor. 13).
+
+The protocol has two phases:
+
+1. Preprocessing (No-CD): Learn-degree + Two-Hop-Coloring produce a proper
+   coloring of G + G^2 with 2 Delta^2 colors (Section 3.1).
+2. Simulation: the LOCAL clustering broadcast of Theorem 11 runs over the
+   TDMA schedule — block-slot j belongs to color j, so no two vertices
+   within distance 2 ever transmit together and collisions vanish.
+
+For Delta = O(1) this gives Corollary 13: O(n log n) time and O(log n)
+energy Broadcast in No-CD on bounded-degree graphs.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.broadcast.clustering import cluster_broadcast_protocol, theorem11_params
+from repro.core.coloring import ColoringParams, coloring_preprocess, simulate_local
+from repro.sim.node import NodeCtx
+
+__all__ = ["local_sim_broadcast_protocol"]
+
+
+def local_sim_broadcast_protocol(
+    failure: Optional[float] = None,
+    coloring_params: Optional[ColoringParams] = None,
+    inner_iterations: Optional[int] = None,
+):
+    """Factory for the Theorem 3 / Corollary 13 broadcast protocol.
+
+    Args:
+        failure: SR failure probability of the simulated LOCAL algorithm.
+        coloring_params: override the preprocessing constants.
+        inner_iterations: override the simulated algorithm's refinement
+            count (testing hook).
+    """
+
+    def protocol(ctx: NodeCtx):
+        params = coloring_params or ColoringParams(
+            max_degree=ctx.max_degree, n=ctx.n
+        )
+        color, neighbor_colors = yield from coloring_preprocess(ctx, params)
+        inner_params = theorem11_params(
+            ctx.n, "LOCAL", failure=failure, iterations=inner_iterations
+        )
+        inner = cluster_broadcast_protocol(inner_params)(ctx)
+        result = yield from simulate_local(
+            ctx, inner, params.num_colors, color, neighbor_colors
+        )
+        return result
+
+    return protocol

@@ -1,0 +1,249 @@
+"""Broadcast on a path (Section 8, Algorithm 1, Theorem 21).
+
+Every vertex samples a blocking time B = 2^b with Pr(b = i) = 2^-i (capped
+at n, with n rounded up to a power of two).  At paper-time t = 1 each
+vertex tells its downstream neighbor when its next message will come and
+sets a SendAlarm for time B.  Until B the vertex merely *tracks* upstream
+traffic through these "next message after i" synchronization promises,
+listening only at promised times; from B on it forwards everything it
+receives with a one-slot lag.  At B it either releases the payload (if the
+payload already arrived) or re-promises, and the promise algebra
+guarantees nobody ever listens at a dead slot: a vertex that receives at
+time t >= B forwards the verbatim message at t+1, and a forwarded
+"next after i" is exactly correct for the next hop.
+
+The model is full-duplex LOCAL (Section 8: "we will assume we are working
+in the full duplex LOCAL model").  Guarantees (Theorem 21): worst-case
+time <= 2n slots; expected per-vertex energy O(log n).
+
+Two modes:
+
+* oriented — each vertex knows which port faces the source (the
+  pseudocode's setting); requires ``source == 0``.
+* unoriented — each vertex runs one instance per neighbor-as-upstream, as
+  the paper prescribes, doubling energy; works for any source position.
+
+Messages are addressed by neighbor port; in the simulator this is encoded
+with vertex indices, standing in for the physical "which of my two
+neighbors sent this" information a radio gets for free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Set
+
+from repro.sim.actions import Idle, Listen, Send, SendListen
+from repro.sim.node import NodeCtx
+from repro.util import ceil_log2, geometric
+
+__all__ = ["path_broadcast_protocol", "sample_blocking_time"]
+
+_SYNC = "sync"  # part = (_SYNC, i): "next message after i timesteps"
+_PAYLOAD = "payload"  # part = (_PAYLOAD, m)
+
+
+def sample_blocking_time(rng, n_pow2: int) -> int:
+    """Sample B: Pr(B = 2^b) = 2^-b for 1 <= b < log2 n, else B = n."""
+    log_n = max(1, ceil_log2(n_pow2))
+    b = geometric(rng, 0.5)
+    return 2 ** min(b, log_n)
+
+
+@dataclass
+class _Instance:
+    """One directional run of Algorithm 1 at one vertex."""
+
+    upstream: Optional[int]
+    downstream: Optional[int]
+    blocking_time: int
+    is_source: bool
+    payload: Any = None
+    sends: Dict[int, Any] = field(default_factory=dict)  # paper-time -> part
+    listens: Set[int] = field(default_factory=set)
+    send_alarm: Optional[int] = None
+    got_payload: bool = False
+    done: bool = False
+    _quit_after: Optional[int] = None
+
+    def start(self) -> None:
+        if self.is_source:
+            self.got_payload = True
+            if self.downstream is not None:
+                self.sends[1] = (_PAYLOAD, self.payload)
+                self._quit_after = 1
+            else:
+                self.done = True
+            return
+        if self.downstream is not None:
+            self.sends[1] = (_SYNC, self.blocking_time - 1)
+            self.send_alarm = self.blocking_time
+        if self.upstream is not None:
+            self.listens.add(1)
+        if self.downstream is None and self.upstream is None:
+            self.done = True
+
+    # -- event handling ------------------------------------------------
+
+    def before_slot(self, t: int) -> None:
+        """Decide the SendAlarm transmission for paper-time t (the content
+        may not depend on what arrives during slot t itself)."""
+        if self.send_alarm != t or self.done:
+            return
+        self.send_alarm = None
+        if self.got_payload:
+            self.sends[t] = (_PAYLOAD, self.payload)
+            self._quit_after = t
+            return
+        future = [x for x in self.listens if x >= t]
+        if future:
+            next_alarm = min(future)
+            self.sends[t] = (_SYNC, next_alarm + 1 - t)
+        else:
+            # Upstream went silent without delivering; nothing to promise.
+            self._quit_after = t if t in self.sends else None
+            if self._quit_after is None:
+                self.done = True
+
+    def receive(self, t: int, part) -> None:
+        kind = part[0]
+        if kind == _SYNC:
+            self.listens.add(t + part[1])
+        elif kind == _PAYLOAD:
+            self.got_payload = True
+            self.payload = part[1]
+        if t >= self.blocking_time:
+            # Forwarding mode: relay the verbatim part one slot later.
+            if self.downstream is not None:
+                self.sends[t + 1] = part
+                if kind == _PAYLOAD:
+                    self._quit_after = t + 1
+            elif kind == _PAYLOAD:
+                self.done = True
+
+    def heard_nothing(self, t: int) -> None:
+        """A scheduled listen produced silence: upstream quit."""
+        if not any(x > t for x in self.listens) and self.send_alarm is None:
+            if not any(x > t for x in self.sends):
+                self.done = True
+
+    def after_slot(self, t: int) -> None:
+        self.listens.discard(t)
+        self.sends.pop(t, None)
+        if self._quit_after is not None and t >= self._quit_after:
+            self.done = True
+        if (
+            not self.done
+            and not self.listens
+            and not self.sends
+            and self.send_alarm is None
+        ):
+            self.done = True
+
+    def next_event(self) -> Optional[int]:
+        if self.done:
+            return None
+        times: List[int] = list(self.listens) + list(self.sends)
+        if self.send_alarm is not None:
+            times.append(self.send_alarm)
+        return min(times) if times else None
+
+
+def path_broadcast_protocol(oriented: bool = True):
+    """Factory for Algorithm 1.
+
+    Args:
+        oriented: vertices know their upstream port (pseudocode setting;
+            source must be vertex 0).  When False, each vertex runs both
+            directional instances (the paper's general setting) at twice
+            the energy.
+    """
+
+    def protocol(ctx: NodeCtx):
+        n = ctx.n
+        n_pow2 = 2 ** ceil_log2(max(2, n))
+        v = ctx.index
+        left = v - 1 if v > 0 else None
+        right = v + 1 if v < n - 1 else None
+        is_source = bool(ctx.inputs.get("source"))
+        payload = ctx.inputs.get("payload")
+        if oriented and is_source and v != 0:
+            raise ValueError("oriented mode assumes the source is vertex 0")
+
+        instances: List[_Instance] = []
+        if oriented:
+            instances.append(
+                _Instance(left, right, sample_blocking_time(ctx.rng, n_pow2),
+                          is_source, payload)
+            )
+        else:
+            for upstream, downstream in ((left, right), (right, left)):
+                instances.append(
+                    _Instance(upstream, downstream,
+                              sample_blocking_time(ctx.rng, n_pow2),
+                              is_source, payload)
+                )
+        for inst in instances:
+            inst.start()
+
+        now = 0  # paper-time of the previous processed slot
+        while True:
+            upcoming = [
+                t for t in (inst.next_event() for inst in instances)
+                if t is not None
+            ]
+            if not upcoming:
+                break
+            t = min(upcoming)
+            for inst in instances:
+                inst.before_slot(t)
+            # (before_slot may schedule sends at t)
+            outgoing = []
+            listening = False
+            for inst in instances:
+                if inst.done:
+                    continue
+                part = inst.sends.get(t)
+                if part is not None and inst.downstream is not None:
+                    outgoing.append((inst.downstream, part))
+                if t in inst.listens:
+                    listening = True
+            gap = (t - 1) - now  # engine slot for paper-time t is t-1
+            if gap > 0:
+                yield Idle(gap)
+            feedback = None
+            if outgoing and listening:
+                feedback = yield SendListen(("path", v, tuple(outgoing)))
+            elif outgoing:
+                yield Send(("path", v, tuple(outgoing)))
+            elif listening:
+                feedback = yield Listen()
+            else:
+                yield Idle(1)
+            now = t
+
+            heard: Dict[int, Any] = {}
+            if feedback:
+                for msg in feedback:
+                    if isinstance(msg, tuple) and msg and msg[0] == "path":
+                        _, sender, parts = msg
+                        for to, part in parts:
+                            if to == v:
+                                heard[sender] = part
+            for inst in instances:
+                if inst.done:
+                    continue
+                if t in inst.listens:
+                    part = heard.get(inst.upstream)
+                    if part is not None:
+                        inst.receive(t, part)
+                    else:
+                        inst.heard_nothing(t)
+                inst.after_slot(t)
+
+        for inst in instances:
+            if inst.got_payload:
+                return inst.payload
+        return None
+
+    return protocol

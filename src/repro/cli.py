@@ -1,0 +1,132 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``figure1 [--n N] [--seed S]`` — render the Figure 1 timeline.
+* ``table1 [ROW ...]`` — run Table 1 row experiments (default: all).
+* ``ablations`` — run the three ablations.
+* ``demo`` — the quickstart comparison on a 128-hop chain.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+__all__ = ["main"]
+
+_TABLE1_ROWS = {
+    "local": "t1_local_clustering",
+    "nocd": "t1_nocd_clustering",
+    "dtime": "t1_nocd_dtime",
+    "bounded": "t1_nocd_bounded_degree",
+    "cd": "t1_cd_clustering",
+    "cd-optimal": "t1_cd_optimal",
+    "det-local": "t1_det_local",
+    "det-cd": "t1_det_cd",
+    "path": "t8_path_algorithm",
+    "decay": "baseline_decay",
+    "lb-path": "t1_lb_local_path",
+    "lb-reduction": "t1_lb_reduction",
+}
+
+
+def _cmd_figure1(args) -> int:
+    from repro.experiments import figure1
+
+    print(figure1(n=args.n, seed=args.seed))
+    return 0
+
+
+def _cmd_table1(args) -> int:
+    import repro.experiments as experiments
+
+    rows = args.rows or list(_TABLE1_ROWS)
+    unknown = [row for row in rows if row not in _TABLE1_ROWS]
+    if unknown:
+        print(f"unknown rows: {unknown}; available: {sorted(_TABLE1_ROWS)}")
+        return 2
+    for row in rows:
+        fn = getattr(experiments, _TABLE1_ROWS[row])
+        _, table = fn()
+        print(table)
+        print()
+    return 0
+
+
+def _cmd_ablations(args) -> int:
+    del args
+    from repro.experiments import ablate_beta, ablate_probe, ablate_ps
+
+    for fn in (ablate_probe, ablate_ps, ablate_beta):
+        _, table = fn()
+        print(table)
+        print()
+    return 0
+
+
+def _cmd_demo(args) -> int:
+    del args
+    from repro.broadcast import decay_broadcast_protocol, run_broadcast
+    from repro.broadcast.path import path_broadcast_protocol
+    from repro.graphs import path_graph
+    from repro.sim import LOCAL, NO_CD, Knowledge
+
+    n = 128
+    graph = path_graph(n)
+    knowledge = Knowledge(n=n, max_degree=2, diameter=n - 1)
+    decay = run_broadcast(
+        graph, NO_CD, decay_broadcast_protocol(failure=0.02),
+        knowledge=knowledge, seed=1,
+    )
+    path = run_broadcast(
+        graph, LOCAL, path_broadcast_protocol(oriented=True),
+        knowledge=knowledge, seed=1,
+    )
+    print(f"{n}-hop chain broadcast:")
+    print(
+        f"  decay baseline: delivered={decay.delivered} "
+        f"slots={decay.duration} worst-energy={decay.max_energy}"
+    )
+    print(
+        f"  Algorithm 1:    delivered={path.delivered} "
+        f"slots={path.duration} worst-energy={path.max_energy}"
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'The Energy Complexity of Broadcast' (PODC 2018)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_fig = sub.add_parser("figure1", help="render the Figure 1 timeline")
+    p_fig.add_argument("--n", type=int, default=32)
+    p_fig.add_argument("--seed", type=int, default=0)
+    p_fig.set_defaults(func=_cmd_figure1)
+
+    p_tab = sub.add_parser("table1", help="run Table 1 row experiments")
+    p_tab.add_argument(
+        "rows", nargs="*", help=f"rows to run ({', '.join(sorted(_TABLE1_ROWS))})"
+    )
+    p_tab.set_defaults(func=_cmd_table1)
+
+    p_abl = sub.add_parser("ablations", help="run the ablations")
+    p_abl.set_defaults(func=_cmd_ablations)
+
+    p_demo = sub.add_parser("demo", help="decay vs Algorithm 1 on a chain")
+    p_demo.set_defaults(func=_cmd_demo)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

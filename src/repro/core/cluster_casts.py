@@ -1,0 +1,196 @@
+"""Cluster-aware casts (Section 6.2, Lemma 17).
+
+When casts must stay *inside* a cluster (or cross only cluster
+boundaries), plain SR-communication is not enough: neighboring clusters
+would collide forever.  The paper's fix is the shared random string: all
+members of a cluster hold the same seed, so they can toss a common coin
+and have the whole cluster enter the sender set S with probability 1/C in
+each of O(C log n) repetitions.  For any receiver, w.h.p. some repetition
+has exactly the relevant neighboring cluster active, and the underlying
+SR-communication delivers.
+
+Receivers filter by cluster id: ``accept`` decides which messages count
+(same-cluster for Downward/Upward transmission, any-other-cluster for the
+All-cast between clusters).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Callable, Optional
+
+from repro.core.schemes import SRScheme
+from repro.core.sr_comm import Role
+from repro.sim.node import NodeCtx
+
+__all__ = [
+    "cluster_coin",
+    "cluster_sr",
+    "cluster_down_cast",
+    "cluster_up_cast",
+    "cluster_all_cast",
+]
+
+
+def cluster_coin(seed: int, tag, rep: int, probability: float) -> bool:
+    """A coin all members of a cluster can toss identically."""
+    return random.Random(f"{seed}|{tag}|{rep}").random() < probability
+
+
+def cluster_sr(
+    ctx: NodeCtx,
+    scheme: SRScheme,
+    role: Role,
+    message: Any,
+    seed: Optional[int],
+    tag,
+    contention: int,
+    reps: int,
+    accept: Callable[[Any], bool],
+):
+    """``reps`` SR frames with cluster-level subsampling (Lemma 17).
+
+    Senders participate in repetition r only when their cluster's coin
+    (probability 1/contention) comes up; receivers listen every repetition
+    until a message passing ``accept`` arrives, then idle out.  Returns the
+    accepted message or None.
+    """
+    probability = 1.0 / max(1, contention)
+    received: Optional[Any] = None
+    for rep in range(reps):
+        if role is Role.SENDER and cluster_coin(seed, tag, rep, probability):
+            yield from scheme.communicate(ctx, Role.SENDER, message)
+        elif role is Role.RECEIVER and received is None:
+            candidate = yield from scheme.communicate(ctx, Role.RECEIVER)
+            if candidate is not None and accept(candidate):
+                received = candidate
+        else:
+            yield from scheme.idle_frames(1)
+    return received
+
+
+def _sweep(
+    ctx: NodeCtx,
+    scheme: SRScheme,
+    recv_position: int,
+    send_position: int,
+    positions: int,
+    value,
+    send_message: Callable[[Any], Any],
+    seed: Optional[int],
+    tag,
+    contention: int,
+    reps: int,
+    accept: Callable[[Any], bool],
+    transform: Callable[[Any], Any],
+):
+    """Shared engine for layered cluster casts: one cast is ``positions``
+    frames of ``reps`` SR repetitions; this vertex may receive at
+    ``recv_position`` and send at ``send_position`` (either may be out of
+    range, disabling it)."""
+    cursor = 0
+    for position in sorted({recv_position, send_position}):
+        if not 0 <= position < positions:
+            continue
+        if position > cursor:
+            yield from scheme.idle_frames((position - cursor) * reps)
+        if position == recv_position and value is None:
+            got = yield from cluster_sr(
+                ctx, scheme, Role.RECEIVER, None, seed,
+                (tag, position), contention, reps, accept,
+            )
+            if got is not None:
+                value = transform(got)
+        elif position == send_position and value is not None:
+            yield from cluster_sr(
+                ctx, scheme, Role.SENDER, send_message(value), seed,
+                (tag, position), contention, reps, accept,
+            )
+        else:
+            yield from scheme.idle_frames(reps)
+        cursor = position + 1
+    if positions > cursor:
+        yield from scheme.idle_frames((positions - cursor) * reps)
+    return value
+
+
+def cluster_down_cast(
+    ctx: NodeCtx,
+    scheme: SRScheme,
+    layer: int,
+    cid: int,
+    seed: int,
+    value,
+    max_layers: int,
+    contention: int,
+    reps: int,
+    tag,
+    transform: Callable[[Any], Any],
+):
+    """Downward transmission sweep: values flow layer i -> i+1 inside the
+    cluster identified by ``cid`` (messages from other clusters are
+    filtered out)."""
+
+    def accept(message) -> bool:
+        return message[0] == cid
+
+    return _sweep(
+        ctx, scheme,
+        recv_position=layer - 1,
+        send_position=layer,
+        positions=max_layers - 1,
+        value=value,
+        send_message=lambda val: (cid, val),
+        seed=seed, tag=("dc", tag), contention=contention, reps=reps,
+        accept=accept,
+        transform=lambda msg: transform(msg[1]),
+    )
+
+
+def cluster_up_cast(
+    ctx: NodeCtx,
+    scheme: SRScheme,
+    layer: int,
+    cid: int,
+    seed: int,
+    value,
+    max_layers: int,
+    contention: int,
+    reps: int,
+    tag,
+    transform: Callable[[Any], Any],
+):
+    """Upward transmission sweep: values flow layer i -> i-1 inside the
+    cluster (sweep positions run from the deepest layer toward 0)."""
+
+    def accept(message) -> bool:
+        return message[0] == cid
+
+    return _sweep(
+        ctx, scheme,
+        recv_position=(max_layers - 1) - (layer + 1),
+        send_position=(max_layers - 1) - layer if layer >= 1 else -1,
+        positions=max_layers - 1,
+        value=value,
+        send_message=lambda val: (cid, val),
+        seed=seed, tag=("uc", tag), contention=contention, reps=reps,
+        accept=accept,
+        transform=lambda msg: transform(msg[1]),
+    )
+
+
+def cluster_all_cast(
+    ctx: NodeCtx,
+    scheme: SRScheme,
+    role: Role,
+    message: Any,
+    seed: Optional[int],
+    contention: int,
+    reps: int,
+    tag,
+    accept: Callable[[Any], bool],
+):
+    """All-cast between clusters: one frame of ``reps`` repetitions."""
+    return cluster_sr(
+        ctx, scheme, role, message, seed, ("ac", tag), contention, reps, accept
+    )

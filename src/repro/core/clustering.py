@@ -1,0 +1,96 @@
+"""Iterative clustering via good labelings (Section 5).
+
+``refine_labeling`` is the paper's "Computing a New Labeling L' from L":
+each layer-0 vertex survives independently with probability p; the
+survivors' 0-labels wash over the graph through s rounds of
+(Down-cast, All-cast, Up-cast) plus a final Down-cast, giving every
+reached vertex a new label = its hop distance (through the cast schedule)
+to a surviving root; unreached vertices keep their old label.
+
+A layer-0 vertex remains layer-0 with probability at most
+p + (1-p)^{min(s+1, w)} + negligible, so O(log n) refinements with
+(p = 1/2, s = 1) leave a single cluster w.h.p. (Theorem 11), and
+(p = log^{-eps/2} n, s = log n) trades fewer iterations of cheaper energy
+(Theorem 12's CD accounting).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.casts import all_cast, down_cast, up_cast
+from repro.core.schemes import SRScheme
+from repro.sim.node import NodeCtx
+
+__all__ = ["refine_labeling", "refine_slots", "broadcast_on_labeling"]
+
+
+def _increment(message: int) -> int:
+    return message + 1
+
+
+def refine_labeling(
+    ctx: NodeCtx,
+    scheme: SRScheme,
+    label: int,
+    survive_p: float,
+    spread_s: int,
+    max_layers: int,
+    survive: Optional[bool] = None,
+):
+    """One refinement; returns this vertex's new label.
+
+    Every vertex must call this at the same slot with identical
+    (scheme, survive_p, spread_s, max_layers) for the frames to align.
+    ``survive`` overrides the survival coin (deterministic algorithms pass
+    ruling-set membership here, Appendix A.1).
+    """
+    new_label: Optional[int] = None
+    if label == 0:
+        survives = survive if survive is not None else (
+            ctx.rng.random() < survive_p
+        )
+        if survives:
+            new_label = 0
+    for _ in range(spread_s):
+        new_label = yield from down_cast(
+            ctx, scheme, label, new_label, max_layers, transform=_increment
+        )
+        new_label = yield from all_cast(ctx, scheme, new_label, transform=_increment)
+        new_label = yield from up_cast(
+            ctx, scheme, label, new_label, max_layers, transform=_increment
+        )
+    new_label = yield from down_cast(
+        ctx, scheme, label, new_label, max_layers, transform=_increment
+    )
+    return new_label if new_label is not None else label
+
+
+def refine_slots(scheme: SRScheme, spread_s: int, max_layers: int) -> int:
+    """Slots one refinement consumes (for schedule bookkeeping)."""
+    sweep = (max_layers - 1) * scheme.frame_length
+    return spread_s * (2 * sweep + scheme.frame_length) + sweep
+
+
+def broadcast_on_labeling(
+    ctx: NodeCtx,
+    scheme: SRScheme,
+    label: int,
+    value,
+    max_layers: int,
+    gl_diameter_bound: int,
+):
+    """Lemma 10: broadcast over an existing good labeling.
+
+    (1) Up-cast carries the message from the source to a layer-0 root;
+    (2) d rounds of (Down-cast, All-cast, Up-cast) pass it between
+    clusters; (3) a final Down-cast floods every cluster.  Returns the
+    vertex's final value (the payload, if delivery succeeded).
+    """
+    value = yield from up_cast(ctx, scheme, label, value, max_layers)
+    for _ in range(gl_diameter_bound):
+        value = yield from down_cast(ctx, scheme, label, value, max_layers)
+        value = yield from all_cast(ctx, scheme, value)
+        value = yield from up_cast(ctx, scheme, label, value, max_layers)
+    value = yield from down_cast(ctx, scheme, label, value, max_layers)
+    return value

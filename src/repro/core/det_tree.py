@@ -1,0 +1,244 @@
+"""Deterministic cluster-tree transmissions (Appendix A.3, Lemma 28).
+
+Clusters are rooted trees; every vertex knows its parent's ID.  Time is
+split into N intervals, one per ID:
+
+* Downward: in interval j only the vertex with ID j+1 may transmit; its
+  children (who know the parent ID) listen exactly there.  One slot per
+  interval, zero failure.
+* Upward: interval j is reserved for SR-communication between the vertex
+  with ID j+1 and its children; children of the same parent contend, so
+  the interval runs the deterministic Lemma 24 payload primitive — the
+  parent learns the minimum-ID child's message.  O(N) slots per interval
+  (the paper's min{M, N} factor with M >= N), O(log N) energy per
+  participant.
+
+``det_down_cast`` / ``det_up_cast`` sweep these grids over the layers of a
+good labeling with the usual two-positions-per-vertex scheduling, and
+``DetCDScheme`` adapts Lemma 24 to the SRScheme interface so the plain
+Lemma 10 casts work deterministically for the final broadcast.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.core.sr_comm import Role, det_frame_length, sr_det_cd_payload
+from repro.sim.actions import Idle, Listen, Send
+from repro.sim.feedback import is_message
+from repro.sim.node import NodeCtx
+
+__all__ = [
+    "det_downward",
+    "det_upward",
+    "det_down_cast",
+    "det_up_cast",
+    "DetCDScheme",
+    "downward_slots",
+    "upward_slots",
+]
+
+
+def downward_slots(id_space: int) -> int:
+    return id_space
+
+
+def upward_slots(id_space: int) -> int:
+    return id_space * (det_frame_length(id_space) + id_space)
+
+
+def det_downward(
+    ctx: NodeCtx,
+    parent_uid: Optional[int],
+    value: Optional[Any],
+    listening: bool,
+    id_space: int,
+):
+    """One Downward grid: parent -> children, zero failure.
+
+    A vertex holding ``value`` transmits at its own interval; a
+    ``listening`` vertex with a parent listens at the parent's interval.
+    Returns the received message or None.
+    """
+    send_slot = (ctx.uid - 1) if value is not None else None
+    listen_slot = (parent_uid - 1) if (listening and parent_uid is not None) else None
+    if listen_slot is not None and listen_slot == send_slot:
+        listen_slot = None  # cannot happen for distinct IDs; defensive
+    received: Optional[Any] = None
+    cursor = 0
+    for slot in sorted(
+        ({send_slot} if send_slot is not None else set())
+        | ({listen_slot} if listen_slot is not None else set())
+    ):
+        if slot > cursor:
+            yield Idle(slot - cursor)
+        if slot == send_slot:
+            yield Send(("dt", value))
+        else:
+            feedback = yield Listen()
+            if is_message(feedback) and feedback[0] == "dt":
+                received = feedback[1]
+        cursor = slot + 1
+    if id_space > cursor:
+        yield Idle(id_space - cursor)
+    return received
+
+
+def det_upward(
+    ctx: NodeCtx,
+    parent_uid: Optional[int],
+    value: Optional[Any],
+    listening: bool,
+    id_space: int,
+):
+    """One Upward grid: children -> parent via Lemma 24 per interval.
+
+    A vertex holding ``value`` acts as deterministic SR sender in its
+    parent's interval; a ``listening`` vertex receives in its own interval.
+    Returns (child_uid, message) or None.
+    """
+    frame = det_frame_length(id_space) + id_space
+    send_block = (parent_uid - 1) if (value is not None and parent_uid is not None) else None
+    listen_block = (ctx.uid - 1) if listening else None
+    received = None
+    cursor = 0
+    for block in sorted(
+        ({send_block} if send_block is not None else set())
+        | ({listen_block} if listen_block is not None else set())
+    ):
+        if block > cursor:
+            yield Idle((block - cursor) * frame)
+        if block == send_block:
+            yield from sr_det_cd_payload(
+                ctx, Role.SENDER, ctx.uid, value, id_space
+            )
+        else:
+            got = yield from sr_det_cd_payload(
+                ctx, Role.RECEIVER, None, None, id_space
+            )
+            if got is not None:
+                received = got
+        cursor = block + 1
+    if id_space > cursor:
+        yield Idle((id_space - cursor) * frame)
+    return received
+
+
+def _det_sweep(
+    ctx: NodeCtx,
+    recv_position: int,
+    send_position: int,
+    positions: int,
+    grid,
+    grid_len: int,
+    parent_uid,
+    value,
+    transform,
+    id_space: int,
+):
+    cursor = 0
+    for position in sorted({recv_position, send_position}):
+        if not 0 <= position < positions:
+            continue
+        if position > cursor:
+            yield Idle((position - cursor) * grid_len)
+        if position == recv_position and value is None:
+            got = yield from grid(ctx, parent_uid, None, True, id_space)
+            if got is not None:
+                value = transform(got)
+        elif position == send_position and value is not None:
+            yield from grid(ctx, parent_uid, value, False, id_space)
+        else:
+            yield Idle(grid_len)
+        cursor = position + 1
+    if positions > cursor:
+        yield Idle((positions - cursor) * grid_len)
+    return value
+
+
+def det_down_cast(
+    ctx: NodeCtx,
+    layer: int,
+    parent_uid,
+    value,
+    max_layers: int,
+    id_space: int,
+    transform: Callable[[Any], Any],
+):
+    """Layered Downward sweep along tree edges (deterministic)."""
+    return _det_sweep(
+        ctx,
+        recv_position=layer - 1,
+        send_position=layer,
+        positions=max_layers - 1,
+        grid=det_downward,
+        grid_len=downward_slots(id_space),
+        parent_uid=parent_uid,
+        value=value,
+        transform=transform,
+        id_space=id_space,
+    )
+
+
+def det_up_cast(
+    ctx: NodeCtx,
+    layer: int,
+    parent_uid,
+    value,
+    max_layers: int,
+    id_space: int,
+    transform: Callable[[Any], Any],
+):
+    """Layered Upward sweep along tree edges (deterministic).  The
+    transform receives (child_uid, message) pairs."""
+    return _det_sweep(
+        ctx,
+        recv_position=(max_layers - 1) - (layer + 1),
+        send_position=(max_layers - 1) - layer if layer >= 1 else -1,
+        positions=max_layers - 1,
+        grid=det_upward,
+        grid_len=upward_slots(id_space),
+        parent_uid=parent_uid,
+        value=value,
+        transform=transform,
+        id_space=id_space,
+    )
+
+
+class DetCDScheme:
+    """Duck-typed :class:`~repro.core.schemes.SRScheme` replacement that
+    runs Lemma 24's deterministic SR-communication, so the plain Lemma 10
+    casts (and broadcast_on_labeling) work in deterministic CD.
+
+    Receivers obtain (sender_uid, message); ``communicate`` unwraps to the
+    message for cast compatibility.
+    """
+
+    model_name = "det-CD"
+
+    def __init__(self, id_space: int) -> None:
+        self.id_space = id_space
+
+    @property
+    def frame_length(self) -> int:
+        return det_frame_length(self.id_space) + self.id_space
+
+    def communicate(self, ctx: NodeCtx, role: Role, message: Any = None, accept=None):
+        def run():
+            got = yield from sr_det_cd_payload(
+                ctx, role, ctx.uid if role is Role.SENDER else None,
+                message, self.id_space,
+            )
+            if got is None:
+                return None
+            payload = got[1]
+            if accept is not None and not accept(payload):
+                return None
+            return payload
+
+        return run()
+
+    def idle_frames(self, count: int):
+        slots = count * self.frame_length
+        if slots > 0:
+            yield Idle(slots)

@@ -1,0 +1,538 @@
+"""SR-communication: the paper's basic building block (Section 4).
+
+Given disjoint vertex sets S (senders) and R (receivers), every receiver
+with at least one S-neighbor should, with probability 1 - f, receive a
+message from some S-neighbor.  Three implementations:
+
+* :func:`sr_nocd` — Lemma 7: the decay protocol of Bar-Yehuda et al. [4].
+  Time and per-vertex energy O(log Delta log 1/f).
+* :func:`sr_cd` — Lemma 8: the generic transformation of a uniform
+  single-hop leader-election algorithm ([30]-style doubling + binary-search
+  controller).  Receiver energy O(log log Delta + log 1/f); senders
+  transmit at most twice per epoch.  Supports Remark 9's O(1) probe
+  opt-out and the "ack" variant for the S-has-one-R-neighbor special case.
+* :func:`sr_local` — trivial one-slot LOCAL variant.
+* :func:`sr_det_cd` — Lemma 24: deterministic CD binary search over the
+  message space; time O(min(M, N)), energy O(log min(M, N)).
+
+Every function is a generator meant to be driven with ``yield from`` inside
+a node protocol.  **Fixed-frame contract**: for fixed parameters, every
+vertex — sender, receiver, or bystander (role IDLE) — consumes *exactly*
+``frame_length`` slots, so concurrent invocations across the network stay
+slot-synchronized.  Early finishers pad with Idle.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from repro.sim.actions import Idle, Listen, Send
+from repro.sim.feedback import NOISE, SILENCE, is_message
+from repro.sim.node import NodeCtx
+from repro.util import ceil_log2
+
+__all__ = [
+    "Role",
+    "DecayParams",
+    "CDParams",
+    "sr_nocd",
+    "sr_cd",
+    "sr_local",
+    "sr_det_cd",
+    "det_frame_length",
+]
+
+_PROBE = ("sr-probe",)
+_ACK = ("sr-ack",)
+
+
+class Role(enum.Enum):
+    """A vertex's part in one SR-communication frame.
+
+    ``BOTH`` (sender and receiver simultaneously) is only meaningful for
+    the deterministic primitive, whose Lemma 24 statement allows S and R
+    to intersect.
+    """
+
+    SENDER = "sender"
+    RECEIVER = "receiver"
+    BOTH = "both"
+    IDLE = "idle"
+
+
+def _idle(slots: int):
+    """Yield one Idle covering ``slots`` slots (no-op when slots == 0)."""
+    if slots > 0:
+        yield Idle(slots)
+
+
+# ---------------------------------------------------------------------------
+# Lemma 7: No-CD decay
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class DecayParams:
+    """Frame geometry for :func:`sr_nocd`.
+
+    Attributes:
+        slots_per_phase: ceil(log2 Delta) + 2 decay slots.
+        phases: number of independent decay phases; each succeeds with
+            constant probability, so phases = O(log 1/f).
+    """
+
+    slots_per_phase: int
+    phases: int
+
+    @classmethod
+    def for_graph(cls, max_degree: int, failure: float) -> "DecayParams":
+        """Parameters achieving failure probability <= ``failure`` for any
+        receiver with between 1 and ``max_degree`` transmitting neighbors.
+
+        One decay phase with K = ceil(log2 Delta) + 2 slots delivers with
+        probability >= 1/4 for any contention level m <= Delta (standard
+        decay analysis), hence phases = ceil(log_{4/3}(1/f)) suffices; we
+        use the slightly conservative ceil(5 ln(1/f)).
+        """
+        if not 0 < failure < 1:
+            raise ValueError(f"failure must be in (0,1), got {failure}")
+        import math
+
+        slots = ceil_log2(max(2, max_degree)) + 2
+        phases = max(1, math.ceil(5.0 * math.log(1.0 / failure) / math.log(4.0)))
+        return cls(slots_per_phase=slots, phases=phases)
+
+    @property
+    def frame_length(self) -> int:
+        return self.slots_per_phase * self.phases
+
+
+def sr_nocd(
+    ctx: NodeCtx,
+    role: Role,
+    message: Any,
+    params: DecayParams,
+    accept=None,
+):
+    """One No-CD SR-communication frame (decay protocol, Lemma 7).
+
+    Senders run decay in every phase: transmit in the first slot of the
+    phase, keep transmitting with probability 1/2 per subsequent slot, then
+    stay silent.  Receivers listen to every slot until they hear a message
+    passing ``accept`` (default: any message), then idle out the rest of
+    the frame.  Returns the received message (receivers) or None.
+    """
+    slots, phases = params.slots_per_phase, params.phases
+    if role is Role.IDLE:
+        yield from _idle(params.frame_length)
+        return None
+    if role is Role.SENDER:
+        for _ in range(phases):
+            length = 1
+            while length < slots and ctx.rng.random() < 0.5:
+                length += 1
+            for _ in range(length):
+                yield Send(message)
+            yield from _idle(slots - length)
+        return None
+    # Receiver.
+    received: Optional[Any] = None
+    for phase in range(phases):
+        if received is not None:
+            yield from _idle(slots * (phases - phase))
+            break
+        for offset in range(slots):
+            feedback = yield Listen()
+            if is_message(feedback) and (accept is None or accept(feedback)):
+                received = feedback
+                yield from _idle(slots - offset - 1)
+                break
+    return received
+
+
+# ---------------------------------------------------------------------------
+# Lemma 8: CD generic transformation (uniform leader-election controller)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CDParams:
+    """Frame geometry for :func:`sr_cd`.
+
+    The frame is ``epochs`` epochs of ``slots_per_epoch`` decay-probability
+    slots (senders transmit in slot i with probability 2^-(i+1), at most
+    twice per epoch; the receiver listens at one controller-chosen slot),
+    optionally preceded by two Remark 9 probe slots and optionally followed
+    per-epoch by one ack slot (the Lemma 8 special case that lets senders
+    stop early).
+    """
+
+    slots_per_epoch: int
+    epochs: int
+    probe: bool = False
+    ack: bool = False
+
+    @classmethod
+    def for_graph(
+        cls,
+        max_degree: int,
+        failure: float,
+        probe: bool = False,
+        ack: bool = False,
+    ) -> "CDParams":
+        """Epochs = O(log log Delta + log 1/f): doubling plus binary search
+        over the O(log Delta) probability exponents takes 2 ceil(log2 K)
+        epochs, after which each epoch succeeds with probability >= 1/8."""
+        if not 0 < failure < 1:
+            raise ValueError(f"failure must be in (0,1), got {failure}")
+        import math
+
+        slots = ceil_log2(max(2, max_degree)) + 2
+        search = 2 * (ceil_log2(slots) + 1)
+        steady = max(1, math.ceil(18.0 * math.log(1.0 / failure) / math.log(4.0)))
+        return cls(
+            slots_per_epoch=slots,
+            epochs=search + steady,
+            probe=probe,
+            ack=ack,
+        )
+
+    @property
+    def epoch_length(self) -> int:
+        return self.slots_per_epoch + (1 if self.ack else 0)
+
+    @property
+    def frame_length(self) -> int:
+        return (2 if self.probe else 0) + self.epoch_length * self.epochs
+
+
+class _Controller:
+    """The uniform [30]-style listening controller.
+
+    Maintains which probability exponent k (1-based slot index) to listen
+    at: doubling until the channel stops being noisy, then binary search,
+    then alternate around the located contention level.  ``k`` depends only
+    on past feedback, matching the paper's uniformity requirement.
+    """
+
+    def __init__(self, max_k: int) -> None:
+        self.max_k = max_k
+        self.lo = 0  # highest k known (or assumed) noisy
+        self.hi: Optional[int] = None  # lowest k known silent
+        self._doubling = 1
+        self._flip = False
+
+    def next_k(self) -> int:
+        if self.hi is None:
+            return min(self._doubling, self.max_k)
+        if self.hi - self.lo > 1:
+            return (self.hi + self.lo) // 2
+        # Converged: alternate between the bracketing exponents.
+        self._flip = not self._flip
+        k = self.hi if self._flip else max(self.lo, 1)
+        return min(max(k, 1), self.max_k)
+
+    def observe(self, k: int, feedback: Any) -> None:
+        if feedback is NOISE:
+            self.lo = max(self.lo, k)
+            if self.hi is None:
+                if k >= self.max_k:
+                    self.hi = self.max_k  # cap: treat top as bracket
+                else:
+                    self._doubling = min(self._doubling * 2, self.max_k)
+            elif self.hi - self.lo <= 1:
+                pass  # steady state; keep alternating
+        elif feedback is SILENCE:
+            if self.hi is None or k < self.hi:
+                self.hi = k
+            if self.hi <= self.lo:
+                self.lo = max(0, self.hi - 1)
+
+
+def sr_cd(
+    ctx: NodeCtx,
+    role: Role,
+    message: Any,
+    params: CDParams,
+    accept=None,
+):
+    """One CD SR-communication frame (Lemma 8).
+
+    Returns the received message for receivers, else None.  With
+    ``params.probe`` (Remark 9), a sender with no listening neighbor and a
+    receiver with no sending neighbor detect this in the two probe slots
+    and spend O(1) energy.  With ``params.ack`` (the Lemma 8 special case),
+    receivers that already got a message transmit an ack at the end of each
+    epoch and their neighboring senders shut down.
+    """
+    total = params.frame_length
+    spent = 0
+
+    def idle_rest():
+        yield from _idle(total - spent)
+
+    if role is Role.IDLE:
+        yield from idle_rest()
+        return None
+
+    if params.probe:
+        # Probe slot 1: senders transmit, receivers listen.  In CD, any
+        # feedback other than silence proves a sender neighbor exists.
+        if role is Role.SENDER:
+            yield Send(_PROBE)
+            fb_r = None
+        else:
+            fb_r = yield Listen()
+        # Probe slot 2: receivers transmit, senders listen.
+        if role is Role.RECEIVER:
+            yield Send(_PROBE)
+        else:
+            fb_s = yield Listen()
+        spent += 2
+        if role is Role.RECEIVER and fb_r is SILENCE:
+            yield from idle_rest()
+            return None
+        if role is Role.SENDER and fb_s is SILENCE:
+            yield from idle_rest()
+            return None
+
+    slots = params.slots_per_epoch
+    if role is Role.SENDER:
+        for _ in range(params.epochs):
+            picks = [
+                i for i in range(slots) if ctx.rng.random() < 2.0 ** -(i + 1)
+            ][:2]
+            cursor = 0
+            for i in picks:
+                yield from _idle(i - cursor)
+                yield Send(message)
+                cursor = i + 1
+            yield from _idle(slots - cursor)
+            spent += slots
+            if params.ack:
+                feedback = yield Listen()
+                spent += 1
+                if feedback is not SILENCE:
+                    # Some neighboring receiver is satisfied; stop early.
+                    yield from idle_rest()
+                    return None
+        return None
+
+    # Receiver: one listening slot per epoch, controller-chosen.
+    controller = _Controller(max_k=slots)
+    received: Optional[Any] = None
+    for _ in range(params.epochs):
+        if received is None:
+            k = controller.next_k()  # 1-based exponent = slot index k-1
+            yield from _idle(k - 1)
+            feedback = yield Listen()
+            if is_message(feedback):
+                if accept is None or accept(feedback):
+                    received = feedback
+                # A rejected message still proves a lone transmitter; do
+                # not update the contention controller from it.
+            else:
+                controller.observe(k, feedback)
+            yield from _idle(slots - k)
+            spent += slots
+            if params.ack:
+                if received is not None:
+                    yield Send(_ACK)
+                else:
+                    yield from _idle(1)
+                spent += 1
+        else:
+            if params.ack:
+                # Stay on schedule but free of charge once satisfied
+                # (ack already sent in the epoch of reception).
+                yield from idle_rest()
+                break
+            yield from _idle(slots)
+            spent += slots
+    return received
+
+
+# ---------------------------------------------------------------------------
+# LOCAL: trivial one-slot variant
+# ---------------------------------------------------------------------------
+
+
+def sr_local(ctx: NodeCtx, role: Role, message: Any, slots: int = 1, accept=None):
+    """LOCAL-model SR-communication: no collisions, one slot.
+
+    Receivers get the tuple of all neighboring transmissions; we return the
+    first (lowest sender index) passing ``accept``, matching the "receive
+    one message" contract.
+    """
+    del ctx
+    if slots != 1:
+        raise ValueError("sr_local uses exactly one slot")
+    if role is Role.SENDER:
+        yield Send(message)
+        return None
+    if role is Role.RECEIVER:
+        feedback = yield Listen()
+        for msg in feedback:
+            if accept is None or accept(msg):
+                return msg
+        return None
+    yield Idle(1)
+    return None
+
+
+def sr_local_all(ctx: NodeCtx, role: Role, message: Any):
+    """LOCAL variant returning *all* messages heard (tuple), for protocols
+    that exploit collision-freeness (e.g. deterministic ruling sets)."""
+    del ctx
+    if role is Role.SENDER:
+        yield Send(message)
+        return ()
+    if role is Role.RECEIVER:
+        feedback = yield Listen()
+        return tuple(feedback)
+    yield Idle(1)
+    return ()
+
+
+# ---------------------------------------------------------------------------
+# Lemma 24: deterministic CD
+# ---------------------------------------------------------------------------
+
+
+def det_frame_length(space: int) -> int:
+    """Slot count of :func:`sr_det_cd` for message space {0..space-1}:
+    sum over bit positions x of 2^(x+1), i.e. 2*(2^ceil(log2 space) - 1),
+    plus one final slot block is unnecessary since the value *is* the
+    message."""
+    bits = max(1, ceil_log2(max(2, space)))
+    return 2 ** (bits + 1) - 2
+
+
+def sr_det_cd(ctx: NodeCtx, role: Role, value: Optional[int], space: int):
+    """Deterministic CD SR-communication of integer values (Lemma 24).
+
+    Senders hold ``value`` in {0..space-1}.  Receivers learn
+    f_v = min over values held by sending neighbors (and their own value,
+    for ``Role.BOTH``).  Protocol, per bit position x = 0..bits-1
+    (rounds of 2^(x+1) slots): a sender transmits at the slot indexed by
+    the (x+1)-bit prefix of its value; a receiver listens at the two
+    extensions p|0 and p|1 of its current prefix estimate p, skipping any
+    slot its own value already certifies.  In CD, non-silence at a slot
+    proves some neighbor holds that prefix, so receivers binary-search the
+    minimum bit by bit.
+
+    Returns the learned minimum (receivers/BOTH; None when no sender is
+    audible and the vertex holds no value) or None (pure senders).
+    Energy O(log space); time :func:`det_frame_length` (space) = O(space).
+    """
+    del ctx
+    bits = max(1, ceil_log2(max(2, space)))
+    total = det_frame_length(space)
+    if role is Role.IDLE:
+        yield from _idle(total)
+        return None
+
+    sending = role in (Role.SENDER, Role.BOTH)
+    listening = role in (Role.RECEIVER, Role.BOTH)
+    if sending and value is None:
+        raise ValueError("a sending vertex needs a value")
+    if value is not None and not 0 <= value < space:
+        raise ValueError(f"value {value} outside message space {space}")
+
+    prefix = 0
+    dead = False  # receiver's branch has no audible sender and no own value
+
+    for x in range(bits):
+        round_slots = 2 ** (x + 1)
+        shift = bits - x - 1
+        own_prefix = (value >> shift) if value is not None else None
+
+        events = []  # (slot, is_send)
+        cand0 = cand1 = None
+        if sending:
+            events.append((own_prefix, True))
+        if listening and not dead:
+            cand0, cand1 = 2 * prefix, 2 * prefix + 1
+            for cand in (cand0, cand1):
+                if cand != own_prefix:
+                    events.append((cand, False))
+
+        occupied = {}
+        cursor = 0
+        for slot, is_send in sorted(events):
+            yield from _idle(slot - cursor)
+            if is_send:
+                yield Send(("det", slot))
+            else:
+                feedback = yield Listen()
+                occupied[slot] = feedback is not SILENCE
+            cursor = slot + 1
+        yield from _idle(round_slots - cursor)
+
+        if listening and not dead:
+            occ0 = occupied.get(cand0, False) or own_prefix == cand0
+            occ1 = occupied.get(cand1, False) or own_prefix == cand1
+            if occ0:
+                prefix = cand0
+            elif occ1:
+                prefix = cand1
+            else:
+                dead = True
+
+    if not listening:
+        return None
+    if dead:
+        return value  # None when the vertex held nothing and heard nothing
+    if value is not None:
+        return min(prefix, value)
+    return prefix
+
+
+def sr_det_cd_payload(
+    ctx: NodeCtx,
+    role: Role,
+    uid: Optional[int],
+    payload: Any,
+    id_space: int,
+):
+    """Lemma 24's M > N case: deliver arbitrary payloads deterministically.
+
+    Phase 1 runs :func:`sr_det_cd` over the ID space so every receiver
+    learns the minimum sender ID among its neighbors; phase 2 allocates one
+    slot per ID, each sender transmits its payload at its own ID's slot
+    (collision-free because IDs are distinct), and each receiver listens at
+    the slot of the ID it learned.
+
+    ``uid`` is 1-based (paper IDs live in {1..N}).  Returns (sender_uid,
+    payload) for receivers that heard someone, else None.
+    """
+    sending = role in (Role.SENDER, Role.BOTH)
+    value = (uid - 1) if (uid is not None and sending) else None
+    learned = yield from sr_det_cd(
+        ctx, role, value, id_space
+    )
+    result = None
+    cursor = 0
+    if role in (Role.RECEIVER, Role.BOTH) and learned is not None:
+        yield from _idle(learned - cursor)
+        if sending and learned == value:
+            # Own payload is the minimum; nothing to hear.
+            yield Send(("payload", uid, payload))
+            result = (uid, payload)
+        else:
+            feedback = yield Listen()
+            if is_message(feedback) and feedback[0] == "payload":
+                result = (feedback[1], feedback[2])
+        cursor = learned + 1
+        if sending and learned != value:
+            yield from _idle(value - cursor)
+            yield Send(("payload", uid, payload))
+            cursor = value + 1
+    elif sending:
+        yield from _idle(value - cursor)
+        yield Send(("payload", uid, payload))
+        cursor = value + 1
+    yield from _idle(id_space - cursor)
+    return result

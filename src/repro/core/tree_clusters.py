@@ -1,0 +1,315 @@
+"""Colored tree-cluster transmissions (Section 7.1, Lemma 19).
+
+Section 7 upgrades the cluster machinery with c random (n^xi * Delta)-
+colorings.  A vertex's identifier is its color tuple
+ID(v) = (Color_1(v), ..., Color_c(v)); every child knows its designated
+parent's tuple.  ``Ind(u, v)`` is the smallest coloring index j such that
+no *other* neighbor of u shares the parent's color Color_j(v); it exists
+w.h.p. when c = O(1/xi), and it buys:
+
+* Downward transmission with zero failure probability: in the slot grid
+  (j, k), a vertex transmits at its own color slots and each child listens
+  at (Ind, parent color) — by definition of Ind, the parent is the only
+  audible transmitter there.
+* Upward transmission where only parent-child pairs contend (footnote 6):
+  the (j, k) block runs Lemma 8's SR-communication with the probe and ack
+  optimizations, so each block costs the sender O(log log Delta) energy in
+  expectation.
+
+Layered cast sweeps (tree_down_cast / tree_up_cast) then mirror Lemma 10's
+participation scheduling, one (j, k) grid per layer position.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Callable, Optional, Sequence, Tuple
+
+from repro.core.sr_comm import CDParams, Role, sr_cd
+from repro.sim.actions import Idle, Listen, Send
+from repro.sim.feedback import SILENCE, is_message
+from repro.sim.node import NodeCtx
+
+__all__ = [
+    "TreeParams",
+    "sample_colors",
+    "learn_ind",
+    "tree_downward",
+    "tree_upward",
+    "tree_down_cast",
+    "tree_up_cast",
+]
+
+
+@dataclass(frozen=True)
+class TreeParams:
+    """Shared constants of the Section 7 machinery.
+
+    Attributes:
+        num_colorings: the paper's c = O(1/xi).
+        num_colors: colors per coloring, the paper's n^xi * Delta.
+        sr: Lemma 8 parameters for the upward blocks (probe+ack on).
+    """
+
+    num_colorings: int
+    num_colors: int
+    sr: CDParams
+
+    @classmethod
+    def for_graph(
+        cls,
+        n: int,
+        max_degree: int,
+        xi: float = 0.5,
+        failure: float = 0.05,
+        num_colorings: Optional[int] = None,
+    ) -> "TreeParams":
+        if not 0 < xi <= 1:
+            raise ValueError(f"xi must be in (0,1], got {xi}")
+        c = num_colorings if num_colorings is not None else max(2, round(2.0 / xi))
+        colors = max(2, int(round(n**xi * max_degree)))
+        sr = CDParams.for_graph(max_degree, failure, probe=True, ack=True)
+        return cls(num_colorings=c, num_colors=colors, sr=sr)
+
+    @property
+    def downward_slots(self) -> int:
+        return self.num_colorings * self.num_colors
+
+    @property
+    def upward_slots(self) -> int:
+        return self.num_colorings * self.num_colors * self.sr.frame_length
+
+
+def sample_colors(rng: random.Random, params: TreeParams) -> Tuple[int, ...]:
+    """Draw this vertex's color tuple (its Section 7 identifier)."""
+    return tuple(
+        rng.randrange(params.num_colors) for _ in range(params.num_colorings)
+    )
+
+
+def learn_ind(
+    ctx: NodeCtx,
+    params: TreeParams,
+    my_colors: Sequence[int],
+    parent_colors: Optional[Sequence[int]],
+):
+    """Lemma 19: learn Ind(u, parent(u)) in O(c * num_colors) slots.
+
+    Every vertex transmits at its own color slot of every coloring; a
+    vertex with a parent listens at the parent's color slot (skipped when
+    it coincides with its own, which makes that coloring unusable).
+    Returns the smallest usable coloring index, or None.
+    """
+    ind: Optional[int] = None
+    for j in range(params.num_colorings):
+        own_k = my_colors[j]
+        listen_k = None
+        if parent_colors is not None and parent_colors[j] != own_k:
+            listen_k = parent_colors[j]
+        events = sorted({own_k} | ({listen_k} if listen_k is not None else set()))
+        cursor = 0
+        for k in events:
+            if k > cursor:
+                yield Idle(k - cursor)
+            if k == own_k:
+                yield Send(("ind", j, own_k))
+            else:
+                feedback = yield Listen()
+                if ind is None and is_message(feedback):
+                    ind = j
+            cursor = k + 1
+        if params.num_colors > cursor:
+            yield Idle(params.num_colors - cursor)
+    return ind
+
+
+def tree_downward(
+    ctx: NodeCtx,
+    params: TreeParams,
+    my_colors: Sequence[int],
+    parent_colors: Optional[Sequence[int]],
+    ind: Optional[int],
+    value: Optional[Any],
+    listening: bool,
+):
+    """One Downward-transmission grid: failure-free parent -> children.
+
+    A vertex holding ``value`` transmits it at its own color slot in every
+    coloring; a ``listening`` vertex tunes to (ind, parent color).
+    Returns the received message or None.
+    """
+    received: Optional[Any] = None
+    for j in range(params.num_colorings):
+        send_k = my_colors[j] if value is not None else None
+        listen_k = None
+        if (
+            listening
+            and ind == j
+            and parent_colors is not None
+            and received is None
+            and parent_colors[j] != send_k
+        ):
+            listen_k = parent_colors[j]
+        events = sorted(
+            ({send_k} if send_k is not None else set())
+            | ({listen_k} if listen_k is not None else set())
+        )
+        cursor = 0
+        for k in events:
+            if k > cursor:
+                yield Idle(k - cursor)
+            if k == send_k:
+                yield Send(value)
+            else:
+                feedback = yield Listen()
+                if is_message(feedback):
+                    received = feedback
+            cursor = k + 1
+        if params.num_colors > cursor:
+            yield Idle(params.num_colors - cursor)
+    return received
+
+
+def tree_upward(
+    ctx: NodeCtx,
+    params: TreeParams,
+    my_colors: Sequence[int],
+    parent_colors: Optional[Sequence[int]],
+    ind: Optional[int],
+    value: Optional[Any],
+    listening: bool,
+):
+    """One Upward-transmission grid: children -> parent via Lemma 8 blocks.
+
+    A vertex holding ``value`` acts as SR sender in the single block
+    (ind, parent color); a ``listening`` vertex acts as SR receiver in the
+    c blocks (j, own color).  Footnote 6 guarantees only parent-child
+    pairs meet inside a block; the probe and ack options keep bystander
+    energy O(1) per block.  Returns the received message or None.
+    """
+    frame = params.sr.frame_length
+    received: Optional[Any] = None
+    send_block = None
+    if value is not None and ind is not None and parent_colors is not None:
+        send_block = (ind, parent_colors[ind])
+    for j in range(params.num_colorings):
+        listen_k = my_colors[j] if listening else None
+        send_k = send_block[1] if (send_block is not None and send_block[0] == j) else None
+        blocks = sorted(
+            ({send_k} if send_k is not None else set())
+            | ({listen_k} if listen_k is not None else set())
+        )
+        cursor = 0
+        for k in blocks:
+            if k > cursor:
+                yield Idle((k - cursor) * frame)
+            if k == send_k and k == listen_k:
+                # Sending to the parent takes precedence; a vertex cannot
+                # simultaneously run both SR roles in one block.
+                yield from sr_cd(ctx, Role.SENDER, value, params.sr)
+            elif k == send_k:
+                yield from sr_cd(ctx, Role.SENDER, value, params.sr)
+            else:
+                got = yield from sr_cd(
+                    ctx,
+                    Role.RECEIVER if received is None else Role.IDLE,
+                    None,
+                    params.sr,
+                )
+                if got is not None:
+                    received = got
+            cursor = k + 1
+        if params.num_colors > cursor:
+            yield Idle((params.num_colors - cursor) * frame)
+    return received
+
+
+def _tree_sweep(
+    ctx: NodeCtx,
+    params: TreeParams,
+    recv_position: int,
+    send_position: int,
+    positions: int,
+    grid,
+    grid_slots: int,
+    value: Optional[Any],
+    transform: Callable[[Any], Any],
+    my_colors,
+    parent_colors,
+    ind,
+):
+    cursor = 0
+    for position in sorted({recv_position, send_position}):
+        if not 0 <= position < positions:
+            continue
+        if position > cursor:
+            yield Idle((position - cursor) * grid_slots)
+        if position == recv_position and value is None:
+            got = yield from grid(
+                ctx, params, my_colors, parent_colors, ind, None, True
+            )
+            if got is not None:
+                value = transform(got)
+        elif position == send_position and value is not None:
+            yield from grid(
+                ctx, params, my_colors, parent_colors, ind, value, False
+            )
+        else:
+            yield Idle(grid_slots)
+        cursor = position + 1
+    if positions > cursor:
+        yield Idle((positions - cursor) * grid_slots)
+    return value
+
+
+def tree_down_cast(
+    ctx: NodeCtx,
+    params: TreeParams,
+    layer: int,
+    value: Optional[Any],
+    max_layers: int,
+    my_colors,
+    parent_colors,
+    ind,
+    transform: Callable[[Any], Any],
+):
+    """Layered Downward sweep: frame i moves values layer i -> i+1 along
+    tree edges; every vertex is active in at most two positions."""
+    return _tree_sweep(
+        ctx, params,
+        recv_position=layer - 1,
+        send_position=layer,
+        positions=max_layers - 1,
+        grid=tree_downward,
+        grid_slots=params.downward_slots,
+        value=value,
+        transform=transform,
+        my_colors=my_colors, parent_colors=parent_colors, ind=ind,
+    )
+
+
+def tree_up_cast(
+    ctx: NodeCtx,
+    params: TreeParams,
+    layer: int,
+    value: Optional[Any],
+    max_layers: int,
+    my_colors,
+    parent_colors,
+    ind,
+    transform: Callable[[Any], Any],
+):
+    """Layered Upward sweep: frame i moves values layer i -> i-1 along
+    tree edges (deepest layer first)."""
+    return _tree_sweep(
+        ctx, params,
+        recv_position=(max_layers - 1) - (layer + 1),
+        send_position=(max_layers - 1) - layer if layer >= 1 else -1,
+        positions=max_layers - 1,
+        grid=tree_upward,
+        grid_slots=params.upward_slots,
+        value=value,
+        transform=transform,
+        my_colors=my_colors, parent_colors=parent_colors, ind=ind,
+    )

@@ -1,0 +1,141 @@
+"""Ablations for the design choices DESIGN.md calls out.
+
+* ABL.probe — Remark 9's probe slots: CD clustering broadcast with and
+  without probe opt-outs.  Probes should cut worst-vertex energy.
+* ABL.ps — the (p, s) refinement knobs of Section 5: Theorem 11's
+  (1/2, 1) versus Theorem 12-style (small p, large s); fewer, heavier
+  iterations should lower CD energy at some time cost.
+* ABL.beta — Partition(beta): measured edge-cut fraction and cluster
+  count versus beta (Lemma 14/15's knob).
+"""
+
+from __future__ import annotations
+
+import random
+import statistics
+from typing import Dict, List, Sequence, Tuple
+
+from repro.broadcast import (
+    ClusterBroadcastParams,
+    cluster_broadcast_protocol,
+    run_broadcast,
+    theorem11_params,
+    theorem12_params,
+)
+from repro.core.partition import (
+    PartitionParams,
+    partition_once,
+    partition_result_clusters,
+)
+from repro.core.schemes import SRScheme
+from repro.graphs import cycle_graph, random_gnp
+from repro.sim import CD, NO_CD, Knowledge, Simulator
+from repro.graphs.properties import diameter as graph_diameter
+
+__all__ = ["ablate_probe", "ablate_ps", "ablate_beta"]
+
+
+def ablate_probe(n: int = 12, seeds: Sequence[int] = (0, 1, 2)) -> Tuple[Dict, str]:
+    """CD clustering broadcast with and without Remark 9 probes."""
+    graph = random_gnp(n, 0.3, random.Random(n))
+    knowledge = Knowledge(
+        n=n, max_degree=graph.max_degree, diameter=graph_diameter(graph)
+    )
+    results = {}
+    for probe in (True, False):
+        base = theorem11_params(n, "CD", failure=0.02)
+        params = ClusterBroadcastParams(
+            model_name="CD", survive_p=base.survive_p, spread_s=base.spread_s,
+            iterations=base.iterations,
+            gl_diameter_bound=base.gl_diameter_bound,
+            failure=base.failure, probe=probe,
+        )
+        energy = []
+        for seed in seeds:
+            outcome = run_broadcast(
+                graph, CD, cluster_broadcast_protocol(params),
+                knowledge=knowledge, seed=seed,
+            )
+            energy.append(outcome.max_energy)
+        results["probe" if probe else "no-probe"] = statistics.median(energy)
+    text = (
+        "ABL.probe  Remark 9 probes (CD, Theorem 11 params)\n"
+        f"  with probes:    max energy {results['probe']:.0f}\n"
+        f"  without probes: max energy {results['no-probe']:.0f}"
+    )
+    return results, text
+
+
+def ablate_ps(n: int = 12, seeds: Sequence[int] = (0, 1)) -> Tuple[Dict, str]:
+    """(p, s) tradeoff: Theorem 11 vs Theorem 12 parameterizations in CD."""
+    graph = random_gnp(n, 0.3, random.Random(n))
+    knowledge = Knowledge(
+        n=n, max_degree=graph.max_degree, diameter=graph_diameter(graph)
+    )
+    settings = {
+        "thm11 (p=1/2, s=1)": theorem11_params(n, "CD", failure=0.02),
+        "thm12 (small p, s=log n)": theorem12_params(n, epsilon=0.5, failure=0.02),
+    }
+    results = {}
+    for name, params in settings.items():
+        energies, times = [], []
+        for seed in seeds:
+            outcome = run_broadcast(
+                graph, CD, cluster_broadcast_protocol(params),
+                knowledge=knowledge, seed=seed,
+            )
+            energies.append(outcome.max_energy)
+            times.append(outcome.duration)
+        results[name] = {
+            "energy": statistics.median(energies),
+            "time": statistics.median(times),
+            "iterations": params.iterations,
+            "spread_s": params.spread_s,
+        }
+    lines = ["ABL.ps  Section 5 refinement knobs (CD)"]
+    for name, row in results.items():
+        lines.append(
+            f"  {name}: iters={row['iterations']} s={row['spread_s']} "
+            f"energy={row['energy']:.0f} time={row['time']:.0f}"
+        )
+    return results, "\n".join(lines)
+
+
+def ablate_beta(
+    n: int = 40, betas: Sequence[float] = (0.15, 0.3, 0.6),
+    seeds: Sequence[int] = (0, 1, 2),
+) -> Tuple[List[Dict], str]:
+    """Partition(beta): edge-cut fraction and cluster count vs beta."""
+    graph = cycle_graph(n)
+    scheme = SRScheme("No-CD", 2, failure=0.02)
+    rows = []
+    for beta in betas:
+        params = PartitionParams(beta=beta, n=n, failure=0.02)
+
+        def proto(ctx):
+            out = yield from partition_once(ctx, scheme, params)
+            return out
+
+        cut_rates, counts = [], []
+        for seed in seeds:
+            outputs = Simulator(graph, NO_CD, seed=seed).run(proto).outputs
+            clusters = [c for c, _, _ in outputs]
+            cut = sum(
+                1 for u, v in graph.edges if clusters[u] != clusters[v]
+            )
+            cut_rates.append(cut / len(graph.edges))
+            counts.append(len(partition_result_clusters(outputs)[0]))
+        rows.append({
+            "beta": beta,
+            "edge_cut_rate": statistics.median(cut_rates),
+            "clusters": statistics.median(counts),
+            "lemma14_bound": 2 * beta,
+        })
+    lines = ["ABL.beta  Partition(beta) on a cycle (Lemma 14/15)"]
+    lines.append(f"{'beta':>5}  {'cut rate':>9}  {'2*beta':>7}  {'clusters':>8}")
+    for row in rows:
+        lines.append(
+            f"{row['beta']:>5.2f}  {row['edge_cut_rate']:>9.3f}  "
+            f"{row['lemma14_bound']:>7.2f}  {row['clusters']:>8.0f}"
+        )
+    return rows, "\n".join(lines)

@@ -1,0 +1,155 @@
+"""Experiment harness: seeded sweeps and ratio-to-bound tables.
+
+The paper's Table 1 is a matrix of asymptotic bounds.  Our reproduction
+methodology (DESIGN.md): for each row, sweep the workload size, measure
+time (slots) and worst-vertex energy, divide by the claimed bound, and
+check the ratio stays roughly flat — that is what "the shape holds" means
+at finite sizes.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.broadcast.base import BroadcastOutcome, run_broadcast
+from repro.graphs.graph import Graph
+from repro.graphs.properties import diameter as graph_diameter
+from repro.sim.models import ChannelModel
+from repro.sim.node import Knowledge
+
+__all__ = ["SweepPoint", "sweep", "format_table", "geometric_sizes"]
+
+
+@dataclass
+class SweepPoint:
+    """Aggregated measurements at one workload size."""
+
+    label: str
+    n: int
+    max_degree: int
+    diameter: int
+    seeds: int
+    delivered: int
+    time_median: float
+    max_energy_median: float
+    mean_energy_median: float
+    extras: Dict[str, float] = field(default_factory=dict)
+
+    def ratio(self, bound: float) -> float:
+        """Measured worst-vertex energy divided by a claimed bound."""
+        return self.max_energy_median / max(bound, 1e-9)
+
+    def time_ratio(self, bound: float) -> float:
+        return self.time_median / max(bound, 1e-9)
+
+
+def sweep(
+    label: str,
+    graph_factory: Callable[[int], Graph],
+    sizes: Sequence[int],
+    protocol_builder: Callable[[Graph], Callable],
+    model: ChannelModel,
+    seeds: Sequence[int] = (0, 1, 2),
+    source: int = 0,
+    id_space_from_n: bool = False,
+    extra_metrics: Optional[Callable[[BroadcastOutcome], Dict[str, float]]] = None,
+    record_trace: bool = False,
+) -> List[SweepPoint]:
+    """Run ``protocol_builder(graph)`` on every size and seed; aggregate."""
+    points: List[SweepPoint] = []
+    for size in sizes:
+        graph = graph_factory(size)
+        d = graph_diameter(graph)
+        knowledge = Knowledge(
+            n=graph.n,
+            max_degree=max(graph.max_degree, 1),
+            diameter=d,
+            id_space=graph.n if id_space_from_n else None,
+        )
+        times, max_energies, mean_energies = [], [], []
+        delivered = 0
+        extras_acc: Dict[str, List[float]] = {}
+        for seed in seeds:
+            outcome = run_broadcast(
+                graph,
+                model,
+                protocol_builder(graph),
+                source=source,
+                knowledge=knowledge,
+                seed=seed,
+                record_trace=record_trace,
+            )
+            delivered += int(outcome.delivered)
+            times.append(outcome.duration)
+            max_energies.append(outcome.max_energy)
+            mean_energies.append(outcome.mean_energy)
+            if extra_metrics is not None:
+                for key, value in extra_metrics(outcome).items():
+                    extras_acc.setdefault(key, []).append(value)
+        points.append(
+            SweepPoint(
+                label=label,
+                n=graph.n,
+                max_degree=graph.max_degree,
+                diameter=d,
+                seeds=len(seeds),
+                delivered=delivered,
+                time_median=statistics.median(times),
+                max_energy_median=statistics.median(max_energies),
+                mean_energy_median=statistics.median(mean_energies),
+                extras={
+                    key: statistics.median(values)
+                    for key, values in extras_acc.items()
+                },
+            )
+        )
+    return points
+
+
+def geometric_sizes(start: int, factor: int, count: int) -> List[int]:
+    sizes = []
+    size = start
+    for _ in range(count):
+        sizes.append(size)
+        size *= factor
+    return sizes
+
+
+def format_table(
+    title: str,
+    points: Sequence[SweepPoint],
+    columns: Sequence[str] = (
+        "n", "max_degree", "diameter", "delivered",
+        "time_median", "max_energy_median",
+    ),
+    bounds: Optional[Dict[str, Callable[[SweepPoint], float]]] = None,
+) -> str:
+    """Render a sweep as a fixed-width text table with optional
+    measured/bound ratio columns (the flat-ratio check)."""
+    bounds = bounds or {}
+    headers = list(columns) + [f"{name} ratio" for name in bounds]
+    rows = []
+    for point in points:
+        row = []
+        for column in columns:
+            value = getattr(point, column, None)
+            if value is None:
+                value = point.extras.get(column, "")
+            if isinstance(value, float):
+                value = f"{value:.1f}"
+            row.append(str(value))
+        for name, bound_fn in bounds.items():
+            row.append(f"{point.max_energy_median / max(bound_fn(point), 1e-9):.2f}")
+        rows.append(row)
+    widths = [
+        max(len(headers[i]), max((len(r[i]) for r in rows), default=0))
+        for i in range(len(headers))
+    ]
+    lines = [title]
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(row[i].ljust(widths[i]) for i in range(len(row))))
+    return "\n".join(lines)

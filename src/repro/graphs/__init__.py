@@ -1,0 +1,47 @@
+"""Graph substrate: immutable graphs, generators, and measurements."""
+
+from repro.graphs.graph import Graph
+from repro.graphs.properties import (
+    bfs_distances,
+    bfs_layers,
+    diameter,
+    distance,
+    eccentricity,
+    is_connected,
+)
+from repro.graphs.topologies import (
+    binary_tree,
+    caterpillar,
+    clique,
+    cycle_graph,
+    grid_graph,
+    k2k_gadget,
+    lollipop,
+    path_graph,
+    random_gnp,
+    random_regular,
+    random_tree,
+    star_graph,
+)
+
+__all__ = [
+    "Graph",
+    "bfs_distances",
+    "bfs_layers",
+    "diameter",
+    "distance",
+    "eccentricity",
+    "is_connected",
+    "binary_tree",
+    "caterpillar",
+    "clique",
+    "cycle_graph",
+    "grid_graph",
+    "k2k_gadget",
+    "lollipop",
+    "path_graph",
+    "random_gnp",
+    "random_regular",
+    "random_tree",
+    "star_graph",
+]

@@ -1,0 +1,76 @@
+"""Lightweight undirected graph used by the simulator.
+
+Vertices are integers ``0..n-1``.  The structure is immutable after
+construction; adjacency lists are sorted tuples so channel resolution and
+LOCAL-model message ordering are deterministic.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, Tuple
+
+__all__ = ["Graph"]
+
+
+class Graph:
+    """An immutable simple undirected graph on vertices ``0..n-1``."""
+
+    __slots__ = ("_n", "_adj", "_edges")
+
+    def __init__(self, n: int, edges: Iterable[Tuple[int, int]]) -> None:
+        if n < 1:
+            raise ValueError(f"graph needs at least one vertex, got n={n}")
+        adj = [set() for _ in range(n)]
+        edge_set = set()
+        for u, v in edges:
+            if not (0 <= u < n and 0 <= v < n):
+                raise ValueError(f"edge ({u}, {v}) out of range for n={n}")
+            if u == v:
+                raise ValueError(f"self-loop at vertex {u} is not allowed")
+            a, b = (u, v) if u < v else (v, u)
+            if (a, b) in edge_set:
+                continue
+            edge_set.add((a, b))
+            adj[u].add(v)
+            adj[v].add(u)
+        self._n = n
+        self._adj = tuple(tuple(sorted(s)) for s in adj)
+        self._edges = tuple(sorted(edge_set))
+
+    @property
+    def n(self) -> int:
+        """Number of vertices."""
+        return self._n
+
+    @property
+    def edges(self) -> Tuple[Tuple[int, int], ...]:
+        """Sorted tuple of edges (u, v) with u < v."""
+        return self._edges
+
+    def neighbors(self, v: int) -> Tuple[int, ...]:
+        """Sorted neighbors of ``v``."""
+        return self._adj[v]
+
+    def degree(self, v: int) -> int:
+        return len(self._adj[v])
+
+    @property
+    def max_degree(self) -> int:
+        """The paper's Delta."""
+        return max(len(a) for a in self._adj)
+
+    def has_edge(self, u: int, v: int) -> bool:
+        return v in self._adj[u] if len(self._adj[u]) < 8 else self._bsearch(u, v)
+
+    def _bsearch(self, u: int, v: int) -> bool:
+        import bisect
+
+        a = self._adj[u]
+        i = bisect.bisect_left(a, v)
+        return i < len(a) and a[i] == v
+
+    def __len__(self) -> int:
+        return self._n
+
+    def __repr__(self) -> str:
+        return f"Graph(n={self._n}, m={len(self._edges)})"

@@ -1,0 +1,176 @@
+"""Topology generators for the paper's workloads.
+
+Covers every graph family the paper's proofs and algorithms reference:
+paths (Theorem 1, Section 8), cliques / single-hop networks (Section 1.1),
+the K_{2,k} lower-bound gadget (Theorem 2), plus the standard families used
+to exercise multi-hop broadcast (grids, cycles, random graphs, trees,
+bounded-degree expanders via random regular graphs).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Tuple
+
+from repro.graphs.graph import Graph
+
+__all__ = [
+    "path_graph",
+    "cycle_graph",
+    "clique",
+    "star_graph",
+    "k2k_gadget",
+    "grid_graph",
+    "random_gnp",
+    "random_tree",
+    "random_regular",
+    "caterpillar",
+    "lollipop",
+    "binary_tree",
+]
+
+
+def path_graph(n: int) -> Graph:
+    """Path v_0 - v_1 - ... - v_{n-1} (paper's hard instance for Theorem 1)."""
+    return Graph(n, [(i, i + 1) for i in range(n - 1)])
+
+
+def cycle_graph(n: int) -> Graph:
+    """Cycle on n >= 3 vertices; diameter floor(n/2)."""
+    if n < 3:
+        raise ValueError("cycle needs n >= 3")
+    return Graph(n, [(i, (i + 1) % n) for i in range(n)])
+
+
+def clique(n: int) -> Graph:
+    """Single-hop network: every pair of devices is adjacent."""
+    return Graph(n, [(i, j) for i in range(n) for j in range(i + 1, n)])
+
+
+def star_graph(n: int) -> Graph:
+    """Star with center 0 and n-1 leaves."""
+    if n < 2:
+        raise ValueError("star needs n >= 2")
+    return Graph(n, [(0, i) for i in range(1, n)])
+
+
+def k2k_gadget(k: int) -> Tuple[Graph, int, int]:
+    """The K_{2,k} gadget of Theorem 2.
+
+    Vertices: s=0, t=1, middle vertices 2..k+1; s and t are each adjacent to
+    every middle vertex (and not to each other).
+
+    Returns:
+        (graph, s, t) with s the broadcast source.
+    """
+    if k < 1:
+        raise ValueError("K_{2,k} needs k >= 1")
+    edges = [(0, i) for i in range(2, k + 2)] + [(1, i) for i in range(2, k + 2)]
+    return Graph(k + 2, edges), 0, 1
+
+
+def grid_graph(rows: int, cols: int) -> Graph:
+    """rows x cols 4-neighbor grid; max degree 4, diameter rows+cols-2."""
+    if rows < 1 or cols < 1:
+        raise ValueError("grid needs rows, cols >= 1")
+
+    def vid(r: int, c: int) -> int:
+        return r * cols + c
+
+    edges = []
+    for r in range(rows):
+        for c in range(cols):
+            if c + 1 < cols:
+                edges.append((vid(r, c), vid(r, c + 1)))
+            if r + 1 < rows:
+                edges.append((vid(r, c), vid(r + 1, c)))
+    return Graph(rows * cols, edges)
+
+
+def random_tree(n: int, rng: Optional[random.Random] = None) -> Graph:
+    """Uniform random recursive tree (connected, n-1 edges)."""
+    rng = rng or random.Random(0)
+    edges = [(rng.randrange(i), i) for i in range(1, n)]
+    return Graph(n, edges)
+
+
+def random_gnp(
+    n: int, p: float, rng: Optional[random.Random] = None, ensure_connected: bool = True
+) -> Graph:
+    """Erdos-Renyi G(n, p); optionally patched to be connected via a
+    random recursive tree backbone (broadcast requires connectivity)."""
+    rng = rng or random.Random(0)
+    edges: List[Tuple[int, int]] = []
+    for i in range(n):
+        for j in range(i + 1, n):
+            if rng.random() < p:
+                edges.append((i, j))
+    if ensure_connected:
+        edges.extend((rng.randrange(i), i) for i in range(1, n))
+    return Graph(n, edges)
+
+
+def random_regular(n: int, d: int, rng: Optional[random.Random] = None) -> Graph:
+    """Random d-regular-ish graph via the configuration model with retries.
+
+    Self-loops and multi-edges are discarded, so a few vertices may end up
+    with degree slightly below d; connectivity is patched with a path
+    backbone only if needed.  Good enough as a bounded-degree expander-like
+    workload.
+    """
+    if n * d % 2 != 0:
+        raise ValueError("n*d must be even")
+    rng = rng or random.Random(0)
+    stubs = [v for v in range(n) for _ in range(d)]
+    for _ in range(50):
+        rng.shuffle(stubs)
+        pairs = {
+            (min(a, b), max(a, b))
+            for a, b in zip(stubs[::2], stubs[1::2])
+            if a != b
+        }
+        graph = Graph(n, pairs)
+        from repro.graphs.properties import is_connected
+
+        if is_connected(graph):
+            return graph
+    # Fall back: add a path backbone to guarantee connectivity.
+    edges = set(pairs)
+    edges.update((i, i + 1) for i in range(n - 1))
+    return Graph(n, edges)
+
+
+def caterpillar(spine: int, legs: int) -> Graph:
+    """Path of length ``spine`` with ``legs`` pendant vertices per spine node.
+
+    High-Delta, high-D workload that stresses both cost sources the paper
+    identifies (synchronization and local contention).
+    """
+    edges = [(i, i + 1) for i in range(spine - 1)]
+    nxt = spine
+    for s in range(spine):
+        for _ in range(legs):
+            edges.append((s, nxt))
+            nxt += 1
+    return Graph(spine * (legs + 1), edges)
+
+
+def lollipop(clique_size: int, tail: int) -> Graph:
+    """Clique with a path tail: small D inside, long D outside."""
+    edges = [(i, j) for i in range(clique_size) for j in range(i + 1, clique_size)]
+    prev = 0
+    nxt = clique_size
+    for _ in range(tail):
+        edges.append((prev, nxt))
+        prev = nxt
+        nxt += 1
+    return Graph(clique_size + tail, edges)
+
+
+def binary_tree(depth: int) -> Graph:
+    """Complete binary tree of the given depth (root = 0)."""
+    n = 2 ** (depth + 1) - 1
+    edges = []
+    for v in range(1, n):
+        edges.append(((v - 1) // 2, v))
+    return Graph(n, edges)

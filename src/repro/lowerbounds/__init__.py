@@ -1,0 +1,11 @@
+"""Executable lower-bound harnesses (Section 2)."""
+
+from repro.lowerbounds.path_lb import PreReceptionEnergy, energy_before_reception
+from repro.lowerbounds.reduction import ReductionReport, derive_leader_election
+
+__all__ = [
+    "PreReceptionEnergy",
+    "energy_before_reception",
+    "ReductionReport",
+    "derive_leader_election",
+]

@@ -1,0 +1,49 @@
+"""Slot-synchronous radio-network simulator with energy accounting."""
+
+from repro.sim.actions import Idle, Listen, Send, SendListen
+from repro.sim.energy import EnergyMeter, EnergyReport
+from repro.sim.engine import ProtocolError, Simulator, SimResult, SimulationTimeout
+from repro.sim.feedback import BEEP, NOISE, SILENCE, is_message
+from repro.sim.models import (
+    BEEPING,
+    CD,
+    CD_FD,
+    CD_STAR,
+    LOCAL,
+    MODELS,
+    NO_CD,
+    NO_CD_FD,
+    ChannelModel,
+)
+from repro.sim.node import Knowledge, NodeCtx
+from repro.sim.trace import Trace, TraceEvent
+
+__all__ = [
+    "Idle",
+    "Listen",
+    "Send",
+    "SendListen",
+    "EnergyMeter",
+    "EnergyReport",
+    "ProtocolError",
+    "Simulator",
+    "SimResult",
+    "SimulationTimeout",
+    "BEEP",
+    "NOISE",
+    "SILENCE",
+    "is_message",
+    "BEEPING",
+    "CD",
+    "CD_FD",
+    "CD_STAR",
+    "NO_CD_FD",
+    "LOCAL",
+    "MODELS",
+    "NO_CD",
+    "ChannelModel",
+    "Knowledge",
+    "NodeCtx",
+    "Trace",
+    "TraceEvent",
+]

@@ -1,0 +1,62 @@
+"""Per-slot device actions.
+
+The paper's model (Section 1, "The Model") gives each device three choices
+per time slot: send a message, listen, or remain idle.  Sending and
+listening cost one unit of energy; idling is free.  We add a fourth action,
+:class:`SendListen`, for the full-duplex variants the paper uses in its
+lower-bound reductions (Theorem 2) and in the path algorithm (Section 8,
+"full duplex LOCAL model").
+
+Protocols are generators that ``yield`` one action per step and receive the
+channel feedback for that action via ``generator.send``.  ``Idle`` may span
+many slots so that sleeping devices cost the simulator O(1) work, mirroring
+the model's "idle time is free".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+__all__ = ["Send", "Listen", "SendListen", "Idle", "Action"]
+
+
+@dataclass(frozen=True)
+class Send:
+    """Transmit ``message`` this slot.  Costs 1 energy.  Feedback: ``None``."""
+
+    message: Any
+
+
+@dataclass(frozen=True)
+class Listen:
+    """Listen this slot.  Costs 1 energy.
+
+    Feedback depends on the collision model; see :mod:`repro.sim.models`.
+    """
+
+
+@dataclass(frozen=True)
+class SendListen:
+    """Transmit ``message`` and listen in the same slot (full duplex).
+
+    Costs 1 energy (one slot of transceiver usage).  Only legal in models
+    whose :attr:`~repro.sim.models.ChannelModel.full_duplex` flag is set.
+    The sender does not hear its own transmission.
+    """
+
+    message: Any
+
+
+@dataclass(frozen=True)
+class Idle:
+    """Sleep for ``duration`` consecutive slots.  Free.  Feedback: ``None``."""
+
+    duration: int = 1
+
+    def __post_init__(self) -> None:
+        if self.duration < 1:
+            raise ValueError(f"Idle duration must be >= 1, got {self.duration}")
+
+
+Action = (Send, Listen, SendListen, Idle)

@@ -1,0 +1,60 @@
+"""Per-device energy accounting.
+
+The paper defines energy complexity as the number of time slots a device
+transmits or listens (Abstract; Section 1).  :class:`EnergyMeter` counts
+those slots, split by kind so experiments can report send vs. listen
+breakdowns, and records the device's last active slot for latency studies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["EnergyMeter", "EnergyReport"]
+
+
+@dataclass
+class EnergyMeter:
+    """Mutable per-node counter updated by the engine."""
+
+    sends: int = 0
+    listens: int = 0
+    duplex: int = 0
+    last_active_slot: int = -1
+
+    @property
+    def total(self) -> int:
+        """Total energy: one unit per slot spent sending and/or listening."""
+        return self.sends + self.listens + self.duplex
+
+    def charge_send(self, slot: int) -> None:
+        self.sends += 1
+        self.last_active_slot = slot
+
+    def charge_listen(self, slot: int) -> None:
+        self.listens += 1
+        self.last_active_slot = slot
+
+    def charge_duplex(self, slot: int) -> None:
+        self.duplex += 1
+        self.last_active_slot = slot
+
+    def snapshot(self) -> "EnergyReport":
+        return EnergyReport(
+            sends=self.sends,
+            listens=self.listens,
+            duplex=self.duplex,
+            total=self.total,
+            last_active_slot=self.last_active_slot,
+        )
+
+
+@dataclass(frozen=True)
+class EnergyReport:
+    """Immutable snapshot of a node's energy usage at the end of a run."""
+
+    sends: int
+    listens: int
+    duplex: int
+    total: int
+    last_active_slot: int = field(default=-1)

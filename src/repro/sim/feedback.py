@@ -1,0 +1,60 @@
+"""Channel feedback values.
+
+A listener receives one of:
+
+* a message object (exactly one neighbor transmitted, or the model picked
+  one for CD*),
+* :data:`SILENCE` — the paper's lambda_S,
+* :data:`NOISE` — the paper's lambda_N (CD model only),
+* :data:`BEEP` — the beeping model's "someone beeped" indicator,
+* a tuple of messages — LOCAL model, which has no collisions and delivers
+  every transmitted message.
+
+``SILENCE``/``NOISE``/``BEEP`` are singleton sentinels so protocols can use
+identity checks (``fb is SILENCE``).
+"""
+
+from __future__ import annotations
+
+__all__ = ["SILENCE", "NOISE", "BEEP", "is_message"]
+
+
+class _Sentinel:
+    """A named singleton used for channel feedback."""
+
+    __slots__ = ("_name",)
+
+    def __init__(self, name: str) -> None:
+        self._name = name
+
+    def __repr__(self) -> str:
+        return self._name
+
+    def __reduce__(self):
+        # Preserve singleton identity across pickling.
+        return (_lookup, (self._name,))
+
+
+SILENCE = _Sentinel("SILENCE")
+NOISE = _Sentinel("NOISE")
+BEEP = _Sentinel("BEEP")
+
+_BY_NAME = {"SILENCE": SILENCE, "NOISE": NOISE, "BEEP": BEEP}
+
+
+def _lookup(name: str) -> _Sentinel:
+    return _BY_NAME[name]
+
+
+def is_message(feedback: object) -> bool:
+    """Return True if ``feedback`` is an actual received message.
+
+    LOCAL-model tuples count as a message exactly when they are non-empty.
+    """
+    if feedback is SILENCE or feedback is NOISE or feedback is BEEP:
+        return False
+    if feedback is None:
+        return False
+    if isinstance(feedback, tuple) and not feedback:
+        return False
+    return True

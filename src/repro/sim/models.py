@@ -1,0 +1,147 @@
+"""Collision models: LOCAL, CD, No-CD, CD*, BEEP — plus fault injection.
+
+Each model resolves what a listener hears given the multiset of messages
+transmitted by its neighbors in a slot (paper Section 1, "The Model";
+CD* is defined in Section 6.3; the beeping model in [8]).
+:class:`LossyModel` wraps any model with i.i.d. per-transmission erasure,
+for robustness experiments (the paper's algorithms tolerate per-frame
+failure probability f; erasures stress exactly that budget).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Sequence
+
+from repro.sim.feedback import BEEP, NOISE, SILENCE
+
+__all__ = [
+    "ChannelModel",
+    "LOCAL",
+    "CD",
+    "NO_CD",
+    "CD_STAR",
+    "BEEPING",
+    "MODELS",
+    "LossyModel",
+]
+
+
+class ChannelModel:
+    """A named collision-resolution rule.
+
+    Attributes:
+        name: Human-readable model name as used in the paper.
+        full_duplex: Whether :class:`~repro.sim.actions.SendListen` is legal.
+            The paper's LOCAL model permits full duplex (Section 8); the
+            single-hop networks of Theorem 2's reduction do too.
+    """
+
+    __slots__ = ("name", "full_duplex")
+
+    def __init__(self, name: str, full_duplex: bool = False) -> None:
+        self.name = name
+        self.full_duplex = full_duplex
+
+    def resolve(self, transmissions: Sequence[Any]) -> Any:
+        """Return what a listener hears.
+
+        Args:
+            transmissions: messages sent by the listener's transmitting
+                neighbors this slot, ordered by sender index (ascending).
+        """
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"ChannelModel({self.name})"
+
+
+class _LocalModel(ChannelModel):
+    """No collisions: every listener hears every neighboring transmission."""
+
+    def resolve(self, transmissions: Sequence[Any]) -> Any:
+        return tuple(transmissions)
+
+
+class _CDModel(ChannelModel):
+    """Collision detection: 0 -> silence, 1 -> message, >=2 -> noise."""
+
+    def resolve(self, transmissions: Sequence[Any]) -> Any:
+        if not transmissions:
+            return SILENCE
+        if len(transmissions) == 1:
+            return transmissions[0]
+        return NOISE
+
+
+class _NoCDModel(ChannelModel):
+    """No collision detection: 0 or >=2 -> silence, 1 -> message."""
+
+    def resolve(self, transmissions: Sequence[Any]) -> Any:
+        if len(transmissions) == 1:
+            return transmissions[0]
+        return SILENCE
+
+
+class _CDStarModel(ChannelModel):
+    """CD*: on any contention the listener receives one arbitrary message.
+
+    We deterministically pick the message of the lowest-index transmitting
+    neighbor (a legal adversarial choice, reproducible across runs).
+    """
+
+    def resolve(self, transmissions: Sequence[Any]) -> Any:
+        if not transmissions:
+            return SILENCE
+        return transmissions[0]
+
+
+class _BeepModel(ChannelModel):
+    """Beeping model [8]: listeners only learn whether anyone transmitted."""
+
+    def resolve(self, transmissions: Sequence[Any]) -> Any:
+        return BEEP if transmissions else SILENCE
+
+
+LOCAL = _LocalModel("LOCAL", full_duplex=True)
+CD = _CDModel("CD")
+NO_CD = _NoCDModel("No-CD")
+CD_STAR = _CDStarModel("CD*")
+BEEPING = _BeepModel("BEEP")
+
+class LossyModel(ChannelModel):
+    """Erasure-channel wrapper: each incoming transmission is dropped
+    independently with probability ``loss_rate`` *before* the inner model
+    resolves collisions.  A dropped transmission neither delivers nor
+    collides (deep fade), so CD listeners may hear spurious silence or a
+    message despite contention — the harshest fault mode for the paper's
+    detection-based protocols.
+    """
+
+    __slots__ = ("inner", "loss_rate", "_rng")
+
+    def __init__(self, inner: ChannelModel, loss_rate: float, seed: int = 0) -> None:
+        if not 0 <= loss_rate < 1:
+            raise ValueError(f"loss_rate must be in [0,1), got {loss_rate}")
+        super().__init__(f"lossy({inner.name},{loss_rate})", inner.full_duplex)
+        self.inner = inner
+        self.loss_rate = loss_rate
+        self._rng = random.Random(seed)
+
+    def resolve(self, transmissions: Sequence[Any]) -> Any:
+        surviving = [
+            message
+            for message in transmissions
+            if self._rng.random() >= self.loss_rate
+        ]
+        return self.inner.resolve(surviving)
+
+
+# Full-duplex variants used by the paper's single-hop settings: Theorem 2's
+# reduction explicitly allows devices to "send and listen simultaneously
+# (the full duplex model)", and the uniform leader-election substrate of
+# [30] assumes every station observes the channel status.
+CD_FD = _CDModel("CD-FD", full_duplex=True)
+NO_CD_FD = _NoCDModel("No-CD-FD", full_duplex=True)
+
+MODELS = {m.name: m for m in (LOCAL, CD, NO_CD, CD_STAR, BEEPING, CD_FD, NO_CD_FD)}

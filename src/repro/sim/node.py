@@ -1,0 +1,78 @@
+"""Per-node context handed to protocol generators.
+
+A protocol is a generator function ``proto(ctx)`` that yields
+:mod:`repro.sim.actions` actions and receives channel feedback through
+``generator.send``.  ``NodeCtx`` carries everything the paper allows a
+device to know (Section 1, "The Model"): the global parameters n, Delta, D,
+the ID space N and the device's own ID (deterministic variants), private
+randomness, and per-node problem inputs (e.g. "you are the broadcast
+source").  It deliberately does *not* expose the topology.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+__all__ = ["Knowledge", "NodeCtx"]
+
+
+@dataclass(frozen=True)
+class Knowledge:
+    """Global parameters all devices agree on.
+
+    Attributes:
+        n: number of vertices (upper bound is fine; the paper lets devices
+            substitute n for unknown Delta or D).
+        max_degree: the paper's Delta (upper bound).
+        diameter: the paper's D (upper bound), or None when unknown.
+        id_space: the paper's N for deterministic algorithms, or None.
+    """
+
+    n: int
+    max_degree: int
+    diameter: Optional[int] = None
+    id_space: Optional[int] = None
+
+
+@dataclass
+class NodeCtx:
+    """Everything one device can see.
+
+    Attributes:
+        index: vertex index 0..n-1 (simulator-internal identity; protocols
+            for the randomized model must not use it to break symmetry —
+            they get ``rng`` for that).
+        uid: device ID in {1..N}; only meaningful for deterministic
+            algorithms, but always assigned.
+        knowledge: shared global parameters.
+        rng: private random stream, seeded from the run's master seed.
+        inputs: per-node problem inputs (e.g. ``{"source": True,
+            "payload": m}`` for Broadcast).
+        time: current slot (maintained by the engine: equals the start slot
+            of the action about to be yielded).
+    """
+
+    index: int
+    uid: int
+    knowledge: Knowledge
+    rng: random.Random
+    inputs: Dict[str, Any] = field(default_factory=dict)
+    time: int = 0
+
+    @property
+    def n(self) -> int:
+        return self.knowledge.n
+
+    @property
+    def max_degree(self) -> int:
+        return self.knowledge.max_degree
+
+    @property
+    def diameter(self) -> Optional[int]:
+        return self.knowledge.diameter
+
+    @property
+    def id_space(self) -> Optional[int]:
+        return self.knowledge.id_space

@@ -1,0 +1,152 @@
+"""Reference (oracle) simulator: naive slot-by-slot execution.
+
+This implementation advances *every* slot explicitly and keeps no event
+heap — trivially correct, O(total slots x n) slow.  It exists purely as a
+differential-testing oracle for :class:`repro.sim.engine.Simulator`: both
+must produce identical outputs, energy meters, and durations on any
+protocol (tests/test_reference_equivalence.py drives them with random
+protocols).  Keep the semantics here boring and obviously right.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.graphs.graph import Graph
+from repro.sim.actions import Idle, Listen, Send, SendListen
+from repro.sim.energy import EnergyMeter
+from repro.sim.engine import ProtocolError, SimResult, SimulationTimeout
+from repro.sim.models import ChannelModel
+from repro.sim.node import Knowledge, NodeCtx
+
+__all__ = ["ReferenceSimulator"]
+
+
+class _Node:
+    def __init__(self, gen, ctx) -> None:
+        self.gen = gen
+        self.ctx = ctx
+        self.meter = EnergyMeter()
+        self.done = False
+        self.output: Any = None
+        self.finish_slot = -1
+        self.action = None
+        self.idle_left = 0
+
+    def advance(self, feedback, now: int) -> None:
+        self.ctx.time = now
+        try:
+            self.action = self.gen.send(feedback)
+        except StopIteration as stop:
+            self.done = True
+            self.output = stop.value
+            self.finish_slot = now - 1
+            self.action = None
+
+
+class ReferenceSimulator:
+    """Drop-in (slow) replacement for :class:`Simulator`."""
+
+    def __init__(
+        self,
+        graph: Graph,
+        model: ChannelModel,
+        seed: int = 0,
+        time_limit: int = 1_000_000,
+        knowledge: Optional[Knowledge] = None,
+        uids: Optional[Sequence[int]] = None,
+    ) -> None:
+        self.graph = graph
+        self.model = model
+        self.seed = seed
+        self.time_limit = time_limit
+        self.knowledge = knowledge or Knowledge(
+            n=graph.n, max_degree=max(graph.max_degree, 1), diameter=None
+        )
+        self.uids = list(uids) if uids is not None else list(range(1, graph.n + 1))
+
+    def run(self, protocol_factory, inputs=None) -> SimResult:
+        master = random.Random(self.seed)
+        inputs = inputs or {}
+        nodes: List[_Node] = []
+        for v in range(self.graph.n):
+            ctx = NodeCtx(
+                index=v,
+                uid=self.uids[v],
+                knowledge=self.knowledge,
+                rng=random.Random(master.getrandbits(64)),
+                inputs=dict(inputs.get(v, ())),
+            )
+            node = _Node(protocol_factory(ctx), ctx)
+            nodes.append(node)
+            try:
+                node.action = next(node.gen)
+            except StopIteration as stop:
+                node.done = True
+                node.output = stop.value
+
+        slot = 0
+        duration = 0
+        while any(not node.done for node in nodes):
+            if slot > self.time_limit:
+                raise SimulationTimeout("reference simulator exceeded time limit")
+            # Begin idle periods.
+            for node in nodes:
+                if node.done or node.idle_left:
+                    continue
+                if isinstance(node.action, Idle):
+                    node.idle_left = node.action.duration
+                elif isinstance(node.action, SendListen):
+                    if not self.model.full_duplex:
+                        raise ProtocolError("SendListen in half-duplex model")
+                elif not isinstance(node.action, (Send, Listen)):
+                    raise ProtocolError(f"bad action {node.action!r}")
+
+            transmitting: Dict[int, Any] = {}
+            for v, node in enumerate(nodes):
+                if node.done or node.idle_left:
+                    continue
+                if isinstance(node.action, (Send, SendListen)):
+                    transmitting[v] = node.action.message
+
+            # Resolve and advance.
+            for v, node in enumerate(nodes):
+                if node.done:
+                    continue
+                if node.idle_left:
+                    node.idle_left -= 1
+                    if node.idle_left == 0:
+                        node.advance(None, slot + 1)
+                        if node.done:
+                            # Match the engine: an idle-then-return
+                            # protocol extends the run to its wake slot.
+                            duration = max(duration, slot + 1)
+                    continue
+                action = node.action
+                if isinstance(action, Send):
+                    node.meter.charge_send(slot)
+                    feedback = None
+                else:
+                    heard = [
+                        transmitting[w]
+                        for w in self.graph.neighbors(v)
+                        if w in transmitting
+                    ]
+                    feedback = self.model.resolve(heard)
+                    if isinstance(action, Listen):
+                        node.meter.charge_listen(slot)
+                    else:
+                        node.meter.charge_duplex(slot)
+                duration = max(duration, slot + 1)
+                node.advance(feedback, slot + 1)
+            slot += 1
+
+        return SimResult(
+            outputs=[node.output for node in nodes],
+            energy=[node.meter.snapshot() for node in nodes],
+            finish_slot=[node.finish_slot for node in nodes],
+            duration=duration,
+            trace=None,
+            seed=self.seed,
+        )

@@ -1,0 +1,15 @@
+"""Single-hop (clique) primitives: the substrates the paper builds on."""
+
+from repro.singlehop.counting import approximate_count_cd_protocol
+from repro.singlehop.initialization import initialization_protocol
+from repro.singlehop.leader_election import (
+    deterministic_le_cd_protocol,
+    uniform_le_cd_protocol,
+)
+
+__all__ = [
+    "approximate_count_cd_protocol",
+    "initialization_protocol",
+    "deterministic_le_cd_protocol",
+    "uniform_le_cd_protocol",
+]

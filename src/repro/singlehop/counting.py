@@ -1,0 +1,65 @@
+"""Approximate counting in a single-hop CD network.
+
+``approximate_count_cd_protocol`` estimates the number of stations m to
+within a constant factor (the paper's ApproximateCounting: "approximating
+n to within a constant factor"): the shared controller locates the
+exponent k* where transmission probability 2^-k* flips the channel from
+noisy to silent — there m * 2^-k* = Theta(1), so 2^k* estimates m.
+Repeating R times and taking the median sharpens the failure probability.
+
+Runs in full-duplex CD so that every station observes every slot.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.sim.actions import Listen, SendListen
+from repro.sim.feedback import NOISE, SILENCE, is_message
+from repro.sim.node import NodeCtx
+from repro.util import ceil_log2, median
+
+__all__ = ["approximate_count_cd_protocol"]
+
+
+def approximate_count_cd_protocol(
+    repetitions: int = 7, max_n: Optional[int] = None
+):
+    """Factory: every station returns its estimate of m = #stations."""
+
+    def protocol(ctx: NodeCtx):
+        cap = max_n if max_n is not None else ctx.n
+        max_k = ceil_log2(max(2, cap)) + 3
+        estimates = []
+        for rep in range(repetitions):
+            lo, hi = 0, None
+            k = 1
+            # Doubling until silent, then binary search on the threshold.
+            for _ in range(3 * (max_k + 2)):
+                transmit = ctx.rng.random() < 2.0**-k
+                if transmit:
+                    feedback = yield SendListen(("c", rep))
+                    # Hearing anything (or noise) means >= 2 transmitters.
+                    busy = True
+                else:
+                    feedback = yield Listen()
+                    busy = feedback is NOISE or is_message(feedback)
+                if busy:
+                    lo = max(lo, k)
+                    if hi is None:
+                        k = min(2 * k, max_k)
+                        if k == lo:
+                            break
+                    else:
+                        k = (lo + hi) // 2
+                else:
+                    hi = k if hi is None or k < hi else hi
+                    if hi <= lo:
+                        lo = max(0, hi - 1)
+                    k = (lo + hi) // 2 if hi - lo > 1 else max(1, lo)
+                if hi is not None and hi - lo <= 1:
+                    break
+            estimates.append(2 ** max(lo, 1))
+        return median(estimates)
+
+    return protocol

@@ -1,0 +1,73 @@
+"""Energy-efficient initialization (dense renaming) in a single-hop network.
+
+Nakano and Olariu [29] showed that n initially identical stations can
+assign themselves distinct IDs with O(log log n) energy per station.  We
+implement the same two-ingredient recipe in full-duplex CD:
+
+1. approximate counting (O(log log n) energy, shared by all stations)
+   yields a common estimate m of the station count;
+2. repeated balanced hashing: round r reserves c*m slots; each un-named
+   station picks a uniformly random slot and transmits there while
+   observing the channel — a sole transmitter (it hears silence) claims
+   the ID encoded by (round, slot); collided stations retry next round.
+   Participation costs O(1) energy per round and a constant fraction
+   succeeds per round, so expected extra energy is O(1).
+
+The assigned IDs are distinct integers in a space of size O(n)
+(dense renaming).  [29] additionally compacts to exactly {1..n} in No-CD;
+we document that difference rather than hide it — the substrate uses of
+initialization in this repository (giving deterministic algorithms their
+ID space) only need distinctness and O(n) density.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.sim.actions import Idle, Listen, SendListen
+from repro.sim.feedback import SILENCE
+from repro.sim.node import NodeCtx
+from repro.singlehop.counting import approximate_count_cd_protocol
+from repro.util import ceil_log2
+
+__all__ = ["initialization_protocol"]
+
+
+def initialization_protocol(
+    rounds: Optional[int] = None, slots_factor: int = 2
+):
+    """Factory: every station returns its claimed ID (int >= 1), or None
+    if it failed to grab one within the round budget (probability
+    exponentially small in ``rounds``)."""
+
+    counting = approximate_count_cd_protocol()
+
+    def protocol(ctx: NodeCtx):
+        estimate = yield from _inline(counting(ctx))
+        bucket_count = max(2, slots_factor * int(estimate))
+        budget = rounds if rounds is not None else 3 * (ceil_log2(ctx.n) + 2)
+        base = 1
+        claimed: Optional[int] = None
+        for _ in range(budget):
+            if claimed is None:
+                slot = ctx.rng.randrange(bucket_count)
+                if slot:
+                    yield Idle(slot)
+                feedback = yield SendListen(("init-claim",))
+                if feedback is SILENCE:
+                    claimed = base + slot
+                tail = bucket_count - slot - 1
+                if tail:
+                    yield Idle(tail)
+            else:
+                yield Idle(bucket_count)
+            base += bucket_count
+        return claimed
+
+    return protocol
+
+
+def _inline(generator):
+    """yield-from helper that returns the inner protocol's value."""
+    result = yield from generator
+    return result

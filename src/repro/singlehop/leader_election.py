@@ -1,0 +1,136 @@
+"""Single-hop leader election (the paper's substrate literature).
+
+* :func:`uniform_le_cd_protocol` — the uniform leader-election algorithm
+  in the style of Nakano-Olariu [30], used by Lemma 8's generic
+  transformation: all stations observe the channel (full-duplex CD); the
+  per-slot transmission probability 2^-k follows a shared controller
+  (doubling, then binary search, then steady alternation), so k depends
+  only on the channel history — exactly the uniformity Lemma 8 needs.
+  Time O(log log n') + exponential tail.
+* :func:`deterministic_le_cd_protocol` — deterministic CD leader election
+  by electing the minimum ID via the Lemma 24 bit-by-bit binary search;
+  Theta(log N) energy, the optimum cited from [7, 20].
+
+Outcome convention: every station returns the elected leader's tag, so a
+run is correct when all outputs agree and name an actual participant.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.core.sr_comm import Role, sr_det_cd
+from repro.sim.actions import Idle, Listen, SendListen
+from repro.sim.feedback import NOISE, SILENCE, is_message
+from repro.sim.node import NodeCtx
+from repro.util import ceil_log2
+
+__all__ = [
+    "uniform_le_cd_protocol",
+    "deterministic_le_cd_protocol",
+]
+
+
+class _SharedController:
+    """Channel-outcome-driven probability controller.
+
+    Outcomes are reduced so that every station (transmitting or not)
+    computes the same next exponent: a transmitter that hears a message
+    knows there were >= 2 transmitters (same knowledge as a listener's
+    NOISE); a transmitter that hears silence knows it is alone and wins.
+    """
+
+    def __init__(self, max_k: int) -> None:
+        self.max_k = max_k
+        self.lo = 0
+        self.hi: Optional[int] = None
+        self._doubling = 1
+        self._flip = False
+
+    def next_k(self) -> int:
+        if self.hi is None:
+            return min(self._doubling, self.max_k)
+        if self.hi - self.lo > 1:
+            return (self.hi + self.lo) // 2
+        self._flip = not self._flip
+        return min(max(self.hi if self._flip else max(self.lo, 1), 1), self.max_k)
+
+    def observe(self, k: int, outcome: str) -> None:
+        if outcome == "noise":
+            self.lo = max(self.lo, k)
+            if self.hi is None:
+                if k >= self.max_k:
+                    self.hi = self.max_k
+                else:
+                    self._doubling = min(self._doubling * 2, self.max_k)
+        elif outcome == "silence":
+            if self.hi is None or k < self.hi:
+                self.hi = k
+            if self.hi <= self.lo:
+                self.lo = max(0, self.hi - 1)
+
+
+def uniform_le_cd_protocol(max_slots: Optional[int] = None):
+    """Factory for uniform leader election in full-duplex CD (clique).
+
+    Every station participates.  In each slot every station transmits its
+    random tag with probability 2^-k (k from the shared controller) and
+    observes the channel.  A station that transmitted and heard silence is
+    the unique transmitter: it wins and announces itself in one final
+    confirmation slot.  Returns the leader's tag (or None on timeout).
+    """
+
+    def protocol(ctx: NodeCtx):
+        budget = max_slots if max_slots is not None else 40 + 12 * ceil_log2(
+            max(2, ctx.n)
+        )
+        my_tag = ctx.rng.getrandbits(60)
+        controller = _SharedController(max_k=ceil_log2(max(2, ctx.n)) + 2)
+        for _ in range(budget):
+            k = controller.next_k()
+            transmit = ctx.rng.random() < 2.0**-k
+            if transmit:
+                feedback = yield SendListen(("cand", my_tag))
+                if feedback is SILENCE:
+                    # Unique transmitter: claim leadership.
+                    yield SendListen(("leader", my_tag))
+                    return my_tag
+                outcome = "noise"  # >= 2 transmitters (incl. me)
+            else:
+                feedback = yield Listen()
+                if is_message(feedback):
+                    if feedback[0] == "leader":
+                        return feedback[1]
+                    # Unique transmitter exists; it will claim next slot.
+                    confirm = yield Listen()
+                    if is_message(confirm) and confirm[0] == "leader":
+                        return confirm[1]
+                    # Claim lost (cannot happen in a clique); resync below.
+                    outcome = "noise"
+                elif feedback is NOISE:
+                    outcome = "noise"
+                else:
+                    outcome = "silence"
+            controller.observe(k, outcome)
+            if not transmit and is_message(feedback):
+                continue
+            # Mirror the winner's confirmation slot to stay synchronized:
+            # non-transmitting silence/noise slots do not have one.
+        return None
+
+    return protocol
+
+
+def deterministic_le_cd_protocol(id_space: Optional[int] = None):
+    """Factory for deterministic CD leader election: elect the minimum ID
+    via the Lemma 24 prefix search (everyone is both sender and receiver).
+
+    Returns the winning ID; energy O(log N) per station, time O(N).
+    """
+
+    def protocol(ctx: NodeCtx):
+        space = id_space if id_space is not None else (ctx.id_space or ctx.n)
+        learned = yield from sr_det_cd(ctx, Role.BOTH, ctx.uid - 1, space)
+        return (learned + 1) if learned is not None else ctx.uid
+
+    return protocol

@@ -1,0 +1,70 @@
+"""Small numeric helpers shared across the library."""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Iterable, List, Sequence, TypeVar
+
+__all__ = [
+    "ceil_log2",
+    "floor_log2",
+    "ceil_div",
+    "geometric",
+    "median",
+    "mean",
+    "max_or",
+]
+
+T = TypeVar("T")
+
+
+def ceil_log2(x: int) -> int:
+    """Smallest k with 2**k >= x (x >= 1).  ceil_log2(1) == 0."""
+    if x < 1:
+        raise ValueError(f"ceil_log2 needs x >= 1, got {x}")
+    return (x - 1).bit_length()
+
+
+def floor_log2(x: int) -> int:
+    """Largest k with 2**k <= x (x >= 1)."""
+    if x < 1:
+        raise ValueError(f"floor_log2 needs x >= 1, got {x}")
+    return x.bit_length() - 1
+
+
+def ceil_div(a: int, b: int) -> int:
+    return -(-a // b)
+
+
+def geometric(rng: random.Random, p: float = 0.5) -> int:
+    """Number of Bernoulli(p) trials up to and including the first success
+    (support 1, 2, ...)."""
+    if not 0 < p <= 1:
+        raise ValueError(f"geometric needs p in (0, 1], got {p}")
+    # Inversion method keeps this exact and O(1).
+    u = rng.random()
+    if p == 1.0:
+        return 1
+    return int(math.floor(math.log(1.0 - u) / math.log(1.0 - p))) + 1
+
+
+def median(values: Sequence[float]) -> float:
+    if not values:
+        raise ValueError("median of empty sequence")
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2
+
+
+def mean(values: Iterable[float]) -> float:
+    values = list(values)
+    if not values:
+        raise ValueError("mean of empty sequence")
+    return sum(values) / len(values)
+
+
+def max_or(values: Iterable[int], default: int = 0) -> int:
+    return max(values, default=default)

@@ -1,0 +1,24 @@
+"""Shared pytest fixtures and helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs import diameter
+from repro.sim import Knowledge
+
+
+def knowledge_for(graph, with_diameter: bool = True, id_space: int | None = None):
+    """Build the shared-knowledge object the paper assumes devices have."""
+    return Knowledge(
+        n=graph.n,
+        max_degree=max(graph.max_degree, 1),
+        diameter=diameter(graph) if with_diameter else None,
+        id_space=id_space,
+    )
+
+
+@pytest.fixture
+def seeds():
+    """Default seed set for statistical assertions."""
+    return list(range(5))

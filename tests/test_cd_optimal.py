@@ -1,0 +1,119 @@
+"""Tests for the Theorem 20 CD-optimal broadcast (Section 7)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.broadcast import run_broadcast
+from repro.broadcast.cd_optimal import CDOptimalParams, cd_optimal_broadcast_protocol
+from repro.core.labeling import is_good_labeling
+from repro.core.tree_clusters import TreeParams, learn_ind, sample_colors
+from repro.graphs import cycle_graph, grid_graph, path_graph, random_gnp, star_graph
+from repro.sim import CD, Simulator
+
+from tests.conftest import knowledge_for
+
+
+def _params(g, iterations=3, rounds=2):
+    return CDOptimalParams.for_graph(
+        g.n, g.max_degree, xi=0.5, iterations=iterations, rounds_s=rounds
+    )
+
+
+class TestTreeParams:
+    def test_color_count_scales(self):
+        small = TreeParams.for_graph(16, 2, xi=0.5)
+        large = TreeParams.for_graph(16, 8, xi=0.5)
+        assert large.num_colors > small.num_colors
+
+    def test_xi_validation(self):
+        with pytest.raises(ValueError):
+            TreeParams.for_graph(16, 4, xi=0.0)
+
+    def test_sample_colors_shape(self):
+        import random
+
+        params = TreeParams.for_graph(16, 4, xi=0.5)
+        colors = sample_colors(random.Random(0), params)
+        assert len(colors) == params.num_colorings
+        assert all(0 <= c < params.num_colors for c in colors)
+
+
+class TestLearnInd:
+    def test_child_learns_index_on_star(self):
+        # Star center is parent of every leaf; leaves learn an Ind w.h.p.
+        g = star_graph(5)
+        params = TreeParams.for_graph(g.n, g.max_degree, xi=1.0)
+        import random
+
+        master = random.Random(99)
+        colors = {v: sample_colors(master, params) for v in range(g.n)}
+
+        def proto(ctx):
+            parent = colors[0] if ctx.index != 0 else None
+            ind = yield from learn_ind(ctx, params, colors[ctx.index], parent)
+            return ind
+
+        result = Simulator(g, CD, seed=1).run(proto)
+        assert result.outputs[0] is None  # root has no parent
+        for v in range(1, g.n):
+            ind = result.outputs[v]
+            if ind is None:
+                continue  # low-probability unusable tuple
+            # Verify the Ind property: no other neighbor of v (only the
+            # center here) shares the color... trivially true on a star.
+            assert 0 <= ind < params.num_colorings
+
+
+class TestCDOptimalBroadcast:
+    @pytest.mark.parametrize("maker", [
+        lambda: cycle_graph(8),
+        lambda: grid_graph(3, 3),
+        lambda: path_graph(7),
+    ])
+    def test_delivers(self, maker):
+        g = maker()
+        out = run_broadcast(
+            g, CD, cd_optimal_broadcast_protocol(_params(g)),
+            knowledge=knowledge_for(g), seed=2,
+        )
+        assert out.delivered
+
+    def test_statistical_delivery(self):
+        g = random_gnp(10, 0.3)
+        k = knowledge_for(g)
+        good = sum(
+            run_broadcast(
+                g, CD, cd_optimal_broadcast_protocol(_params(g)),
+                knowledge=k, seed=s,
+            ).delivered
+            for s in range(5)
+        )
+        assert good >= 4
+
+    def test_final_labels_good(self):
+        g = cycle_graph(8)
+        proto = cd_optimal_broadcast_protocol(_params(g), return_labels=True)
+        result = Simulator(g, CD, seed=3).run(
+            proto, inputs={0: {"source": True, "payload": "m"}}
+        )
+        labels = [out[2] for out in result.outputs]
+        assert is_good_labeling(g, labels)
+
+    def test_energy_well_below_time(self):
+        # The whole point of Theorem 20: massive sleeping.  Energy must be
+        # orders of magnitude below the slot count.
+        g = grid_graph(3, 3)
+        out = run_broadcast(
+            g, CD, cd_optimal_broadcast_protocol(_params(g)),
+            knowledge=knowledge_for(g), seed=1,
+        )
+        assert out.delivered
+        assert out.max_energy * 50 < out.duration
+
+    def test_param_defaults(self):
+        p = CDOptimalParams.for_graph(64, 8)
+        assert 0 < p.survive_p <= 0.5
+        assert p.rounds_s >= 2
+        assert p.iterations >= 2
+        assert 0 < p.request_failure < 1

@@ -1,0 +1,95 @@
+"""Tests for the D^{1+eps} broadcast (Section 6, Theorem 16)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.broadcast import run_broadcast
+from repro.broadcast.dtime import DTimeParams, dtime_broadcast_protocol
+from repro.core.labeling import is_good_labeling
+from repro.graphs import cycle_graph, grid_graph, path_graph
+from repro.sim import NO_CD, Simulator
+
+from tests.conftest import knowledge_for
+
+
+def _fast_params(iterations):
+    return lambda n, d: DTimeParams.for_graph(
+        n, d, beta=0.4, iterations=iterations, contention=2, reps=4, failure=0.05
+    )
+
+
+class TestDTimeParams:
+    def test_defaults_derive_from_epsilon(self):
+        small = DTimeParams.for_graph(256, 32, epsilon=0.5)
+        assert 0 < small.beta <= 0.3
+        assert small.iterations >= 1
+        assert small.reps >= small.contention
+
+    def test_more_iterations_shrink_final_diameter_budget(self):
+        few = DTimeParams.for_graph(256, 64, beta=0.25, iterations=1)
+        many = DTimeParams.for_graph(256, 64, beta=0.25, iterations=6)
+        assert many.gl_diameter_bound <= few.gl_diameter_bound
+
+    def test_epoch_count(self):
+        params = DTimeParams.for_graph(64, 8, beta=0.5)
+        assert params.epochs(64) == 2 * 6 // 0.5 // 1  # 2*log2(64)/beta = 24
+
+
+class TestDTimeBroadcast:
+    @pytest.mark.parametrize("maker", [
+        lambda: cycle_graph(10),
+        lambda: grid_graph(3, 4),
+        lambda: path_graph(9),
+    ])
+    def test_delivers_one_iteration(self, maker):
+        g = maker()
+        out = run_broadcast(
+            g, NO_CD, dtime_broadcast_protocol(_fast_params(1)),
+            knowledge=knowledge_for(g), seed=3,
+        )
+        assert out.delivered
+
+    def test_delivers_two_iterations(self):
+        g = grid_graph(4, 4)
+        out = run_broadcast(
+            g, NO_CD, dtime_broadcast_protocol(_fast_params(2)),
+            knowledge=knowledge_for(g), seed=7,
+        )
+        assert out.delivered
+
+    def test_statistical_delivery(self):
+        g = cycle_graph(12)
+        k = knowledge_for(g)
+        good = sum(
+            run_broadcast(
+                g, NO_CD, dtime_broadcast_protocol(_fast_params(2)),
+                knowledge=k, seed=s,
+            ).delivered
+            for s in range(5)
+        )
+        assert good >= 4
+
+    def test_final_labels_form_good_labeling(self):
+        g = cycle_graph(10)
+        proto = dtime_broadcast_protocol(_fast_params(2), return_labels=True)
+        sim = Simulator(g, NO_CD, seed=5)
+        result = sim.run(proto, inputs={0: {"source": True, "payload": "m"}})
+        labels = [out[2] for out in result.outputs]
+        assert is_good_labeling(g, labels)
+
+    def test_clusters_coarsen_with_iterations(self):
+        g = cycle_graph(12)
+
+        def count_clusters(iterations, seed):
+            proto = dtime_broadcast_protocol(
+                _fast_params(iterations), return_labels=True
+            )
+            result = Simulator(g, NO_CD, seed=seed).run(
+                proto, inputs={0: {"source": True, "payload": "m"}}
+            )
+            return len({out[1] for out in result.outputs})
+
+        zero_like = count_clusters(1, 4)
+        more = count_clusters(2, 4)
+        assert more <= zero_like

@@ -1,0 +1,151 @@
+"""Tests for the experiment harness, Table 1 runners, and Figure 1."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import (
+    ablate_beta,
+    figure1,
+    format_table,
+    geometric_sizes,
+    render_path_timeline,
+    sweep,
+    t1_lb_local_path,
+    t1_lb_reduction,
+    t1_local_clustering,
+)
+from repro.experiments.harness import SweepPoint
+from repro.graphs import path_graph
+from repro.sim import LOCAL
+
+
+class TestHarness:
+    def test_sweep_aggregates_medians(self):
+        from repro.broadcast import local_flood_protocol
+
+        points = sweep(
+            "flood", path_graph, (4, 8),
+            lambda g: local_flood_protocol(),
+            LOCAL, seeds=(0, 1, 2),
+        )
+        assert [p.n for p in points] == [4, 8]
+        for point in points:
+            assert point.delivered == 3
+            assert point.time_median >= point.diameter
+            assert point.max_energy_median >= 1
+
+    def test_geometric_sizes(self):
+        assert geometric_sizes(4, 2, 3) == [4, 8, 16]
+
+    def test_format_table_contains_ratios(self):
+        point = SweepPoint(
+            label="x", n=16, max_degree=4, diameter=5, seeds=2, delivered=2,
+            time_median=100.0, max_energy_median=40.0, mean_energy_median=20.0,
+        )
+        text = format_table(
+            "title", [point], bounds={"logn": lambda p: 4.0}
+        )
+        assert "title" in text
+        assert "logn ratio" in text
+        assert "10.00" in text  # 40 / 4
+
+    def test_sweep_point_ratio_helpers(self):
+        point = SweepPoint(
+            label="x", n=16, max_degree=4, diameter=5, seeds=1, delivered=1,
+            time_median=100.0, max_energy_median=50.0, mean_energy_median=25.0,
+        )
+        assert point.ratio(25.0) == 2.0
+        assert point.time_ratio(50.0) == 2.0
+
+
+class TestTable1Runners:
+    def test_local_clustering_row(self):
+        points, table = t1_local_clustering(sizes=(8,), seeds=(0,))
+        assert points[0].delivered == 1
+        assert "Theorem 11" in table
+
+    def test_lb_local_path_row(self):
+        rows, table = t1_lb_local_path(sizes=(32,), seeds=(0, 1))
+        assert rows[0]["satisfied"]
+        assert "Theorem 1" in table
+
+    def test_lb_reduction_row(self):
+        rows, table = t1_lb_reduction(ks=(2, 4), seeds=(0,))
+        assert all(row["inequality_holds"] for row in rows)
+        assert "K_{2,k}" in table
+
+    def test_ablate_beta_rows(self):
+        rows, table = ablate_beta(n=20, betas=(0.2, 0.5), seeds=(0,))
+        assert rows[0]["beta"] == 0.2
+        assert "Partition" in table
+
+
+class TestFigure1:
+    def test_figure1_renders(self):
+        text = figure1(n=12, seed=0)
+        assert "Figure 1 reproduction" in text
+        assert "delivered" in text
+        assert "P" in text
+        assert "legend" in text
+
+    def test_timeline_requires_trace(self):
+        from repro.broadcast import local_flood_protocol, run_broadcast
+        from repro.sim import Knowledge
+
+        g = path_graph(3)
+        out = run_broadcast(
+            g, LOCAL, local_flood_protocol(),
+            knowledge=Knowledge(n=3, max_degree=2, diameter=2), seed=0,
+        )
+        with pytest.raises(ValueError):
+            render_path_timeline(out, 3)
+
+    def test_timeline_rows_sorted_and_bounded(self):
+        from repro.broadcast import run_broadcast
+        from repro.broadcast.path import path_broadcast_protocol
+        from repro.sim import Knowledge
+
+        n = 8
+        g = path_graph(n)
+        out = run_broadcast(
+            g, LOCAL, path_broadcast_protocol(), seed=1,
+            knowledge=Knowledge(n=n, max_degree=2, diameter=n - 1),
+            record_trace=True,
+        )
+        text = render_path_timeline(out, n, max_rows=5)
+        slot_lines = [
+            line for line in text.splitlines() if line.strip().split(" ")[0].isdigit()
+        ]
+        slots = [int(line.split("|")[0]) for line in slot_lines]
+        assert slots == sorted(slots)
+        assert all(s < 5 for s in slots)
+
+
+class TestCLI:
+    def test_figure1_command(self, capsys):
+        from repro.cli import main
+
+        assert main(["figure1", "--n", "8", "--seed", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 1 reproduction" in out
+
+    def test_table1_unknown_row(self, capsys):
+        from repro.cli import main
+
+        assert main(["table1", "bogus"]) == 2
+        assert "unknown rows" in capsys.readouterr().out
+
+    def test_table1_single_row(self, capsys):
+        from repro.cli import main
+
+        assert main(["table1", "lb-reduction"]) == 0
+        assert "K_{2,k}" in capsys.readouterr().out
+
+    def test_demo_command(self, capsys):
+        from repro.cli import main
+
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "decay baseline" in out
+        assert "Algorithm 1" in out

@@ -1,0 +1,98 @@
+"""Tests for the baseline broadcast algorithms."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.broadcast import (
+    decay_broadcast_protocol,
+    local_flood_protocol,
+    run_broadcast,
+)
+from repro.broadcast.flooding import decay_broadcast_slots
+from repro.graphs import grid_graph, path_graph, star_graph
+from repro.sim import CD, LOCAL, NO_CD, Knowledge
+
+from tests.conftest import knowledge_for
+
+
+class TestLocalFlood:
+    def test_time_is_diameter_plus_one(self):
+        g = path_graph(10)
+        out = run_broadcast(
+            g, LOCAL, local_flood_protocol(), knowledge=knowledge_for(g), seed=0
+        )
+        assert out.delivered
+        assert out.duration <= g.n  # D + 1 rounds of 1 slot
+
+    def test_energy_grows_with_distance(self):
+        # The flaw the paper fixes: far vertices listen from slot 0.
+        g = path_graph(12)
+        out = run_broadcast(
+            g, LOCAL, local_flood_protocol(), knowledge=knowledge_for(g), seed=0
+        )
+        energies = [e.total for e in out.sim.energy]
+        assert energies[-1] > energies[1]
+        assert energies[-1] >= 11  # listened ~D slots
+
+    def test_every_vertex_transmits_at_most_once(self):
+        g = grid_graph(3, 4)
+        out = run_broadcast(
+            g, LOCAL, local_flood_protocol(), knowledge=knowledge_for(g), seed=0
+        )
+        assert all(e.sends <= 1 for e in out.sim.energy)
+
+
+class TestDecayBroadcast:
+    @pytest.mark.parametrize("model", [NO_CD, CD])
+    def test_delivers_in_both_models(self, model):
+        g = grid_graph(3, 3)
+        out = run_broadcast(
+            g, model, decay_broadcast_protocol(failure=0.01),
+            knowledge=knowledge_for(g), seed=1,
+        )
+        assert out.delivered
+
+    def test_star_high_contention(self):
+        g = star_graph(17)
+        out = run_broadcast(
+            g, NO_CD, decay_broadcast_protocol(failure=0.01),
+            knowledge=knowledge_for(g), seed=2,
+        )
+        assert out.delivered
+
+    def test_relay_rounds_cap_reduces_sender_energy(self):
+        g = path_graph(10)
+        k = knowledge_for(g)
+        unlimited = run_broadcast(
+            g, NO_CD, decay_broadcast_protocol(failure=0.01),
+            knowledge=k, seed=3,
+        )
+        capped = run_broadcast(
+            g, NO_CD, decay_broadcast_protocol(failure=0.01, relay_rounds=4),
+            knowledge=k, seed=3,
+        )
+        assert capped.delivered
+        assert (
+            max(e.sends for e in capped.sim.energy)
+            <= max(e.sends for e in unlimited.sim.energy)
+        )
+
+    def test_slot_budget_estimate_matches_runtime(self):
+        g = path_graph(8)
+        k = knowledge_for(g)
+        out = run_broadcast(
+            g, NO_CD, decay_broadcast_protocol(failure=0.05),
+            knowledge=k, seed=0,
+        )
+        assert out.duration <= decay_broadcast_slots(
+            g.n, 2, g.n - 1, 0.05
+        )
+
+    def test_unknown_diameter_falls_back_to_n(self):
+        g = path_graph(6)
+        k = Knowledge(n=6, max_degree=2, diameter=None)
+        out = run_broadcast(
+            g, NO_CD, decay_broadcast_protocol(failure=0.02), knowledge=k, seed=0
+        )
+        assert out.delivered

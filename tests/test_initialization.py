@@ -1,0 +1,50 @@
+"""Tests for the initialization (dense renaming) substrate [29]."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs import clique
+from repro.sim import CD_FD, Simulator
+from repro.singlehop import initialization_protocol
+
+
+class TestInitialization:
+    @pytest.mark.parametrize("n", [2, 4, 16, 48])
+    def test_ids_distinct(self, n):
+        for seed in range(3):
+            result = Simulator(clique(n), CD_FD, seed=seed).run(
+                initialization_protocol()
+            )
+            ids = result.outputs
+            assert None not in ids, f"n={n} seed={seed}: unclaimed station"
+            assert len(set(ids)) == n
+
+    def test_ids_dense(self):
+        # Renaming space is O(n): max claimed ID bounded by
+        # rounds * slots_factor * estimate = O(n log n) worst case, and in
+        # practice a small multiple of n.
+        n = 32
+        result = Simulator(clique(n), CD_FD, seed=1).run(
+            initialization_protocol()
+        )
+        assert max(result.outputs) <= 40 * n
+
+    def test_energy_grows_slowly(self):
+        energies = {}
+        for n in (4, 64):
+            result = Simulator(clique(n), CD_FD, seed=2).run(
+                initialization_protocol()
+            )
+            energies[n] = max(e.total for e in result.energy)
+        # 16x more stations must cost far less than 16x energy.
+        assert energies[64] <= 4 * energies[4]
+
+    def test_round_budget_respected(self):
+        result = Simulator(clique(8), CD_FD, seed=0).run(
+            initialization_protocol(rounds=5)
+        )
+        # With few rounds some station may fail; those that claimed are
+        # still distinct.
+        claimed = [i for i in result.outputs if i is not None]
+        assert len(set(claimed)) == len(claimed)

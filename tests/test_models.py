@@ -1,0 +1,149 @@
+"""Unit tests for channel models, including the lossy wrapper."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.sim.feedback import BEEP, NOISE, SILENCE, is_message
+from repro.sim.models import (
+    BEEPING,
+    CD,
+    CD_FD,
+    CD_STAR,
+    LOCAL,
+    MODELS,
+    NO_CD,
+    NO_CD_FD,
+    LossyModel,
+)
+
+
+class TestResolutionRules:
+    def test_cd_cases(self):
+        assert CD.resolve([]) is SILENCE
+        assert CD.resolve(["m"]) == "m"
+        assert CD.resolve(["a", "b"]) is NOISE
+
+    def test_nocd_cases(self):
+        assert NO_CD.resolve([]) is SILENCE
+        assert NO_CD.resolve(["m"]) == "m"
+        assert NO_CD.resolve(["a", "b"]) is SILENCE
+
+    def test_cd_star_cases(self):
+        assert CD_STAR.resolve([]) is SILENCE
+        assert CD_STAR.resolve(["a", "b", "c"]) == "a"
+
+    def test_local_cases(self):
+        assert LOCAL.resolve([]) == ()
+        assert LOCAL.resolve(["a", "b"]) == ("a", "b")
+
+    def test_beeping_cases(self):
+        assert BEEPING.resolve([]) is SILENCE
+        assert BEEPING.resolve(["anything"]) is BEEP
+
+    def test_full_duplex_flags(self):
+        assert LOCAL.full_duplex
+        assert CD_FD.full_duplex
+        assert NO_CD_FD.full_duplex
+        assert not CD.full_duplex
+        assert not NO_CD.full_duplex
+
+    def test_registry(self):
+        assert MODELS["CD"] is CD
+        assert MODELS["No-CD"] is NO_CD
+        assert len(MODELS) == 7
+
+
+class TestFeedbackSentinels:
+    def test_reprs(self):
+        assert repr(SILENCE) == "SILENCE"
+        assert repr(NOISE) == "NOISE"
+        assert repr(BEEP) == "BEEP"
+
+    def test_pickle_preserves_identity(self):
+        assert pickle.loads(pickle.dumps(SILENCE)) is SILENCE
+        assert pickle.loads(pickle.dumps(NOISE)) is NOISE
+
+    def test_is_message(self):
+        assert is_message("m")
+        assert is_message(("tuple", 1))
+        assert not is_message(SILENCE)
+        assert not is_message(NOISE)
+        assert not is_message(BEEP)
+        assert not is_message(None)
+        assert not is_message(())  # empty LOCAL reception
+
+
+class TestLossyModel:
+    def test_rate_validation(self):
+        with pytest.raises(ValueError):
+            LossyModel(CD, 1.0)
+        with pytest.raises(ValueError):
+            LossyModel(CD, -0.1)
+
+    def test_zero_loss_matches_inner(self):
+        lossy = LossyModel(CD, 0.0, seed=1)
+        assert lossy.resolve(["m"]) == "m"
+        assert lossy.resolve(["a", "b"]) is NOISE
+
+    def test_drops_at_expected_rate(self):
+        lossy = LossyModel(NO_CD, 0.5, seed=3)
+        delivered = sum(
+            1 for _ in range(2000) if lossy.resolve(["m"]) == "m"
+        )
+        assert 850 < delivered < 1150
+
+    def test_collision_can_become_message_under_loss(self):
+        # The harsh mode: a two-party collision may deliver one message.
+        lossy = LossyModel(CD, 0.5, seed=5)
+        outcomes = {
+            str(lossy.resolve(["a", "b"])) for _ in range(200)
+        }
+        assert "a" in outcomes or "b" in outcomes
+        assert "NOISE" in outcomes
+
+    def test_inherits_duplex_flag(self):
+        assert LossyModel(LOCAL, 0.1).full_duplex
+        assert not LossyModel(CD, 0.1).full_duplex
+
+
+class TestLossyEndToEnd:
+    def test_decay_broadcast_survives_mild_loss(self):
+        from repro.broadcast import decay_broadcast_protocol, run_broadcast
+        from repro.graphs import path_graph
+        from repro.sim import Knowledge
+
+        n = 10
+        graph = path_graph(n)
+        model = LossyModel(NO_CD, 0.1, seed=7)
+        out = run_broadcast(
+            graph, model, decay_broadcast_protocol(failure=0.005),
+            knowledge=Knowledge(n=n, max_degree=2, diameter=n - 1), seed=2,
+        )
+        assert out.delivered
+
+    def test_clustering_broadcast_survives_mild_loss(self):
+        from repro.broadcast import (
+            cluster_broadcast_protocol,
+            run_broadcast,
+            theorem11_params,
+        )
+        from repro.graphs import grid_graph
+        from repro.graphs.properties import diameter
+        from repro.sim import Knowledge
+
+        graph = grid_graph(3, 3)
+        model = LossyModel(LOCAL, 0.05, seed=11)
+        params = theorem11_params(graph.n, "LOCAL", failure=0.01)
+        # LOCAL loses its collision-freeness guarantee under erasure, but
+        # the cast schedule has enough redundancy for mild rates.
+        out = run_broadcast(
+            graph, model, cluster_broadcast_protocol(params),
+            knowledge=Knowledge(
+                n=graph.n, max_degree=graph.max_degree, diameter=diameter(graph)
+            ),
+            seed=4,
+        )
+        assert out.informed >= graph.n - 1

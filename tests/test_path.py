@@ -1,0 +1,155 @@
+"""Tests for the path algorithm (Section 8, Algorithm 1, Theorem 21)."""
+
+from __future__ import annotations
+
+import math
+import random
+import statistics
+
+import pytest
+
+from repro.broadcast import run_broadcast
+from repro.broadcast.path import path_broadcast_protocol, sample_blocking_time
+from repro.graphs import path_graph
+from repro.sim import LOCAL, Knowledge
+
+
+def _knowledge(n):
+    return Knowledge(n=n, max_degree=2, diameter=n - 1)
+
+
+class TestBlockingTime:
+    def test_support_is_powers_of_two_capped_at_n(self):
+        rng = random.Random(0)
+        for _ in range(500):
+            b = sample_blocking_time(rng, 64)
+            assert b in {2, 4, 8, 16, 32, 64}
+
+    def test_distribution_shape(self):
+        rng = random.Random(1)
+        samples = [sample_blocking_time(rng, 1024) for _ in range(20000)]
+        frac2 = sum(1 for s in samples if s == 2) / len(samples)
+        frac4 = sum(1 for s in samples if s == 4) / len(samples)
+        assert 0.45 < frac2 < 0.55  # Pr[B=2] = 1/2
+        assert 0.20 < frac4 < 0.30  # Pr[B=4] = 1/4
+
+
+class TestOriented:
+    @pytest.mark.parametrize("n", [2, 3, 8, 17, 64])
+    def test_delivers_on_all_sizes(self, n):
+        g = path_graph(n)
+        for seed in range(4):
+            out = run_broadcast(
+                g, LOCAL, path_broadcast_protocol(oriented=True),
+                knowledge=_knowledge(n), seed=seed,
+            )
+            assert out.delivered, f"n={n} seed={seed}"
+
+    @pytest.mark.parametrize("n", [8, 32, 128])
+    def test_worst_case_time_at_most_2n(self, n):
+        g = path_graph(n)
+        n_pow2 = 2 ** math.ceil(math.log2(n))
+        for seed in range(6):
+            out = run_broadcast(
+                g, LOCAL, path_broadcast_protocol(oriented=True),
+                knowledge=_knowledge(n), seed=seed,
+            )
+            assert out.duration <= 2 * n_pow2
+
+    def test_expected_energy_logarithmic(self):
+        # Theorem 21: expected per-vertex energy O(log n).  Check both an
+        # absolute bound ~ (4e/(e-2)) ln(2n) and sublinear growth.
+        means = {}
+        for n in (16, 256):
+            g = path_graph(n)
+            runs = [
+                run_broadcast(
+                    g, LOCAL, path_broadcast_protocol(oriented=True),
+                    knowledge=_knowledge(n), seed=s,
+                ).mean_energy
+                for s in range(5)
+            ]
+            means[n] = statistics.mean(runs)
+        bound_const = 4 * math.e / (math.e - 2)  # Lemma 23's constant
+        assert means[256] <= bound_const * math.log(2 * 256) + 4
+        # 16x more vertices should cost far less than 16x energy.
+        assert means[256] / means[16] < 5
+
+    def test_source_must_be_zero_in_oriented_mode(self):
+        g = path_graph(4)
+        with pytest.raises(ValueError):
+            run_broadcast(
+                g, LOCAL, path_broadcast_protocol(oriented=True),
+                knowledge=_knowledge(4), source=2, seed=0,
+            )
+
+    def test_source_quits_after_one_slot(self):
+        g = path_graph(8)
+        out = run_broadcast(
+            g, LOCAL, path_broadcast_protocol(oriented=True),
+            knowledge=_knowledge(8), seed=0,
+        )
+        assert out.sim.energy[0].total == 1
+
+
+class TestUnoriented:
+    @pytest.mark.parametrize("source", [0, 3, 7])
+    def test_delivers_from_any_source(self, source):
+        n = 8
+        g = path_graph(n)
+        for seed in range(3):
+            out = run_broadcast(
+                g, LOCAL, path_broadcast_protocol(oriented=False),
+                knowledge=_knowledge(n), source=source, seed=seed,
+            )
+            assert out.delivered, f"source={source} seed={seed}"
+
+    def test_energy_roughly_doubles_oriented(self):
+        n = 64
+        g = path_graph(n)
+        oriented = statistics.mean(
+            run_broadcast(
+                g, LOCAL, path_broadcast_protocol(oriented=True),
+                knowledge=_knowledge(n), seed=s,
+            ).mean_energy
+            for s in range(4)
+        )
+        unoriented = statistics.mean(
+            run_broadcast(
+                g, LOCAL, path_broadcast_protocol(oriented=False),
+                knowledge=_knowledge(n), seed=s,
+            ).mean_energy
+            for s in range(4)
+        )
+        assert unoriented <= 3.0 * oriented
+
+    def test_two_vertex_path(self):
+        g = path_graph(2)
+        out = run_broadcast(
+            g, LOCAL, path_broadcast_protocol(oriented=False),
+            knowledge=_knowledge(2), source=1, seed=0,
+        )
+        assert out.delivered
+
+
+class TestTraceStructure:
+    def test_payload_advances_one_hop_per_slot_after_blocking(self):
+        # Every reception of the payload happens at strictly increasing
+        # times along the path (the message never teleports or stalls
+        # beyond blocking).
+        n = 16
+        g = path_graph(n)
+        out = run_broadcast(
+            g, LOCAL, path_broadcast_protocol(oriented=True),
+            knowledge=_knowledge(n), seed=2, record_trace=True,
+        )
+        assert out.delivered
+        arrival = {}
+        for event in out.sim.trace.receptions():
+            for msg in (event.feedback if isinstance(event.feedback, tuple) else ()):
+                if isinstance(msg, tuple) and msg[0] == "path":
+                    for to, part in msg[2]:
+                        if part[0] == "payload" and to == event.node:
+                            arrival.setdefault(event.node, event.slot)
+        order = [arrival[v] for v in sorted(arrival)]
+        assert order == sorted(order)

@@ -1,0 +1,140 @@
+"""Slot-budget bookkeeping: predicted schedule lengths must equal actual
+slot consumption exactly — this is the fixed-frame synchronization
+contract that lets composed protocols stay aligned without barriers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.clustering import refine_labeling, refine_slots
+from repro.core.casts import all_cast, cast_sequence_slots, down_cast, up_cast
+from repro.core.schemes import SRScheme
+from repro.core.sr_comm import (
+    CDParams,
+    DecayParams,
+    Role,
+    det_frame_length,
+    sr_cd,
+    sr_det_cd,
+    sr_nocd,
+)
+from repro.graphs import path_graph
+from repro.sim import CD, LOCAL, NO_CD, Simulator
+
+
+def _consumed(graph, model, proto_factory):
+    """Run and return each node's final ctx.time (slots consumed)."""
+
+    result = Simulator(graph, model, seed=0).run(proto_factory)
+    return result.outputs
+
+
+class TestFrameLengths:
+    @pytest.mark.parametrize("delta,failure", [(2, 0.05), (16, 0.01), (100, 0.2)])
+    def test_decay_frame_exact(self, delta, failure):
+        params = DecayParams.for_graph(delta, failure)
+        g = path_graph(2)
+
+        def proto(ctx):
+            role = Role.SENDER if ctx.index == 0 else Role.RECEIVER
+            yield from sr_nocd(ctx, role, "m", params)
+            return ctx.time
+
+        assert set(_consumed(g, NO_CD, proto)) == {params.frame_length}
+
+    @pytest.mark.parametrize("probe,ack", [(False, False), (True, False),
+                                           (False, True), (True, True)])
+    def test_cd_frame_exact(self, probe, ack):
+        params = CDParams.for_graph(8, 0.05, probe=probe, ack=ack)
+        g = path_graph(3)
+        roles = {0: Role.SENDER, 1: Role.RECEIVER, 2: Role.IDLE}
+
+        def proto(ctx):
+            yield from sr_cd(ctx, roles[ctx.index], "m", params)
+            return ctx.time
+
+        assert set(_consumed(g, CD, proto)) == {params.frame_length}
+
+    @pytest.mark.parametrize("space", [2, 8, 19, 64])
+    def test_det_frame_exact(self, space):
+        g = path_graph(3)
+        roles = {0: Role.SENDER, 1: Role.RECEIVER, 2: Role.IDLE}
+
+        def proto(ctx):
+            value = 1 if roles[ctx.index] is Role.SENDER else None
+            yield from sr_det_cd(ctx, roles[ctx.index], value, space)
+            return ctx.time
+
+        assert set(_consumed(g, CD, proto)) == {det_frame_length(space)}
+
+
+class TestCastBudgets:
+    @pytest.mark.parametrize("model,name", [(LOCAL, "LOCAL"), (NO_CD, "No-CD")])
+    def test_sweep_budget(self, model, name):
+        g = path_graph(4)
+        scheme = SRScheme(name, 2, failure=0.05)
+        max_layers = 4
+        expected = (max_layers - 1) * scheme.frame_length
+
+        def proto(ctx):
+            yield from down_cast(
+                ctx, scheme, ctx.index, "m" if ctx.index == 0 else None,
+                max_layers,
+            )
+            return ctx.time
+
+        assert set(_consumed(g, model, proto)) == {expected}
+
+    def test_up_cast_budget_matches_down(self):
+        g = path_graph(4)
+        scheme = SRScheme("LOCAL", 2)
+        max_layers = 4
+
+        def proto(ctx):
+            yield from up_cast(
+                ctx, scheme, ctx.index, "m" if ctx.index == 3 else None,
+                max_layers,
+            )
+            t1 = ctx.time
+            yield from all_cast(ctx, scheme, None)
+            return (t1, ctx.time)
+
+        outs = _consumed(g, LOCAL, proto)
+        assert len({o[0] for o in outs}) == 1
+        assert all(o[1] - o[0] == scheme.frame_length for o in outs)
+
+    def test_cast_sequence_slots_formula(self):
+        scheme = SRScheme("LOCAL", 4)
+        # one up + r*(down+all+up) + one down over L layers
+        assert cast_sequence_slots(scheme, 5, 2) == 4 + 2 * (2 * 4 + 1) + 4
+
+
+class TestRefineBudget:
+    @pytest.mark.parametrize("spread_s", [1, 3])
+    def test_refine_slots_exact(self, spread_s):
+        g = path_graph(4)
+        scheme = SRScheme("LOCAL", 2)
+        max_layers = 4
+        expected = refine_slots(scheme, spread_s, max_layers)
+
+        def proto(ctx):
+            yield from refine_labeling(
+                ctx, scheme, 0, survive_p=0.5, spread_s=spread_s,
+                max_layers=max_layers,
+            )
+            return ctx.time
+
+        assert set(_consumed(g, LOCAL, proto)) == {expected}
+
+    def test_refine_slots_nocd(self):
+        g = path_graph(3)
+        scheme = SRScheme("No-CD", 2, failure=0.1)
+        expected = refine_slots(scheme, 1, 3)
+
+        def proto(ctx):
+            yield from refine_labeling(
+                ctx, scheme, 0, survive_p=0.5, spread_s=1, max_layers=3
+            )
+            return ctx.time
+
+        assert set(_consumed(g, NO_CD, proto)) == {expected}

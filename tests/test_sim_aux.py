@@ -1,0 +1,114 @@
+"""Tests for simulator auxiliaries: meters, traces, results, knowledge."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs import path_graph, star_graph
+from repro.sim import (
+    LOCAL,
+    NO_CD,
+    EnergyMeter,
+    Idle,
+    Knowledge,
+    Listen,
+    Send,
+    Simulator,
+    Trace,
+    TraceEvent,
+)
+
+
+class TestEnergyMeter:
+    def test_counters_and_total(self):
+        meter = EnergyMeter()
+        meter.charge_send(3)
+        meter.charge_listen(5)
+        meter.charge_duplex(9)
+        assert meter.total == 3
+        assert meter.last_active_slot == 9
+        snapshot = meter.snapshot()
+        assert snapshot.sends == 1
+        assert snapshot.listens == 1
+        assert snapshot.duplex == 1
+        assert snapshot.total == 3
+        assert snapshot.last_active_slot == 9
+
+    def test_snapshot_is_immutable_copy(self):
+        meter = EnergyMeter()
+        meter.charge_send(0)
+        snapshot = meter.snapshot()
+        meter.charge_send(1)
+        assert snapshot.sends == 1
+        with pytest.raises(Exception):
+            snapshot.sends = 99  # frozen dataclass
+
+
+class TestTrace:
+    def test_query_helpers(self):
+        trace = Trace()
+        trace.record(TraceEvent(0, 1, "send", "m"))
+        trace.record(TraceEvent(1, 2, "listen", None, "m"))
+        trace.record(TraceEvent(2, 2, "listen", None, None))
+        assert len(trace) == 3
+        assert [e.slot for e in trace.events_for(2)] == [1, 2]
+        assert len(trace.sends()) == 1
+        assert len(trace.receptions()) == 1
+        assert trace.last_slot() == 2
+
+    def test_empty_trace(self):
+        trace = Trace()
+        assert trace.last_slot() == -1
+        assert trace.sends() == []
+
+
+class TestSimResultMetrics:
+    def test_energy_aggregates(self):
+        def proto(ctx):
+            if ctx.index == 0:
+                yield Send("a")
+                yield Send("b")
+            else:
+                yield Listen()
+            return None
+
+        result = Simulator(star_graph(3), NO_CD, seed=0).run(proto)
+        assert result.max_energy == 2
+        assert result.total_energy == 4
+        assert result.mean_energy == pytest.approx(4 / 3)
+
+
+class TestKnowledge:
+    def test_ctx_exposes_knowledge(self):
+        knowledge = Knowledge(n=5, max_degree=3, diameter=2, id_space=9)
+
+        def proto(ctx):
+            yield Idle(1)
+            return (ctx.n, ctx.max_degree, ctx.diameter, ctx.id_space)
+
+        result = Simulator(
+            path_graph(5), NO_CD, seed=0, knowledge=knowledge
+        ).run(proto)
+        assert result.outputs[0] == (5, 3, 2, 9)
+
+    def test_default_knowledge_from_graph(self):
+        def proto(ctx):
+            yield Idle(1)
+            return (ctx.n, ctx.max_degree, ctx.diameter)
+
+        result = Simulator(star_graph(4), NO_CD, seed=0).run(proto)
+        assert result.outputs[0] == (4, 3, None)
+
+    def test_ctx_time_tracks_schedule(self):
+        def proto(ctx):
+            times = [ctx.time]
+            yield Send("x")
+            times.append(ctx.time)
+            yield Idle(10)
+            times.append(ctx.time)
+            yield Listen()
+            times.append(ctx.time)
+            return times
+
+        result = Simulator(path_graph(2), LOCAL, seed=0).run(proto)
+        assert result.outputs[0] == [0, 1, 11, 12]

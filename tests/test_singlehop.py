@@ -1,0 +1,90 @@
+"""Tests for single-hop primitives (leader election, counting)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.graphs import clique
+from repro.sim import CD, CD_FD, Simulator
+from repro.singlehop import (
+    approximate_count_cd_protocol,
+    deterministic_le_cd_protocol,
+    uniform_le_cd_protocol,
+)
+
+
+class TestUniformLeaderElection:
+    @pytest.mark.parametrize("n", [2, 5, 16, 48])
+    def test_elects_unique_leader(self, n):
+        wins = 0
+        for seed in range(6):
+            result = Simulator(clique(n), CD_FD, seed=seed).run(
+                uniform_le_cd_protocol()
+            )
+            outcomes = set(result.outputs)
+            if len(outcomes) == 1 and None not in outcomes:
+                wins += 1
+        assert wins >= 5
+
+    def test_time_is_sublogarithmic_ish(self):
+        # O(log log n) + exponential tail: even n = 256 should elect in
+        # far fewer slots than log2(n) on most seeds.
+        durations = []
+        for seed in range(8):
+            result = Simulator(clique(64), CD_FD, seed=seed).run(
+                uniform_le_cd_protocol()
+            )
+            durations.append(result.duration)
+        durations.sort()
+        assert durations[len(durations) // 2] <= 16
+
+    def test_single_station(self):
+        result = Simulator(clique(2), CD_FD, seed=0).run(uniform_le_cd_protocol())
+        assert len(set(result.outputs)) == 1
+
+
+class TestDeterministicLeaderElection:
+    def test_elects_minimum_id(self):
+        uids = [5, 3, 9, 1, 7, 2, 8, 6, 4]
+        result = Simulator(clique(9), CD, seed=0, uids=uids).run(
+            deterministic_le_cd_protocol(id_space=9)
+        )
+        assert set(result.outputs) == {1}
+
+    def test_energy_logarithmic_in_id_space(self):
+        n, space = 8, 64
+        uids = [8 * i + 1 for i in range(n)]
+        result = Simulator(clique(n), CD, seed=0, uids=uids).run(
+            deterministic_le_cd_protocol(id_space=space)
+        )
+        assert set(result.outputs) == {1}
+        bits = math.ceil(math.log2(space))
+        assert all(e.total <= 3 * bits + 4 for e in result.energy)
+
+    def test_reproducible_across_seeds(self):
+        a = Simulator(clique(6), CD, seed=1).run(deterministic_le_cd_protocol())
+        b = Simulator(clique(6), CD, seed=7).run(deterministic_le_cd_protocol())
+        assert a.outputs == b.outputs
+        assert a.duration == b.duration
+
+
+class TestApproximateCounting:
+    @pytest.mark.parametrize("n", [4, 16, 64])
+    def test_constant_factor_estimate(self, n):
+        good = 0
+        for seed in range(5):
+            result = Simulator(clique(n), CD_FD, seed=seed).run(
+                approximate_count_cd_protocol()
+            )
+            estimate = result.outputs[0]
+            if n / 4 <= estimate <= 4 * n:
+                good += 1
+        assert good >= 4
+
+    def test_all_stations_agree(self):
+        result = Simulator(clique(32), CD_FD, seed=3).run(
+            approximate_count_cd_protocol()
+        )
+        assert len(set(result.outputs)) == 1
