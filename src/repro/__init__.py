@@ -2,11 +2,13 @@
 
 A slot-synchronous multi-hop radio-network simulator with per-device energy
 accounting, the paper's broadcast algorithms in every collision model
-(LOCAL / CD / No-CD / CD*), the single-hop substrates they build on, and
-experiment harnesses reproducing Table 1 and Figure 1.
+(LOCAL / CD / No-CD / CD*), the single-hop substrates they build on,
+experiment harnesses reproducing Table 1 and Figure 1, and a campaign
+subsystem for config-driven, sharded, resumable sweeps
+(``python -m repro campaign run configs/table1.json --jobs 4``).
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 from repro.graphs import (
     Graph,
@@ -19,6 +21,12 @@ from repro.graphs import (
     random_gnp,
     random_regular,
     random_tree,
+)
+from repro.campaign import (
+    CampaignSpec,
+    CampaignStore,
+    aggregate_campaign,
+    run_campaign,
 )
 from repro.sim import (
     BEEPING,
@@ -40,6 +48,10 @@ from repro.sim import (
 
 __all__ = [
     "__version__",
+    "CampaignSpec",
+    "CampaignStore",
+    "aggregate_campaign",
+    "run_campaign",
     "Graph",
     "clique",
     "cycle_graph",

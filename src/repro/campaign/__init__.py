@@ -1,0 +1,79 @@
+"""Campaign subsystem: config-driven, sharded, resumable experiment sweeps.
+
+A *campaign* declares a sweep matrix once — rows × sizes × seeds — in a
+JSON config, shards it into per-cell jobs across worker processes, and
+persists every raw measurement in an append-only JSONL store keyed by a
+content hash of the job.  Re-running a campaign computes only the delta;
+aggregation reconstructs the serial harness's ``SweepPoint`` tables
+(plus spread statistics and bootstrap confidence intervals) on demand.
+
+CLI::
+
+    python -m repro campaign run configs/table1.json --jobs 4
+    python -m repro campaign status configs/table1.json
+    python -m repro campaign report configs/table1.json
+"""
+
+from repro.campaign.aggregate import (
+    aggregate_campaign,
+    campaign_status,
+    cells_for_campaign,
+    render_report,
+    render_status,
+    variant_label,
+)
+from repro.campaign.cells import (
+    CellResult,
+    SweepPoint,
+    aggregate_cells,
+    bootstrap_median_ci,
+    knowledge_for,
+    run_cell,
+)
+from repro.campaign.registry import (
+    GRAPH_FAMILIES,
+    ROW_REGISTRY,
+    RowDefinition,
+    execute_cell,
+    get_row,
+    register_row,
+)
+from repro.campaign.runner import (
+    CampaignRunReport,
+    CellTimeout,
+    execute_job,
+    run_campaign,
+)
+from repro.campaign.spec import CampaignSpec, JobSpec, RowPlan, job_key
+from repro.campaign.store import CampaignStore, make_record
+
+__all__ = [
+    "aggregate_campaign",
+    "campaign_status",
+    "cells_for_campaign",
+    "render_report",
+    "render_status",
+    "variant_label",
+    "CellResult",
+    "SweepPoint",
+    "aggregate_cells",
+    "bootstrap_median_ci",
+    "knowledge_for",
+    "run_cell",
+    "GRAPH_FAMILIES",
+    "ROW_REGISTRY",
+    "RowDefinition",
+    "execute_cell",
+    "get_row",
+    "register_row",
+    "CampaignRunReport",
+    "CellTimeout",
+    "execute_job",
+    "run_campaign",
+    "CampaignSpec",
+    "JobSpec",
+    "RowPlan",
+    "job_key",
+    "CampaignStore",
+    "make_record",
+]

@@ -1,0 +1,151 @@
+"""Rebuild sweep aggregates from a campaign's result store.
+
+The store holds raw per-seed cells; this module groups them back into
+:class:`~repro.campaign.cells.SweepPoint` rows — the same aggregation
+the serial harness performs, via the same :func:`aggregate_cells` —
+and adds min/max/stdev plus bootstrap confidence intervals on top.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.campaign.cells import CellResult, SweepPoint, aggregate_cells
+from repro.campaign.registry import get_row, resolve_bounds
+from repro.campaign.spec import CampaignSpec
+from repro.campaign.store import STATUS_OK, CampaignStore
+
+__all__ = [
+    "variant_label",
+    "cells_for_campaign",
+    "aggregate_campaign",
+    "campaign_status",
+    "render_status",
+    "render_report",
+]
+
+Options = Tuple[Tuple[str, object], ...]
+
+
+def variant_label(row: str, options: Options) -> str:
+    """Display name for a row variant: ``abl-beta[beta=0.15]``."""
+    if not options:
+        return row
+    rendered = ",".join(f"{key}={value}" for key, value in options)
+    return f"{row}[{rendered}]"
+
+
+def cells_for_campaign(
+    spec: CampaignSpec, store: CampaignStore
+) -> Dict[Tuple[str, Options], Dict[int, List[CellResult]]]:
+    """Completed cells, grouped (row, options) -> size -> cells.
+
+    Options are part of the group key so a campaign listing the same
+    row with different options (e.g. the beta ablation) aggregates
+    each variant separately.  Only cells whose job key is part of the
+    campaign's matrix are included, so one store can hold several
+    overlapping campaigns.
+    """
+    records = store.load()
+    grouped: Dict[Tuple[str, Options], Dict[int, List[CellResult]]] = {}
+    seen = set()
+    for job in spec.jobs():
+        key = job.key()
+        if key in seen:  # overlapping row entries name a cell twice
+            continue
+        seen.add(key)
+        record = records.get(key)
+        if not record or record.get("status") != STATUS_OK:
+            continue
+        cell = CellResult.from_dict(record["result"])
+        grouped.setdefault((job.row, job.options), {}).setdefault(
+            job.size, []
+        ).append(cell)
+    return grouped
+
+
+def aggregate_campaign(
+    spec: CampaignSpec, store: CampaignStore, extended: bool = True
+) -> Dict[str, List[SweepPoint]]:
+    """Variant label -> SweepPoints (ascending size) from completed cells.
+
+    The label is the bare row name when the row has no options.
+    """
+    grouped = cells_for_campaign(spec, store)
+    points: Dict[str, List[SweepPoint]] = {}
+    for (row, options), by_size in grouped.items():
+        points[variant_label(row, options)] = [
+            aggregate_cells(by_size[size], extended=extended)
+            for size in sorted(by_size)
+        ]
+    return points
+
+
+def campaign_status(
+    spec: CampaignSpec, store: CampaignStore
+) -> Dict[str, Dict[str, int]]:
+    """Per-row cell accounting: total / ok / failed / pending."""
+    records = store.load()
+    status: Dict[str, Dict[str, int]] = {}
+    seen = set()
+    for job in spec.jobs():
+        key = job.key()
+        if key in seen:
+            continue
+        seen.add(key)
+        row = status.setdefault(
+            job.row, {"total": 0, "ok": 0, "failed": 0, "pending": 0}
+        )
+        row["total"] += 1
+        record = records.get(key)
+        if record is None:
+            row["pending"] += 1
+        elif record.get("status") == STATUS_OK:
+            row["ok"] += 1
+        else:
+            row["failed"] += 1
+    return status
+
+
+def render_status(spec: CampaignSpec, store: CampaignStore) -> str:
+    status = campaign_status(spec, store)
+    total = {key: sum(row[key] for row in status.values())
+             for key in ("total", "ok", "failed", "pending")}
+    lines = [f"campaign {spec.name}: "
+             f"{total['ok']}/{total['total']} cells complete, "
+             f"{total['failed']} failed, {total['pending']} pending"]
+    width = max(len(name) for name in status)
+    for name, row in status.items():
+        bar = "#" * row["ok"] + "!" * row["failed"] + "." * row["pending"]
+        lines.append(
+            f"  {name.ljust(width)}  {row['ok']:>3}/{row['total']:<3} {bar}"
+        )
+    return "\n".join(lines)
+
+
+def render_report(spec: CampaignSpec, store: CampaignStore) -> str:
+    """Render every row's table — identical format (and, for matching
+    seeds, identical medians) to the serial Table 1 runners."""
+    from repro.experiments.harness import format_table
+
+    points = aggregate_campaign(spec, store, extended=True)
+    sections = []
+    for plan in spec.rows:
+        definition = get_row(plan.row)
+        options = tuple(sorted(plan.options.items()))
+        label = variant_label(plan.row, options)
+        title = (
+            definition.title if not options
+            else f"{definition.title}  ({label})"
+        )
+        row_points = points.get(label)
+        if not row_points:
+            sections.append(f"{title}\n  (no completed cells)")
+            continue
+        sections.append(format_table(
+            title,
+            row_points,
+            columns=definition.columns,
+            bounds=resolve_bounds(definition, plan.options),
+        ))
+    return "\n\n".join(sections)

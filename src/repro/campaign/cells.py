@@ -1,0 +1,247 @@
+"""The shared measurement core: one cell = one (row, size, seed) run.
+
+Both execution paths funnel through this module:
+
+* the serial :func:`repro.experiments.harness.sweep` driver, and
+* the sharded :mod:`repro.campaign.runner` executor,
+
+so a campaign's aggregates are the *same computation* as a serial
+sweep's — just with persistence and parallelism layered on top.
+
+:class:`SweepPoint` lives here (re-exported from the harness for
+backwards compatibility) because it is the aggregate both paths emit.
+"""
+
+from __future__ import annotations
+
+import random
+import statistics
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.broadcast.base import BroadcastOutcome, run_broadcast
+from repro.graphs.graph import Graph
+from repro.graphs.properties import diameter as graph_diameter
+from repro.sim.models import ChannelModel
+from repro.sim.node import Knowledge
+
+__all__ = [
+    "SweepPoint",
+    "CellResult",
+    "knowledge_for",
+    "run_cell",
+    "aggregate_cells",
+    "bootstrap_median_ci",
+]
+
+
+@dataclass
+class SweepPoint:
+    """Aggregated measurements at one workload size."""
+
+    label: str
+    n: int
+    max_degree: int
+    diameter: int
+    seeds: int
+    delivered: int
+    time_median: float
+    max_energy_median: float
+    mean_energy_median: float
+    extras: Dict[str, float] = field(default_factory=dict)
+
+    def ratio(self, bound: float) -> float:
+        """Measured worst-vertex energy divided by a claimed bound."""
+        return self.max_energy_median / max(bound, 1e-9)
+
+    def time_ratio(self, bound: float) -> float:
+        return self.time_median / max(bound, 1e-9)
+
+
+@dataclass
+class CellResult:
+    """Raw measurements from one (row, size, seed) cell.
+
+    This is the unit of work a campaign shards, stores, and resumes;
+    the serial sweep produces the identical object in-process.
+    """
+
+    label: str
+    size: int
+    n: int
+    max_degree: int
+    diameter: int
+    seed: int
+    delivered: bool
+    duration: float
+    max_energy: float
+    mean_energy: float
+    extras: Dict[str, float] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict:
+        return {
+            "label": self.label,
+            "size": self.size,
+            "n": self.n,
+            "max_degree": self.max_degree,
+            "diameter": self.diameter,
+            "seed": self.seed,
+            "delivered": bool(self.delivered),
+            "duration": self.duration,
+            "max_energy": self.max_energy,
+            "mean_energy": self.mean_energy,
+            "extras": dict(self.extras),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "CellResult":
+        return cls(
+            label=data["label"],
+            size=int(data["size"]),
+            n=int(data["n"]),
+            max_degree=int(data["max_degree"]),
+            diameter=int(data["diameter"]),
+            seed=int(data["seed"]),
+            delivered=bool(data["delivered"]),
+            duration=data["duration"],
+            max_energy=data["max_energy"],
+            mean_energy=data["mean_energy"],
+            extras=dict(data.get("extras", {})),
+        )
+
+
+def knowledge_for(graph: Graph, id_space_from_n: bool = False) -> Knowledge:
+    """The a-priori knowledge every harness run hands to devices."""
+    return Knowledge(
+        n=graph.n,
+        max_degree=max(graph.max_degree, 1),
+        diameter=graph_diameter(graph),
+        id_space=graph.n if id_space_from_n else None,
+    )
+
+
+def run_cell(
+    graph: Graph,
+    model: ChannelModel,
+    protocol_factory: Callable,
+    *,
+    label: str,
+    size: int,
+    seed: int,
+    source: int = 0,
+    knowledge: Optional[Knowledge] = None,
+    id_space_from_n: bool = False,
+    record_trace: bool = False,
+    extra_metrics: Optional[Callable[[BroadcastOutcome], Dict[str, float]]] = None,
+) -> CellResult:
+    """Execute one broadcast cell and reduce it to storable numbers."""
+    if knowledge is None:
+        knowledge = knowledge_for(graph, id_space_from_n=id_space_from_n)
+    outcome = run_broadcast(
+        graph,
+        model,
+        protocol_factory,
+        source=source,
+        knowledge=knowledge,
+        seed=seed,
+        record_trace=record_trace,
+    )
+    extras = dict(extra_metrics(outcome)) if extra_metrics is not None else {}
+    return CellResult(
+        label=label,
+        size=size,
+        n=graph.n,
+        max_degree=graph.max_degree,
+        diameter=knowledge.diameter,
+        seed=seed,
+        delivered=outcome.delivered,
+        duration=outcome.duration,
+        max_energy=outcome.max_energy,
+        mean_energy=outcome.mean_energy,
+        extras=extras,
+    )
+
+
+def bootstrap_median_ci(
+    values: Sequence[float],
+    resamples: int = 200,
+    confidence: float = 0.9,
+    seed: int = 0,
+) -> tuple:
+    """Percentile-bootstrap confidence interval for the median.
+
+    Deterministic for a given ``seed`` so stored aggregates are
+    reproducible run-to-run.
+    """
+    if not values:
+        return (0.0, 0.0)
+    if len(values) == 1:
+        return (values[0], values[0])
+    rng = random.Random(seed)
+    medians = sorted(
+        statistics.median(rng.choices(values, k=len(values)))
+        for _ in range(resamples)
+    )
+    lo_q = (1.0 - confidence) / 2.0
+    lo = medians[int(lo_q * (resamples - 1))]
+    hi = medians[int((1.0 - lo_q) * (resamples - 1))]
+    return (lo, hi)
+
+
+def aggregate_cells(cells: Sequence[CellResult], extended: bool = False) -> SweepPoint:
+    """Reduce the cells of one (row, size) group to a :class:`SweepPoint`.
+
+    With ``extended=False`` this computes exactly what the original
+    serial sweep computed (medians over seeds); ``extended=True`` adds
+    min/max/stdev and bootstrap confidence intervals to ``extras``.
+
+    Extras are aggregated by median, except pass/fail flags — keys
+    ending in ``_holds`` or ``_ok`` — which aggregate conjunctively
+    (min over 0/1 values): one failing seed must surface as failure,
+    the way the serial lower-bound runners AND their verdicts.
+    """
+    if not cells:
+        raise ValueError("cannot aggregate an empty cell group")
+    cells = sorted(cells, key=lambda c: c.seed)
+    times = [c.duration for c in cells]
+    max_energies = [c.max_energy for c in cells]
+    mean_energies = [c.mean_energy for c in cells]
+    extras_acc: Dict[str, List[float]] = {}
+    for cell in cells:
+        for key, value in cell.extras.items():
+            extras_acc.setdefault(key, []).append(value)
+    extras = {
+        key: (
+            min(values)
+            if key.endswith("_holds") or key.endswith("_ok")
+            else statistics.median(values)
+        )
+        for key, values in extras_acc.items()
+    }
+    if extended:
+        for name, values in (
+            ("time", times),
+            ("max_energy", max_energies),
+            ("mean_energy", mean_energies),
+        ):
+            extras[f"{name}_min"] = min(values)
+            extras[f"{name}_max"] = max(values)
+            extras[f"{name}_stdev"] = (
+                statistics.stdev(values) if len(values) > 1 else 0.0
+            )
+            lo, hi = bootstrap_median_ci(values, seed=cells[0].size)
+            extras[f"{name}_ci_lo"] = lo
+            extras[f"{name}_ci_hi"] = hi
+    head = cells[0]
+    return SweepPoint(
+        label=head.label,
+        n=head.n,
+        max_degree=head.max_degree,
+        diameter=head.diameter,
+        seeds=len(cells),
+        delivered=sum(1 for c in cells if c.delivered),
+        time_median=statistics.median(times),
+        max_energy_median=statistics.median(max_energies),
+        mean_energy_median=statistics.median(mean_energies),
+        extras=extras,
+    )

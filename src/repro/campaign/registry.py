@@ -1,0 +1,503 @@
+"""The campaign row registry: row names -> runnable cell definitions.
+
+Each :class:`RowDefinition` packages everything needed to execute one
+cell of a Table 1 row or ablation — graph family, channel model,
+protocol builder, per-row defaults, and report metadata (bounds for
+the flat-ratio check, columns).  Campaign configs refer to rows by
+name only, so :class:`~repro.campaign.spec.JobSpec` stays a plain
+picklable/JSON-able record and multiprocessing workers re-resolve the
+definition by importing this module.
+
+The row names are the CLI's ``_TABLE1_ROWS`` keys plus the ablations;
+every definition mirrors the corresponding serial runner in
+``repro.experiments.table1`` / ``repro.experiments.ablations`` so a
+campaign reproduces the exact same measurements.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import statistics
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.broadcast import (
+    ClusterBroadcastParams,
+    cluster_broadcast_protocol,
+    decay_broadcast_protocol,
+    theorem11_params,
+    theorem12_params,
+)
+from repro.broadcast.cd_optimal import CDOptimalParams, cd_optimal_broadcast_protocol
+from repro.broadcast.deterministic import (
+    det_cd_broadcast_protocol,
+    det_local_broadcast_protocol,
+)
+from repro.broadcast.dtime import DTimeParams, dtime_broadcast_protocol
+from repro.broadcast.local_sim import local_sim_broadcast_protocol
+from repro.broadcast.path import path_broadcast_protocol
+from repro.campaign.cells import CellResult, run_cell
+from repro.graphs import (
+    cycle_graph,
+    grid_graph,
+    k2k_gadget,
+    path_graph,
+    random_gnp,
+)
+from repro.graphs.graph import Graph
+from repro.lowerbounds import derive_leader_election, energy_before_reception
+from repro.sim.models import MODELS
+
+__all__ = [
+    "RowDefinition",
+    "ROW_REGISTRY",
+    "GRAPH_FAMILIES",
+    "get_row",
+    "register_row",
+    "resolve_bounds",
+    "execute_cell",
+]
+
+_GNP_P = 0.3
+
+
+def _gnp(n: int) -> Graph:
+    return random_gnp(n, _GNP_P, random.Random(n), ensure_connected=True)
+
+
+def _grid_square(n: int) -> Graph:
+    side = int(round(math.sqrt(n)))
+    return grid_graph(side, side)
+
+
+def _k2k(k: int) -> Graph:
+    graph, _, _ = k2k_gadget(k)
+    return graph
+
+
+GRAPH_FAMILIES: Dict[str, Callable[[int], Graph]] = {
+    "gnp": _gnp,
+    "path": path_graph,
+    "cycle": cycle_graph,
+    "grid-square": _grid_square,
+    "k2k": _k2k,
+}
+
+
+def _log2(x: float) -> float:
+    return math.log2(max(2.0, x))
+
+
+@dataclass
+class RowDefinition:
+    """Everything needed to run and report one campaign row.
+
+    ``bounds`` maps column names to bound specs in the format
+    :func:`repro.experiments.harness.format_table` accepts (a plain
+    energy callable or a ``(metric, fn)`` pair); rows whose bound
+    depends on an option (e.g. the CD row's epsilon) use a callable
+    ``options -> bounds dict`` instead — resolve via
+    :func:`resolve_bounds`.
+    """
+
+    name: str
+    title: str
+    model: str
+    graph_family: str
+    builder: Callable[[Graph, Dict], Callable]
+    default_sizes: Tuple[int, ...]
+    default_seeds: Tuple[int, ...]
+    id_space_from_n: bool = False
+    record_trace: bool = False
+    extra_metrics: Optional[Callable] = None
+    bounds: object = field(default_factory=dict)
+    columns: Tuple[str, ...] = (
+        "n", "max_degree", "diameter", "delivered",
+        "time_median", "max_energy_median",
+    )
+    # Escape hatch for rows that are not a single run_broadcast call
+    # (e.g. the beta ablation measures partition statistics directly).
+    custom_cell: Optional[Callable[[str, int, int, Dict], CellResult]] = None
+
+
+def resolve_bounds(definition: RowDefinition, options: Dict) -> Dict:
+    if callable(definition.bounds):
+        return definition.bounds(options)
+    return definition.bounds
+
+
+ROW_REGISTRY: Dict[str, RowDefinition] = {}
+
+
+def register_row(definition: RowDefinition) -> RowDefinition:
+    ROW_REGISTRY[definition.name] = definition
+    return definition
+
+
+def get_row(name: str) -> RowDefinition:
+    try:
+        return ROW_REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown campaign row {name!r}; available: {sorted(ROW_REGISTRY)}"
+        ) from None
+
+
+def execute_cell(row: str, size: int, seed: int, options: Dict) -> CellResult:
+    """Run one (row, size, seed) cell — the worker-side entry point."""
+    definition = get_row(row)
+    if definition.custom_cell is not None:
+        return definition.custom_cell(row, size, seed, options)
+    graph = GRAPH_FAMILIES[definition.graph_family](size)
+    return run_cell(
+        graph,
+        MODELS[definition.model],
+        definition.builder(graph, options),
+        label=row,
+        size=size,
+        seed=seed,
+        id_space_from_n=definition.id_space_from_n,
+        record_trace=definition.record_trace,
+        extra_metrics=definition.extra_metrics,
+    )
+
+
+# --- upper-bound rows (mirror repro.experiments.table1) --------------------
+
+
+register_row(RowDefinition(
+    name="local",
+    title="T1.LOCAL.1  Theorem 11 (LOCAL): energy ~ log n, time ~ n log n",
+    model="LOCAL",
+    graph_family="gnp",
+    builder=lambda g, o: cluster_broadcast_protocol(
+        theorem11_params(g.n, "LOCAL", failure=o.get("failure", 0.02))
+    ),
+    default_sizes=(8, 16, 32),
+    default_seeds=(0, 1, 2),
+    bounds={
+        "log n": ("energy", lambda p: _log2(p.n)),
+        "nlogn time": ("time", lambda p: p.n * _log2(p.n)),
+    },
+))
+
+register_row(RowDefinition(
+    name="nocd",
+    title="T1.noCD.1  Theorem 11 (No-CD): energy ~ log(Delta) log^2 n",
+    model="No-CD",
+    graph_family="gnp",
+    builder=lambda g, o: cluster_broadcast_protocol(
+        theorem11_params(g.n, "No-CD", failure=o.get("failure", 0.02))
+    ),
+    default_sizes=(8, 12, 16),
+    default_seeds=(0, 1, 2),
+    bounds={
+        "logD*log^2n": (
+            "energy", lambda p: _log2(p.max_degree) * _log2(p.n) ** 2
+        ),
+    },
+))
+
+register_row(RowDefinition(
+    name="dtime",
+    title="T1.noCD.2  Theorem 16 (No-CD): polylog energy at growing D",
+    model="No-CD",
+    graph_family="cycle",
+    builder=lambda g, o: dtime_broadcast_protocol(
+        lambda n, d: DTimeParams.for_graph(
+            n, d, beta=o.get("beta", 0.4), iterations=2,
+            contention=2, reps=4, failure=o.get("failure", 0.05),
+        )
+    ),
+    default_sizes=(8, 12, 16),
+    default_seeds=(0, 1),
+    bounds={"log^4 n": ("energy", lambda p: _log2(p.n) ** 4)},
+))
+
+register_row(RowDefinition(
+    name="bounded",
+    title="T1.noCD.3  Corollary 13 (No-CD, Delta=2): energy ~ log n",
+    model="No-CD",
+    graph_family="path",
+    builder=lambda g, o: local_sim_broadcast_protocol(
+        failure=o.get("failure", 0.02)
+    ),
+    default_sizes=(8, 12, 16),
+    default_seeds=(0, 1, 2),
+    bounds={"log n": ("energy", lambda p: _log2(p.n))},
+))
+
+register_row(RowDefinition(
+    name="cd",
+    title="T1.CD.1  Theorem 12 (CD): energy ~ log^2 n / (eps loglog n)",
+    model="CD",
+    graph_family="gnp",
+    builder=lambda g, o: cluster_broadcast_protocol(
+        theorem12_params(
+            g.n, epsilon=o.get("epsilon", 0.5), failure=o.get("failure", 0.02)
+        )
+    ),
+    default_sizes=(8, 12, 16),
+    default_seeds=(0, 1, 2),
+    bounds=lambda o: {
+        "log^2n/llog": (
+            "energy",
+            lambda p: _log2(p.n) ** 2
+            / (o.get("epsilon", 0.5) * max(1.0, math.log2(_log2(p.n)))),
+        ),
+    },
+))
+
+register_row(RowDefinition(
+    name="cd-optimal",
+    title="T1.CD.2  Theorem 20 (CD): energy ~ log n (loglog Delta factors)",
+    model="CD",
+    graph_family="gnp",
+    builder=lambda g, o: cd_optimal_broadcast_protocol(
+        CDOptimalParams.for_graph(g.n, g.max_degree, iterations=3, rounds_s=2)
+    ),
+    default_sizes=(8, 12),
+    default_seeds=(0, 1),
+    bounds={"log n": ("energy", lambda p: _log2(p.n))},
+))
+
+register_row(RowDefinition(
+    name="det-local",
+    title="T1.det.LOCAL  Theorem 25: energy ~ log n log N",
+    model="LOCAL",
+    graph_family="cycle",
+    builder=lambda g, o: det_local_broadcast_protocol(),
+    default_sizes=(6, 8, 12),
+    default_seeds=(0,),
+    id_space_from_n=True,
+    bounds={"logn*logN": ("energy", lambda p: _log2(p.n) ** 2)},
+))
+
+register_row(RowDefinition(
+    name="det-cd",
+    title="T1.det.CD  Theorem 27: energy ~ log^3 N log n",
+    model="CD",
+    graph_family="cycle",
+    builder=lambda g, o: det_cd_broadcast_protocol(),
+    default_sizes=(4, 6, 8),
+    default_seeds=(0,),
+    id_space_from_n=True,
+    bounds={"log^3N*logn": ("energy", lambda p: _log2(p.n) ** 4)},
+))
+
+register_row(RowDefinition(
+    name="path",
+    title="Thm 21 (path): mean energy ~ log n, time <= 2n",
+    model="LOCAL",
+    graph_family="path",
+    builder=lambda g, o: path_broadcast_protocol(oriented=True),
+    default_sizes=(64, 256, 1024),
+    default_seeds=(0, 1, 2, 3),
+    columns=(
+        "n", "diameter", "delivered", "time_median",
+        "max_energy_median", "mean_energy_median",
+    ),
+    bounds={
+        "ln(2n)": ("energy", lambda p: math.log(2 * p.n)),
+        "2n time": ("time", lambda p: 2.0 * p.n),
+    },
+))
+
+register_row(RowDefinition(
+    name="decay",
+    title="Baseline (BGI decay, No-CD grid): energy ~ D log Delta log n",
+    model="No-CD",
+    graph_family="grid-square",
+    builder=lambda g, o: decay_broadcast_protocol(
+        failure=o.get("failure", 0.02)
+    ),
+    default_sizes=(16, 36, 64),
+    default_seeds=(0, 1, 2),
+    bounds={
+        "D*logD*logn": (
+            "energy",
+            lambda p: p.diameter * _log2(p.max_degree) * _log2(p.n),
+        ),
+    },
+))
+
+
+# --- lower-bound rows ------------------------------------------------------
+
+
+def _worst_pre_reception(outcome) -> Dict[str, float]:
+    worst = float(energy_before_reception(outcome).worst)
+    lower_bound = math.log2(len(outcome.sim.outputs)) / 5
+    return {
+        "worst_pre_reception": worst,
+        "lower_bound": lower_bound,
+        # Aggregates conjunctively (see aggregate_cells): a single seed
+        # below the Theorem 1 bound flags the whole size as failing.
+        "lb_ok": 1.0 if worst >= lower_bound else 0.0,
+    }
+
+
+register_row(RowDefinition(
+    name="lb-path",
+    title="T1.LOCAL.LB  Theorem 1: worst pre-reception energy vs (1/5) log2 n",
+    model="LOCAL",
+    graph_family="path",
+    builder=lambda g, o: path_broadcast_protocol(oriented=True),
+    default_sizes=(64, 256, 1024),
+    default_seeds=(0, 1, 2, 3, 4),
+    record_trace=True,
+    extra_metrics=_worst_pre_reception,
+    columns=(
+        "n", "diameter", "delivered",
+        "worst_pre_reception", "lower_bound", "lb_ok",
+    ),
+    bounds={},
+))
+
+
+def _reduction_metrics(outcome) -> Dict[str, float]:
+    # The K_{2,k} gadget always has s=0, t=1 (see k2k_gadget).
+    report = derive_leader_election(outcome, 0, 1)
+    return {
+        "le_time": float(report.le_time),
+        "broadcast_energy": float(report.broadcast_energy),
+        "bound_holds": 1.0 if report.bound_holds else 0.0,
+    }
+
+
+register_row(RowDefinition(
+    name="lb-reduction",
+    title="T1.*.LB  Theorem 2 reduction on K_{2,k}: T_LE <= 2E",
+    model="No-CD",
+    graph_family="k2k",
+    builder=lambda g, o: decay_broadcast_protocol(
+        failure=o.get("failure", 0.01)
+    ),
+    default_sizes=(2, 4, 8, 16),
+    default_seeds=(0, 1, 2),
+    record_trace=True,
+    extra_metrics=_reduction_metrics,
+    columns=("n", "le_time", "broadcast_energy", "bound_holds"),
+    bounds={},
+))
+
+
+# --- ablations (mirror repro.experiments.ablations) ------------------------
+
+
+def _probe_builder(probe: bool):
+    def build(g: Graph, o: Dict):
+        base = theorem11_params(g.n, "CD", failure=o.get("failure", 0.02))
+        return cluster_broadcast_protocol(ClusterBroadcastParams(
+            model_name="CD", survive_p=base.survive_p, spread_s=base.spread_s,
+            iterations=base.iterations,
+            gl_diameter_bound=base.gl_diameter_bound,
+            failure=base.failure, probe=probe,
+        ))
+    return build
+
+
+register_row(RowDefinition(
+    name="abl-probe",
+    title="ABL.probe  Remark 9 probes ON (CD, Theorem 11 params)",
+    model="CD",
+    graph_family="gnp",
+    builder=_probe_builder(True),
+    default_sizes=(12,),
+    default_seeds=(0, 1, 2),
+))
+
+register_row(RowDefinition(
+    name="abl-noprobe",
+    title="ABL.probe  Remark 9 probes OFF (CD, Theorem 11 params)",
+    model="CD",
+    graph_family="gnp",
+    builder=_probe_builder(False),
+    default_sizes=(12,),
+    default_seeds=(0, 1, 2),
+))
+
+register_row(RowDefinition(
+    name="abl-ps-thm11",
+    title="ABL.ps  Theorem 11 knobs (p=1/2, s=1) in CD",
+    model="CD",
+    graph_family="gnp",
+    builder=lambda g, o: cluster_broadcast_protocol(
+        theorem11_params(g.n, "CD", failure=o.get("failure", 0.02))
+    ),
+    default_sizes=(12,),
+    default_seeds=(0, 1),
+))
+
+register_row(RowDefinition(
+    name="abl-ps-thm12",
+    title="ABL.ps  Theorem 12 knobs (small p, s=log n) in CD",
+    model="CD",
+    graph_family="gnp",
+    builder=lambda g, o: cluster_broadcast_protocol(
+        theorem12_params(
+            g.n, epsilon=o.get("epsilon", 0.5), failure=o.get("failure", 0.02)
+        )
+    ),
+    default_sizes=(12,),
+    default_seeds=(0, 1),
+))
+
+
+def _beta_cell(row: str, size: int, seed: int, options: Dict) -> CellResult:
+    """Partition(beta) statistics on a cycle — not a broadcast run."""
+    from repro.core.partition import (
+        PartitionParams,
+        partition_once,
+        partition_result_clusters,
+    )
+    from repro.core.schemes import SRScheme
+    from repro.graphs.properties import diameter as graph_diameter
+    from repro.sim import NO_CD, Simulator
+
+    beta = float(options.get("beta", 0.3))
+    failure = float(options.get("failure", 0.02))
+    graph = cycle_graph(size)
+    scheme = SRScheme("No-CD", 2, failure=failure)
+    params = PartitionParams(beta=beta, n=size, failure=failure)
+
+    def proto(ctx):
+        out = yield from partition_once(ctx, scheme, params)
+        return out
+
+    result = Simulator(graph, NO_CD, seed=seed).run(proto)
+    clusters = [c for c, _, _ in result.outputs]
+    cut = sum(1 for u, v in graph.edges if clusters[u] != clusters[v])
+    n_clusters = len(partition_result_clusters(result.outputs)[0])
+    return CellResult(
+        label=row,
+        size=size,
+        n=graph.n,
+        max_degree=graph.max_degree,
+        diameter=graph_diameter(graph),
+        seed=seed,
+        delivered=True,
+        duration=result.duration,
+        max_energy=result.max_energy,
+        mean_energy=result.mean_energy,
+        extras={
+            "beta": beta,
+            "edge_cut_rate": cut / len(graph.edges),
+            "clusters": float(n_clusters),
+            "lemma14_bound": 2 * beta,
+        },
+    )
+
+
+register_row(RowDefinition(
+    name="abl-beta",
+    title="ABL.beta  Partition(beta) on a cycle (Lemma 14/15)",
+    model="No-CD",
+    graph_family="cycle",
+    builder=lambda g, o: None,  # unused: custom_cell below runs the cell
+    default_sizes=(40,),
+    default_seeds=(0, 1, 2),
+    custom_cell=_beta_cell,
+    columns=("n", "beta", "edge_cut_rate", "lemma14_bound", "clusters"),
+))

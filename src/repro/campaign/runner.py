@@ -1,0 +1,220 @@
+"""Campaign executor: shard cells across workers, persist every result.
+
+One job = one (row, size, seed) cell.  The runner
+
+* skips every cell whose content-hash key already has an ``ok`` record
+  in the store (resumability / caching — re-runs compute only the delta),
+* isolates crashes: a cell that raises is recorded as ``status=error``
+  and the campaign continues,
+* enforces a per-job wall-clock timeout via ``SIGALRM`` inside the
+  worker process, so one diverging protocol cannot wedge the sweep,
+* with ``jobs > 1`` fans cells out over a ``ProcessPoolExecutor``;
+  with ``jobs <= 1`` it runs them in-process (same code path as the
+  serial harness — both funnel through
+  :func:`repro.campaign.registry.execute_cell`).
+"""
+
+from __future__ import annotations
+
+import math
+import signal
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.campaign.spec import CampaignSpec, JobSpec
+from repro.campaign.store import (
+    STATUS_ERROR,
+    STATUS_OK,
+    STATUS_TIMEOUT,
+    CampaignStore,
+    make_record,
+)
+
+__all__ = ["CellTimeout", "CampaignRunReport", "execute_job", "run_campaign"]
+
+
+class CellTimeout(RuntimeError):
+    """A cell exceeded its per-job wall-clock budget."""
+
+
+@dataclass
+class CampaignRunReport:
+    """What one ``run_campaign`` invocation did.
+
+    ``ran`` counts cells that actually produced a record this run;
+    ``aborted`` is set when the worker pool died and cells were left
+    pending (a re-run resumes them).
+    """
+
+    total: int
+    skipped: int
+    ran: int
+    ok: int
+    errors: int
+    timeouts: int
+    elapsed: float
+    aborted: bool = False
+    failed_jobs: List[Dict] = field(default_factory=list)
+
+    @property
+    def all_ok(self) -> bool:
+        return self.errors == 0 and self.timeouts == 0 and not self.aborted
+
+    def summary(self) -> str:
+        text = (
+            f"{self.total} cells: {self.skipped} cached, {self.ok} computed, "
+            f"{self.errors} errors, {self.timeouts} timeouts "
+            f"({self.elapsed:.1f}s)"
+        )
+        if self.aborted:
+            pending = self.total - self.skipped - self.ran
+            text += f"; ABORTED with {pending} cells pending (re-run to resume)"
+        return text
+
+
+def _alarm_handler(signum, frame):
+    raise CellTimeout("cell exceeded its time budget")
+
+
+def execute_job(payload: Dict) -> Dict:
+    """Run one cell and wrap the outcome in a store record.
+
+    Module-level (picklable) so it serves as the multiprocessing worker
+    entry point; also called directly for serial runs.  Never raises —
+    failures become ``error``/``timeout`` records.
+    """
+    job = JobSpec.from_dict(payload["job"])
+    timeout = payload.get("timeout")
+    key = job.key()
+    start = time.monotonic()
+    use_alarm = bool(timeout) and hasattr(signal, "SIGALRM")
+    previous_handler = None
+    if use_alarm:
+        try:
+            previous_handler = signal.signal(signal.SIGALRM, _alarm_handler)
+            signal.alarm(max(1, math.ceil(timeout)))
+        except ValueError:  # not the main thread: run without a budget
+            use_alarm = False
+    try:
+        from repro.campaign.registry import execute_cell
+
+        cell = execute_cell(job.row, job.size, job.seed, job.options_dict)
+        if use_alarm:  # the cell is computed; don't let the alarm fire
+            signal.alarm(0)  # while the record is being assembled
+        return make_record(
+            key, job.to_dict(), STATUS_OK,
+            result=cell.to_dict(), elapsed=time.monotonic() - start,
+        )
+    except CellTimeout:
+        return make_record(
+            key, job.to_dict(), STATUS_TIMEOUT,
+            error=f"timed out after {timeout}s",
+            elapsed=time.monotonic() - start,
+        )
+    except Exception:
+        return make_record(
+            key, job.to_dict(), STATUS_ERROR,
+            error=traceback.format_exc(limit=20),
+            elapsed=time.monotonic() - start,
+        )
+    finally:
+        if use_alarm:
+            signal.alarm(0)
+            signal.signal(signal.SIGALRM, previous_handler)
+
+
+def run_campaign(
+    spec: CampaignSpec,
+    store: CampaignStore,
+    jobs: int = 1,
+    timeout: Optional[float] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> CampaignRunReport:
+    """Execute every not-yet-completed cell of ``spec`` into ``store``."""
+    spec.validate()
+    say = progress or (lambda message: None)
+    # Overlapping row entries can name the same cell twice; count and
+    # execute each unique key once (aggregation dedupes the same way).
+    all_jobs, seen = [], set()
+    for job in spec.jobs():
+        key = job.key()
+        if key not in seen:
+            seen.add(key)
+            all_jobs.append(job)
+    done = store.completed_keys()
+    pending = [job for job in all_jobs if job.key() not in done]
+    say(
+        f"campaign {spec.name}: {len(all_jobs)} cells, "
+        f"{len(all_jobs) - len(pending)} cached, {len(pending)} to run"
+    )
+    start = time.monotonic()
+    counts = {STATUS_OK: 0, STATUS_ERROR: 0, STATUS_TIMEOUT: 0}
+    failed: List[Dict] = []
+
+    def record_outcome(record: Dict) -> None:
+        store.append(record)
+        counts[record["status"]] = counts.get(record["status"], 0) + 1
+        job = record["job"]
+        tag = f"{job['row']}/n={job['size']}/seed={job['seed']}"
+        if record["status"] == STATUS_OK:
+            say(f"  ok {tag} ({record['elapsed']:.2f}s)")
+        else:
+            failed.append(job)
+            say(f"  {record['status'].upper()} {tag}")
+
+    payloads = [
+        {"job": job.to_dict(), "timeout": timeout} for job in pending
+    ]
+    aborted = False
+    if jobs <= 1 or len(pending) <= 1:
+        for payload in payloads:
+            record_outcome(execute_job(payload))
+    else:
+        from concurrent.futures import ProcessPoolExecutor
+        from concurrent.futures import as_completed
+        from concurrent.futures.process import BrokenProcessPool
+
+        with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
+            futures = {
+                pool.submit(execute_job, payload): payload
+                for payload in payloads
+            }
+            for future in as_completed(futures):
+                payload = futures[future]
+                try:
+                    record = future.result()
+                except BrokenProcessPool:
+                    # A worker died hard (segfault / OOM-kill).  Which
+                    # cell killed it is not attributable from here —
+                    # every unfinished future fails with this error — so
+                    # record nothing: the unfinished cells stay pending
+                    # and the next run resumes (and retries) them.
+                    aborted = True
+                    say(
+                        "  ABORT: a worker process died; remaining cells "
+                        "stay pending — re-run to resume"
+                    )
+                    break
+                except Exception as exc:  # pickling/submission failures
+                    job = JobSpec.from_dict(payload["job"])
+                    record_outcome(make_record(
+                        job.key(), job.to_dict(), STATUS_ERROR,
+                        error=f"executor failure: {exc!r}",
+                    ))
+                else:
+                    record_outcome(record)
+
+    ran = sum(counts.values())
+    return CampaignRunReport(
+        total=len(all_jobs),
+        skipped=len(all_jobs) - len(pending),
+        ran=ran,
+        ok=counts[STATUS_OK],
+        errors=counts[STATUS_ERROR],
+        timeouts=counts[STATUS_TIMEOUT],
+        elapsed=time.monotonic() - start,
+        aborted=aborted,
+        failed_jobs=failed,
+    )

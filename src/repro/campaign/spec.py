@@ -1,0 +1,241 @@
+"""Declarative campaign specifications.
+
+A campaign is a JSON-loadable description of a sweep matrix: which
+Table 1 rows to run, at which sizes, over which seeds, with which
+options.  It expands to a flat list of :class:`JobSpec` cells — one
+per (row, size, seed) — each with a stable content-hash key used by
+the result store for caching and resumability.
+
+Example config (``configs/table1.json``)::
+
+    {
+      "name": "table1",
+      "description": "Full Table 1 matrix",
+      "defaults": {"seeds": [0, 1, 2]},
+      "rows": [
+        {"row": "local", "sizes": [8, 16, 32]},
+        {"row": "path", "sizes": [64, 256], "seeds": [0, 1, 2, 3]}
+      ]
+    }
+
+Sizes and seeds omitted from a row entry fall back first to the
+campaign-level ``defaults`` block, then to the registry's per-row
+defaults (which match the serial Table 1 runners).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+__all__ = ["JobSpec", "RowPlan", "CampaignSpec", "job_key"]
+
+# Bump when the meaning of a job's stored payload changes incompatibly
+# (e.g. a row's recorded extras change); part of the content hash so
+# stale store entries never alias new runs.
+SPEC_VERSION = 2
+
+
+def _canonical(data: Dict) -> str:
+    return json.dumps(data, sort_keys=True, separators=(",", ":"))
+
+
+def job_key(job_dict: Dict) -> str:
+    """Stable content hash of a job description (dict-order independent)."""
+    payload = dict(job_dict)
+    payload["_v"] = SPEC_VERSION
+    return hashlib.sha256(_canonical(payload).encode("utf-8")).hexdigest()[:24]
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One cell of a campaign: a single (row, size, seed) measurement."""
+
+    row: str
+    size: int
+    seed: int
+    options: Tuple[Tuple[str, object], ...] = ()
+
+    @property
+    def options_dict(self) -> Dict[str, object]:
+        return dict(self.options)
+
+    def to_dict(self) -> Dict:
+        data = {"row": self.row, "size": self.size, "seed": self.seed}
+        if self.options:
+            data["options"] = dict(self.options)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "JobSpec":
+        return cls(
+            row=data["row"],
+            size=int(data["size"]),
+            seed=int(data["seed"]),
+            options=tuple(sorted((data.get("options") or {}).items())),
+        )
+
+    def key(self) -> str:
+        return job_key(self.to_dict())
+
+
+@dataclass
+class RowPlan:
+    """One row entry of a campaign: a registry row × sizes × seeds."""
+
+    row: str
+    sizes: Optional[Tuple[int, ...]] = None
+    seeds: Optional[Tuple[int, ...]] = None
+    options: Dict[str, object] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict:
+        data: Dict = {"row": self.row}
+        if self.sizes is not None:
+            data["sizes"] = list(self.sizes)
+        if self.seeds is not None:
+            data["seeds"] = list(self.seeds)
+        if self.options:
+            data["options"] = dict(self.options)
+        return data
+
+
+@dataclass
+class CampaignSpec:
+    """A named, fully declarative experiment sweep."""
+
+    name: str
+    rows: List[RowPlan]
+    description: str = ""
+    default_sizes: Optional[Tuple[int, ...]] = None
+    default_seeds: Optional[Tuple[int, ...]] = None
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "CampaignSpec":
+        if "name" not in data:
+            raise ValueError("campaign config needs a 'name'")
+        raw_rows = data.get("rows")
+        if not raw_rows:
+            raise ValueError("campaign config needs a non-empty 'rows' list")
+        defaults = data.get("defaults") or {}
+        unknown_defaults = sorted(set(defaults) - {"sizes", "seeds"})
+        if unknown_defaults:
+            raise ValueError(
+                f"'defaults' has unknown keys {unknown_defaults}; "
+                f"expected 'sizes' and/or 'seeds'"
+            )
+        for axis in ("sizes", "seeds"):
+            if axis in defaults and not defaults[axis]:
+                raise ValueError(f"'defaults' has empty {axis!r}")
+        rows = []
+        for entry in raw_rows:
+            if isinstance(entry, str):
+                entry = {"row": entry}
+            if "row" not in entry:
+                raise ValueError(f"row entry missing 'row': {entry!r}")
+            unknown_keys = sorted(
+                set(entry) - {"row", "sizes", "seeds", "options"}
+            )
+            if unknown_keys:
+                raise ValueError(
+                    f"row {entry['row']!r} has unknown keys {unknown_keys}; "
+                    f"expected 'sizes', 'seeds', 'options'"
+                )
+            for axis in ("sizes", "seeds"):
+                if axis in entry and not entry[axis]:
+                    raise ValueError(
+                        f"row {entry['row']!r} has empty {axis!r}; drop the "
+                        f"key to use defaults or remove the row entirely"
+                    )
+            # Coerce axes to int at parse time: job keys are content
+            # hashes, so 8.0 vs 8 would silently split cache identities
+            # between the parent and the worker's round-tripped payload.
+            rows.append(
+                RowPlan(
+                    row=entry["row"],
+                    sizes=(
+                        tuple(int(s) for s in entry["sizes"])
+                        if "sizes" in entry else None
+                    ),
+                    seeds=(
+                        tuple(int(s) for s in entry["seeds"])
+                        if "seeds" in entry else None
+                    ),
+                    options=dict(entry.get("options") or {}),
+                )
+            )
+        return cls(
+            name=data["name"],
+            rows=rows,
+            description=data.get("description", ""),
+            default_sizes=(
+                tuple(int(s) for s in defaults["sizes"])
+                if "sizes" in defaults else None
+            ),
+            default_seeds=(
+                tuple(int(s) for s in defaults["seeds"])
+                if "seeds" in defaults else None
+            ),
+        )
+
+    @classmethod
+    def from_json_file(cls, path: str) -> "CampaignSpec":
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_dict(json.load(handle))
+
+    def to_dict(self) -> Dict:
+        data: Dict = {"name": self.name, "rows": [r.to_dict() for r in self.rows]}
+        if self.description:
+            data["description"] = self.description
+        defaults: Dict = {}
+        if self.default_sizes is not None:
+            defaults["sizes"] = list(self.default_sizes)
+        if self.default_seeds is not None:
+            defaults["seeds"] = list(self.default_seeds)
+        if defaults:
+            data["defaults"] = defaults
+        return data
+
+    def resolve_sizes_seeds(
+        self, plan: RowPlan, registry_sizes: Sequence[int], registry_seeds: Sequence[int]
+    ) -> Tuple[Tuple[int, ...], Tuple[int, ...]]:
+        sizes = plan.sizes if plan.sizes is not None else (
+            self.default_sizes if self.default_sizes is not None
+            else tuple(registry_sizes)
+        )
+        seeds = plan.seeds if plan.seeds is not None else (
+            self.default_seeds if self.default_seeds is not None
+            else tuple(registry_seeds)
+        )
+        return tuple(sizes), tuple(seeds)
+
+    def jobs(self) -> Iterator[JobSpec]:
+        """Expand the matrix to cells, in deterministic order."""
+        from repro.campaign.registry import get_row
+
+        for plan in self.rows:
+            definition = get_row(plan.row)
+            sizes, seeds = self.resolve_sizes_seeds(
+                plan, definition.default_sizes, definition.default_seeds
+            )
+            options = tuple(sorted(plan.options.items()))
+            for size in sizes:
+                for seed in seeds:
+                    yield JobSpec(
+                        row=plan.row, size=int(size), seed=int(seed),
+                        options=options,
+                    )
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` on unknown rows (before any work starts)."""
+        from repro.campaign.registry import ROW_REGISTRY
+
+        unknown = sorted(
+            {plan.row for plan in self.rows} - set(ROW_REGISTRY)
+        )
+        if unknown:
+            raise ValueError(
+                f"unknown campaign rows {unknown}; "
+                f"available: {sorted(ROW_REGISTRY)}"
+            )

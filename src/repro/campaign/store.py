@@ -1,0 +1,109 @@
+"""Append-only JSONL result store: the campaign's cache and ledger.
+
+Each line is one record::
+
+    {"key": <content hash of the job>, "job": {...}, "status": "ok",
+     "result": {...cell measurements...}, "elapsed": 0.12, "ts": ...}
+
+Records are keyed by :func:`repro.campaign.spec.job_key`, a content
+hash of the job description, so the store doubles as a cache: a
+re-run of the same campaign finds every cell already present and
+computes nothing.  Failed cells are recorded too (``status`` of
+``"error"`` or ``"timeout"``) and are retried on the next run — only
+``"ok"`` records count as completed.  Appends are flushed per record
+so a killed campaign loses at most the in-flight cell.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Dict, Iterator, List, Optional, Set
+
+__all__ = ["CampaignStore", "make_record"]
+
+STATUS_OK = "ok"
+STATUS_ERROR = "error"
+STATUS_TIMEOUT = "timeout"
+
+
+def make_record(
+    key: str,
+    job: Dict,
+    status: str,
+    result: Optional[Dict] = None,
+    error: Optional[str] = None,
+    elapsed: float = 0.0,
+) -> Dict:
+    record = {
+        "key": key,
+        "job": job,
+        "status": status,
+        "elapsed": round(elapsed, 6),
+        "ts": round(time.time(), 3),
+    }
+    if result is not None:
+        record["result"] = result
+    if error is not None:
+        record["error"] = error
+    return record
+
+
+class CampaignStore:
+    """One campaign's results on disk (``<out>/results.jsonl``)."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+
+    # -- reading ------------------------------------------------------------
+
+    def iter_records(self) -> Iterator[Dict]:
+        if not os.path.exists(self.path):
+            return
+        with open(self.path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    yield json.loads(line)
+                except json.JSONDecodeError:
+                    # A torn final line from a killed run; the cell will
+                    # simply be recomputed.
+                    continue
+
+    def load(self) -> Dict[str, Dict]:
+        """Latest record per key (later lines win)."""
+        records: Dict[str, Dict] = {}
+        for record in self.iter_records():
+            records[record["key"]] = record
+        return records
+
+    def completed_keys(self) -> Set[str]:
+        return {
+            key
+            for key, record in self.load().items()
+            if record.get("status") == STATUS_OK
+        }
+
+    def ok_records(self) -> List[Dict]:
+        return [
+            record
+            for record in self.load().values()
+            if record.get("status") == STATUS_OK
+        ]
+
+    def line_count(self) -> int:
+        return sum(1 for _ in self.iter_records())
+
+    # -- writing ------------------------------------------------------------
+
+    def append(self, record: Dict) -> None:
+        directory = os.path.dirname(self.path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())

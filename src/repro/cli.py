@@ -3,14 +3,23 @@
 Commands:
 
 * ``figure1 [--n N] [--seed S]`` — render the Figure 1 timeline.
-* ``table1 [ROW ...]`` — run Table 1 row experiments (default: all).
+* ``table1 [ROW ...] [--seeds N] [--sizes-scale F]`` — run Table 1 row
+  experiments serially (default: all rows).
 * ``ablations`` — run the three ablations.
 * ``demo`` — the quickstart comparison on a 128-hop chain.
+* ``campaign run CONFIG [--jobs N] [--out DIR] [--timeout S]`` — execute
+  a declarative sweep campaign, sharded across worker processes, with
+  results cached in an append-only store (re-runs compute only the delta).
+* ``campaign status CONFIG [--out DIR]`` — per-row completion accounting.
+* ``campaign report CONFIG [--out DIR]`` — render Table-1-style tables
+  from the store.
 """
 
 from __future__ import annotations
 
 import argparse
+import inspect
+import os
 import sys
 from typing import List, Optional
 
@@ -39,6 +48,31 @@ def _cmd_figure1(args) -> int:
     return 0
 
 
+def _row_overrides(fn, seeds: Optional[int], sizes_scale: Optional[float]):
+    """kwargs rescaling a Table 1 runner's default workload.
+
+    ``--seeds N`` replaces the seed tuple with ``range(N)``;
+    ``--sizes-scale F`` multiplies the row's default sizes (the lower
+    bound rows call them ``ks``) by F, clamped to >= 2.
+    """
+    parameters = inspect.signature(fn).parameters
+    kwargs = {}
+    if seeds is not None and "seeds" in parameters:
+        kwargs["seeds"] = tuple(range(seeds))
+    if sizes_scale is not None:
+        for name in ("sizes", "ks"):
+            default = getattr(parameters.get(name), "default", None)
+            if default is not None:
+                scaled = [
+                    max(2, int(round(size * sizes_scale))) for size in default
+                ]
+                # The min-clamp can collapse small sizes onto each other;
+                # drop duplicates but keep the sweep order.
+                kwargs[name] = tuple(dict.fromkeys(scaled))
+                break
+    return kwargs
+
+
 def _cmd_table1(args) -> int:
     import repro.experiments as experiments
 
@@ -47,11 +81,82 @@ def _cmd_table1(args) -> int:
     if unknown:
         print(f"unknown rows: {unknown}; available: {sorted(_TABLE1_ROWS)}")
         return 2
+    if args.seeds is not None and args.seeds < 1:
+        print("--seeds must be >= 1")
+        return 2
+    if args.sizes_scale is not None and args.sizes_scale <= 0:
+        print("--sizes-scale must be > 0")
+        return 2
     for row in rows:
         fn = getattr(experiments, _TABLE1_ROWS[row])
-        _, table = fn()
+        _, table = fn(**_row_overrides(fn, args.seeds, args.sizes_scale))
         print(table)
         print()
+    return 0
+
+
+class _ConfigError(Exception):
+    pass
+
+
+def _campaign_store(args):
+    import json
+
+    from repro.campaign import CampaignSpec, CampaignStore
+
+    try:
+        spec = CampaignSpec.from_json_file(args.config)
+        spec.validate()
+    except FileNotFoundError:
+        raise _ConfigError(f"config not found: {args.config}")
+    except json.JSONDecodeError as exc:
+        raise _ConfigError(f"config is not valid JSON: {args.config}: {exc}")
+    except ValueError as exc:
+        raise _ConfigError(f"bad campaign config {args.config}: {exc}")
+    out = args.out or os.path.join("campaigns", spec.name)
+    return spec, CampaignStore(os.path.join(out, "results.jsonl"))
+
+
+def _campaign_command(fn):
+    def wrapped(args) -> int:
+        try:
+            return fn(args)
+        except _ConfigError as exc:
+            print(exc)
+            return 2
+
+    return wrapped
+
+
+@_campaign_command
+def _cmd_campaign_run(args) -> int:
+    from repro.campaign import render_report, run_campaign
+
+    spec, store = _campaign_store(args)
+    report = run_campaign(
+        spec, store, jobs=args.jobs, timeout=args.timeout, progress=print
+    )
+    print(report.summary())
+    print()
+    print(render_report(spec, store))
+    return 0 if report.all_ok else 1
+
+
+@_campaign_command
+def _cmd_campaign_status(args) -> int:
+    from repro.campaign import render_status
+
+    spec, store = _campaign_store(args)
+    print(render_status(spec, store))
+    return 0
+
+
+@_campaign_command
+def _cmd_campaign_report(args) -> int:
+    from repro.campaign import render_report
+
+    spec, store = _campaign_store(args)
+    print(render_report(spec, store))
     return 0
 
 
@@ -112,6 +217,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_tab.add_argument(
         "rows", nargs="*", help=f"rows to run ({', '.join(sorted(_TABLE1_ROWS))})"
     )
+    p_tab.add_argument(
+        "--seeds", type=int, default=None,
+        help="run each cell with seeds 0..N-1 instead of the row default",
+    )
+    p_tab.add_argument(
+        "--sizes-scale", type=float, default=None,
+        help="multiply each row's default sizes by this factor (min 2)",
+    )
     p_tab.set_defaults(func=_cmd_table1)
 
     p_abl = sub.add_parser("ablations", help="run the ablations")
@@ -119,6 +232,38 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_demo = sub.add_parser("demo", help="decay vs Algorithm 1 on a chain")
     p_demo.set_defaults(func=_cmd_demo)
+
+    p_camp = sub.add_parser(
+        "campaign", help="config-driven, sharded, resumable sweeps"
+    )
+    camp_sub = p_camp.add_subparsers(dest="campaign_command", required=True)
+
+    def add_campaign_common(sub_parser):
+        sub_parser.add_argument("config", help="campaign JSON config path")
+        sub_parser.add_argument(
+            "--out", default=None,
+            help="results directory (default: campaigns/<name>)",
+        )
+
+    p_run = camp_sub.add_parser("run", help="execute pending campaign cells")
+    add_campaign_common(p_run)
+    p_run.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes (1 = in-process serial)",
+    )
+    p_run.add_argument(
+        "--timeout", type=float, default=None,
+        help="per-cell wall-clock budget in seconds",
+    )
+    p_run.set_defaults(func=_cmd_campaign_run)
+
+    p_status = camp_sub.add_parser("status", help="per-row cell accounting")
+    add_campaign_common(p_status)
+    p_status.set_defaults(func=_cmd_campaign_status)
+
+    p_report = camp_sub.add_parser("report", help="render tables from the store")
+    add_campaign_common(p_report)
+    p_report.set_defaults(func=_cmd_campaign_report)
     return parser
 
 

@@ -5,44 +5,42 @@ methodology (DESIGN.md): for each row, sweep the workload size, measure
 time (slots) and worst-vertex energy, divide by the claimed bound, and
 check the ratio stays roughly flat — that is what "the shape holds" means
 at finite sizes.
+
+The per-cell measurement and the seed aggregation live in
+:mod:`repro.campaign.cells`; :func:`sweep` is the thin *serial* driver
+over that shared core, and :mod:`repro.campaign.runner` is the sharded
+one — both produce identical :class:`SweepPoint` aggregates for the
+same seeds.
 """
 
 from __future__ import annotations
 
-import statistics
-from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
-from repro.broadcast.base import BroadcastOutcome, run_broadcast
+from repro.broadcast.base import BroadcastOutcome
+from repro.campaign.cells import (
+    SweepPoint,
+    aggregate_cells,
+    knowledge_for,
+    run_cell,
+)
 from repro.graphs.graph import Graph
-from repro.graphs.properties import diameter as graph_diameter
 from repro.sim.models import ChannelModel
-from repro.sim.node import Knowledge
 
 __all__ = ["SweepPoint", "sweep", "format_table", "geometric_sizes"]
 
+# A bound column is either a plain callable (worst-vertex energy over
+# the bound, the historical form) or a ("energy" | "time", callable)
+# pair selecting which measured median goes in the numerator.
+BoundSpec = Union[
+    Callable[[SweepPoint], float],
+    Tuple[str, Callable[[SweepPoint], float]],
+]
 
-@dataclass
-class SweepPoint:
-    """Aggregated measurements at one workload size."""
-
-    label: str
-    n: int
-    max_degree: int
-    diameter: int
-    seeds: int
-    delivered: int
-    time_median: float
-    max_energy_median: float
-    mean_energy_median: float
-    extras: Dict[str, float] = field(default_factory=dict)
-
-    def ratio(self, bound: float) -> float:
-        """Measured worst-vertex energy divided by a claimed bound."""
-        return self.max_energy_median / max(bound, 1e-9)
-
-    def time_ratio(self, bound: float) -> float:
-        return self.time_median / max(bound, 1e-9)
+_RATIO_METRICS: Dict[str, Callable[[SweepPoint, float], float]] = {
+    "energy": SweepPoint.ratio,
+    "time": SweepPoint.time_ratio,
+}
 
 
 def sweep(
@@ -61,50 +59,23 @@ def sweep(
     points: List[SweepPoint] = []
     for size in sizes:
         graph = graph_factory(size)
-        d = graph_diameter(graph)
-        knowledge = Knowledge(
-            n=graph.n,
-            max_degree=max(graph.max_degree, 1),
-            diameter=d,
-            id_space=graph.n if id_space_from_n else None,
-        )
-        times, max_energies, mean_energies = [], [], []
-        delivered = 0
-        extras_acc: Dict[str, List[float]] = {}
-        for seed in seeds:
-            outcome = run_broadcast(
+        knowledge = knowledge_for(graph, id_space_from_n=id_space_from_n)
+        cells = [
+            run_cell(
                 graph,
                 model,
                 protocol_builder(graph),
+                label=label,
+                size=size,
+                seed=seed,
                 source=source,
                 knowledge=knowledge,
-                seed=seed,
                 record_trace=record_trace,
+                extra_metrics=extra_metrics,
             )
-            delivered += int(outcome.delivered)
-            times.append(outcome.duration)
-            max_energies.append(outcome.max_energy)
-            mean_energies.append(outcome.mean_energy)
-            if extra_metrics is not None:
-                for key, value in extra_metrics(outcome).items():
-                    extras_acc.setdefault(key, []).append(value)
-        points.append(
-            SweepPoint(
-                label=label,
-                n=graph.n,
-                max_degree=graph.max_degree,
-                diameter=d,
-                seeds=len(seeds),
-                delivered=delivered,
-                time_median=statistics.median(times),
-                max_energy_median=statistics.median(max_energies),
-                mean_energy_median=statistics.median(mean_energies),
-                extras={
-                    key: statistics.median(values)
-                    for key, values in extras_acc.items()
-                },
-            )
-        )
+            for seed in seeds
+        ]
+        points.append(aggregate_cells(cells))
     return points
 
 
@@ -117,6 +88,19 @@ def geometric_sizes(start: int, factor: int, count: int) -> List[int]:
     return sizes
 
 
+def _ratio(point: SweepPoint, spec: BoundSpec) -> float:
+    if callable(spec):
+        metric, bound_fn = "energy", spec
+    else:
+        metric, bound_fn = spec
+        if metric not in _RATIO_METRICS:
+            raise ValueError(
+                f"unknown bound metric {metric!r}; "
+                f"expected one of {sorted(_RATIO_METRICS)}"
+            )
+    return _RATIO_METRICS[metric](point, bound_fn(point))
+
+
 def format_table(
     title: str,
     points: Sequence[SweepPoint],
@@ -124,10 +108,15 @@ def format_table(
         "n", "max_degree", "diameter", "delivered",
         "time_median", "max_energy_median",
     ),
-    bounds: Optional[Dict[str, Callable[[SweepPoint], float]]] = None,
+    bounds: Optional[Dict[str, BoundSpec]] = None,
 ) -> str:
     """Render a sweep as a fixed-width text table with optional
-    measured/bound ratio columns (the flat-ratio check)."""
+    measured/bound ratio columns (the flat-ratio check).
+
+    ``bounds`` values may be plain callables (energy ratio) or
+    ``("time", fn)`` / ``("energy", fn)`` pairs to select the measured
+    median used in the numerator.
+    """
     bounds = bounds or {}
     headers = list(columns) + [f"{name} ratio" for name in bounds]
     rows = []
@@ -140,8 +129,8 @@ def format_table(
             if isinstance(value, float):
                 value = f"{value:.1f}"
             row.append(str(value))
-        for name, bound_fn in bounds.items():
-            row.append(f"{point.max_energy_median / max(bound_fn(point), 1e-9):.2f}")
+        for spec in bounds.values():
+            row.append(f"{_ratio(point, spec):.2f}")
         rows.append(row)
     widths = [
         max(len(headers[i]), max((len(r[i]) for r in rows), default=0))

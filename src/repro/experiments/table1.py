@@ -6,36 +6,38 @@ a roughly flat "ratio" column across the sweep is the finite-size
 signature of the claimed growth rate.  EXPERIMENTS.md records the runs.
 
 Experiment ids follow DESIGN.md (T1.<model>.<row>).
+
+The sweep-shaped rows are thin serial wrappers over the campaign row
+registry (:mod:`repro.campaign.registry`) — graph family, protocol
+builder, channel model, bounds, and default matrix all live there, so
+``python -m repro table1`` and ``python -m repro campaign run`` cannot
+drift apart.  Only the two lower-bound rows keep bespoke code: their
+derived-quantity tables (leader-election transcripts, pre-reception
+energy) don't fit the SweepPoint shape.
 """
 
 from __future__ import annotations
 
 import math
-import random
 import statistics
-from typing import Callable, Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.broadcast import (
-    cluster_broadcast_protocol,
-    decay_broadcast_protocol,
-    run_broadcast,
-    theorem11_params,
-    theorem12_params,
-)
-from repro.broadcast.cd_optimal import CDOptimalParams, cd_optimal_broadcast_protocol
-from repro.broadcast.deterministic import (
-    det_cd_broadcast_protocol,
-    det_local_broadcast_protocol,
-)
-from repro.broadcast.dtime import DTimeParams, dtime_broadcast_protocol
-from repro.broadcast.local_sim import local_sim_broadcast_protocol
+from repro.broadcast import decay_broadcast_protocol, run_broadcast
 from repro.broadcast.path import path_broadcast_protocol
-from repro.experiments.harness import SweepPoint, format_table, sweep
-from repro.graphs import cycle_graph, grid_graph, k2k_gadget, path_graph, random_gnp
+from repro.campaign.registry import (
+    GRAPH_FAMILIES,
+    ROW_REGISTRY,
+    get_row,
+    resolve_bounds,
+)
+from repro.experiments.harness import format_table, sweep
+from repro.graphs import k2k_gadget, path_graph
 from repro.lowerbounds import derive_leader_election, energy_before_reception
-from repro.sim import CD, LOCAL, NO_CD, Knowledge
+from repro.sim import LOCAL, NO_CD, Knowledge
+from repro.sim.models import MODELS
 
 __all__ = [
+    "registry_row",
     "t1_nocd_clustering",
     "t1_nocd_dtime",
     "t1_nocd_bounded_degree",
@@ -50,204 +52,136 @@ __all__ = [
     "baseline_decay",
 ]
 
-_SMALL = (8, 12, 16)
-_GNP_P = 0.3
+
+def registry_row(
+    name: str,
+    sizes: Optional[Sequence[int]] = None,
+    seeds: Optional[Sequence[int]] = None,
+    options: Optional[Dict] = None,
+):
+    """Run one registry row serially and render its table.
+
+    The exact computation a campaign shards: same builder, same graph
+    family, same bounds — just driven by the in-process ``sweep()``.
+    """
+    definition = get_row(name)
+    options = options or {}
+    points = sweep(
+        name,
+        GRAPH_FAMILIES[definition.graph_family],
+        sizes if sizes is not None else definition.default_sizes,
+        lambda g: definition.builder(g, options),
+        MODELS[definition.model],
+        seeds=seeds if seeds is not None else definition.default_seeds,
+        id_space_from_n=definition.id_space_from_n,
+        record_trace=definition.record_trace,
+        extra_metrics=definition.extra_metrics,
+    )
+    table = format_table(
+        definition.title,
+        points,
+        columns=definition.columns,
+        bounds=resolve_bounds(definition, options),
+    )
+    return points, table
 
 
-def _gnp(n: int):
-    return random_gnp(n, _GNP_P, random.Random(n), ensure_connected=True)
-
-
-def _log2(x: float) -> float:
-    return math.log2(max(2.0, x))
+def _defaults(name: str) -> Tuple[Tuple[int, ...], Tuple[int, ...]]:
+    definition = ROW_REGISTRY[name]
+    return definition.default_sizes, definition.default_seeds
 
 
 # --- upper-bound rows ------------------------------------------------------
 
+_NOCD_SIZES, _NOCD_SEEDS = _defaults("nocd")
 
-def t1_nocd_clustering(sizes: Sequence[int] = _SMALL, seeds=(0, 1, 2)):
+
+def t1_nocd_clustering(sizes: Sequence[int] = _NOCD_SIZES, seeds=_NOCD_SEEDS):
     """T1.noCD.1 — Theorem 11: O(n logD log^2 n) time, O(logD log^2 n)
     energy in No-CD (logD = log Delta)."""
-    points = sweep(
-        "thm11-NoCD", _gnp, sizes,
-        lambda g: cluster_broadcast_protocol(
-            theorem11_params(g.n, "No-CD", failure=0.02)
-        ),
-        NO_CD, seeds=seeds,
-    )
-    table = format_table(
-        "T1.noCD.1  Theorem 11 (No-CD): energy ~ log(Delta) log^2 n",
-        points,
-        bounds={
-            "logD*log^2n": lambda p: _log2(p.max_degree) * _log2(p.n) ** 2
-        },
-    )
-    return points, table
+    return registry_row("nocd", sizes, seeds)
 
 
-def t1_nocd_dtime(sizes: Sequence[int] = (8, 12, 16), seeds=(0, 1)):
+_DTIME_SIZES, _DTIME_SEEDS = _defaults("dtime")
+
+
+def t1_nocd_dtime(sizes: Sequence[int] = _DTIME_SIZES, seeds=_DTIME_SEEDS):
     """T1.noCD.2 — Theorem 16: O(D^{1+eps} polylog) time, polylog energy."""
-    factory = lambda n, d: DTimeParams.for_graph(
-        n, d, beta=0.4, iterations=2, contention=2, reps=4, failure=0.05
-    )
-    points = sweep(
-        "thm16-NoCD", cycle_graph, sizes,
-        lambda g: dtime_broadcast_protocol(factory),
-        NO_CD, seeds=seeds,
-    )
-    table = format_table(
-        "T1.noCD.2  Theorem 16 (No-CD): polylog energy at growing D",
-        points,
-        bounds={"log^4 n": lambda p: _log2(p.n) ** 4},
-    )
-    return points, table
+    return registry_row("dtime", sizes, seeds)
 
 
-def t1_nocd_bounded_degree(sizes: Sequence[int] = (8, 12, 16), seeds=(0, 1, 2)):
+_BOUNDED_SIZES, _BOUNDED_SEEDS = _defaults("bounded")
+
+
+def t1_nocd_bounded_degree(
+    sizes: Sequence[int] = _BOUNDED_SIZES, seeds=_BOUNDED_SEEDS
+):
     """T1.noCD.3 — Corollary 13: Delta = O(1): O(n log n) time,
     O(log n) energy via LOCAL simulation."""
-    points = sweep(
-        "cor13-NoCD", path_graph, sizes,
-        lambda g: local_sim_broadcast_protocol(failure=0.02),
-        NO_CD, seeds=seeds,
-    )
-    table = format_table(
-        "T1.noCD.3  Corollary 13 (No-CD, Delta=2): energy ~ log n",
-        points,
-        bounds={"log n": lambda p: _log2(p.n)},
-    )
-    return points, table
+    return registry_row("bounded", sizes, seeds)
 
 
-def t1_cd_clustering(sizes: Sequence[int] = _SMALL, seeds=(0, 1, 2), epsilon=0.5):
+_CD_SIZES, _CD_SEEDS = _defaults("cd")
+
+
+def t1_cd_clustering(
+    sizes: Sequence[int] = _CD_SIZES, seeds=_CD_SEEDS, epsilon=0.5
+):
     """T1.CD.1 — Theorem 12: O(log^2 n / (eps loglog n)) energy in CD."""
-    points = sweep(
-        "thm12-CD", _gnp, sizes,
-        lambda g: cluster_broadcast_protocol(
-            theorem12_params(g.n, epsilon=epsilon, failure=0.02)
-        ),
-        CD, seeds=seeds,
-    )
-    table = format_table(
-        "T1.CD.1  Theorem 12 (CD): energy ~ log^2 n / (eps loglog n)",
-        points,
-        bounds={
-            "log^2n/llog": lambda p: _log2(p.n) ** 2
-            / (epsilon * max(1.0, math.log2(_log2(p.n))))
-        },
-    )
-    return points, table
+    return registry_row("cd", sizes, seeds, {"epsilon": epsilon})
 
 
-def t1_cd_optimal(sizes: Sequence[int] = (8, 12), seeds=(0, 1)):
+_CDOPT_SIZES, _CDOPT_SEEDS = _defaults("cd-optimal")
+
+
+def t1_cd_optimal(sizes: Sequence[int] = _CDOPT_SIZES, seeds=_CDOPT_SEEDS):
     """T1.CD.2 — Theorem 20: O(log n loglogD / logloglogD) energy,
     O(Delta n^{1+xi}) time."""
-    points = sweep(
-        "thm20-CD", _gnp, sizes,
-        lambda g: cd_optimal_broadcast_protocol(
-            CDOptimalParams.for_graph(g.n, g.max_degree, iterations=3, rounds_s=2)
-        ),
-        CD, seeds=seeds,
-    )
-    table = format_table(
-        "T1.CD.2  Theorem 20 (CD): energy ~ log n (loglog Delta factors)",
-        points,
-        bounds={"log n": lambda p: _log2(p.n)},
-    )
-    return points, table
+    return registry_row("cd-optimal", sizes, seeds)
 
 
-def t1_local_clustering(sizes: Sequence[int] = (8, 16, 32), seeds=(0, 1, 2)):
+_LOCAL_SIZES, _LOCAL_SEEDS = _defaults("local")
+
+
+def t1_local_clustering(sizes: Sequence[int] = _LOCAL_SIZES, seeds=_LOCAL_SEEDS):
     """T1.LOCAL.1 — Theorem 11 LOCAL row: O(n log n) time, O(log n) energy."""
-    points = sweep(
-        "thm11-LOCAL", _gnp, sizes,
-        lambda g: cluster_broadcast_protocol(
-            theorem11_params(g.n, "LOCAL", failure=0.02)
-        ),
-        LOCAL, seeds=seeds,
-    )
-    table = format_table(
-        "T1.LOCAL.1  Theorem 11 (LOCAL): energy ~ log n, time ~ n log n",
-        points,
-        bounds={"log n": lambda p: _log2(p.n)},
-    )
-    return points, table
+    return registry_row("local", sizes, seeds)
 
 
-def t1_det_local(sizes: Sequence[int] = (6, 8, 12), seeds=(0,)):
+_DETLOCAL_SIZES, _DETLOCAL_SEEDS = _defaults("det-local")
+
+
+def t1_det_local(sizes: Sequence[int] = _DETLOCAL_SIZES, seeds=_DETLOCAL_SEEDS):
     """T1.det.LOCAL — Theorem 25: O(n log n log N) time,
     O(log n log N) energy, deterministic."""
-    points = sweep(
-        "thm25-detLOCAL", cycle_graph, sizes,
-        lambda g: det_local_broadcast_protocol(),
-        LOCAL, seeds=seeds, id_space_from_n=True,
-    )
-    table = format_table(
-        "T1.det.LOCAL  Theorem 25: energy ~ log n log N",
-        points,
-        bounds={"logn*logN": lambda p: _log2(p.n) ** 2},
-    )
-    return points, table
+    return registry_row("det-local", sizes, seeds)
 
 
-def t1_det_cd(sizes: Sequence[int] = (4, 6, 8), seeds=(0,)):
+_DETCD_SIZES, _DETCD_SEEDS = _defaults("det-cd")
+
+
+def t1_det_cd(sizes: Sequence[int] = _DETCD_SIZES, seeds=_DETCD_SEEDS):
     """T1.det.CD — Theorem 27: O(N^2 n log n log N) time,
     O(log^3 N log n) energy, deterministic."""
-    points = sweep(
-        "thm27-detCD", cycle_graph, sizes,
-        lambda g: det_cd_broadcast_protocol(),
-        CD, seeds=seeds, id_space_from_n=True,
-    )
-    table = format_table(
-        "T1.det.CD  Theorem 27: energy ~ log^3 N log n",
-        points,
-        bounds={"log^3N*logn": lambda p: _log2(p.n) ** 4},
-    )
-    return points, table
+    return registry_row("det-cd", sizes, seeds)
 
 
-def t8_path_algorithm(sizes: Sequence[int] = (64, 256, 1024), seeds=(0, 1, 2, 3)):
+_PATH_SIZES, _PATH_SEEDS = _defaults("path")
+
+
+def t8_path_algorithm(sizes: Sequence[int] = _PATH_SIZES, seeds=_PATH_SEEDS):
     """Theorem 21 — the path algorithm: time <= 2n, expected per-vertex
     energy O(log n) (we report the mean-energy column)."""
-    points = sweep(
-        "thm21-path", path_graph, sizes,
-        lambda g: path_broadcast_protocol(oriented=True),
-        LOCAL, seeds=seeds,
-    )
-    table = format_table(
-        "Thm 21 (path): mean energy ~ log n, time <= 2n",
-        points,
-        columns=(
-            "n", "diameter", "delivered", "time_median",
-            "max_energy_median", "mean_energy_median",
-        ),
-        bounds={"ln(2n)": lambda p: math.log(2 * p.n)},
-    )
-    return points, table
+    return registry_row("path", sizes, seeds)
 
 
-def baseline_decay(sizes: Sequence[int] = (16, 36, 64), seeds=(0, 1, 2)):
+_DECAY_SIZES, _DECAY_SEEDS = _defaults("decay")
+
+
+def baseline_decay(sizes: Sequence[int] = _DECAY_SIZES, seeds=_DECAY_SEEDS):
     """The motivating contrast: BGI decay is time-lean but its energy
     grows ~ linearly in D (every uninformed vertex listens non-stop)."""
-
-    def factory(n):
-        side = int(round(math.sqrt(n)))
-        return grid_graph(side, side)
-
-    points = sweep(
-        "decay-baseline", factory, sizes,
-        lambda g: decay_broadcast_protocol(failure=0.02),
-        NO_CD, seeds=seeds,
-    )
-    table = format_table(
-        "Baseline (BGI decay, No-CD grid): energy ~ D log Delta log n",
-        points,
-        bounds={
-            "D*logD*logn": lambda p: p.diameter
-            * _log2(p.max_degree) * _log2(p.n)
-        },
-    )
-    return points, table
+    return registry_row("decay", sizes, seeds)
 
 
 # --- lower-bound rows ------------------------------------------------------

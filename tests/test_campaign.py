@@ -1,0 +1,472 @@
+"""Tests for the campaign subsystem: spec, store, runner, aggregation, CLI."""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.campaign import (
+    ROW_REGISTRY,
+    CampaignSpec,
+    CampaignStore,
+    CellResult,
+    JobSpec,
+    RowDefinition,
+    aggregate_campaign,
+    aggregate_cells,
+    bootstrap_median_ci,
+    execute_cell,
+    execute_job,
+    register_row,
+    render_report,
+    render_status,
+    run_campaign,
+)
+from repro.cli import _TABLE1_ROWS
+
+
+def _tiny_spec(**overrides):
+    data = {
+        "name": "tiny",
+        "rows": [{"row": "bounded", "sizes": [8], "seeds": [0, 1]}],
+    }
+    data.update(overrides)
+    return CampaignSpec.from_dict(data)
+
+
+def _store(tmp_path):
+    return CampaignStore(os.path.join(str(tmp_path), "results.jsonl"))
+
+
+class TestSpec:
+    def test_roundtrip(self):
+        spec = CampaignSpec.from_dict({
+            "name": "x",
+            "description": "d",
+            "defaults": {"seeds": [0, 1]},
+            "rows": [
+                {"row": "bounded", "sizes": [8, 12]},
+                {"row": "abl-beta", "options": {"beta": 0.6}},
+            ],
+        })
+        again = CampaignSpec.from_dict(spec.to_dict())
+        assert [j.to_dict() for j in again.jobs()] == [
+            j.to_dict() for j in spec.jobs()
+        ]
+
+    def test_string_row_entries_use_registry_defaults(self):
+        spec = CampaignSpec.from_dict({"name": "x", "rows": ["path"]})
+        jobs = list(spec.jobs())
+        definition = ROW_REGISTRY["path"]
+        assert len(jobs) == (
+            len(definition.default_sizes) * len(definition.default_seeds)
+        )
+
+    def test_campaign_defaults_override_registry(self):
+        spec = CampaignSpec.from_dict({
+            "name": "x",
+            "defaults": {"sizes": [8], "seeds": [7]},
+            "rows": ["bounded"],
+        })
+        jobs = list(spec.jobs())
+        assert [(j.size, j.seed) for j in jobs] == [(8, 7)]
+
+    def test_validate_rejects_unknown_rows(self):
+        spec = CampaignSpec.from_dict({"name": "x", "rows": ["nope"]})
+        with pytest.raises(ValueError, match="nope"):
+            spec.validate()
+
+    def test_config_requires_rows(self):
+        with pytest.raises(ValueError):
+            CampaignSpec.from_dict({"name": "x", "rows": []})
+
+    def test_unknown_entry_keys_rejected(self):
+        with pytest.raises(ValueError, match="unknown keys \\['size'\\]"):
+            CampaignSpec.from_dict(
+                {"name": "x", "rows": [{"row": "path", "size": [2048]}]}
+            )
+        with pytest.raises(ValueError, match="unknown keys \\['seed'\\]"):
+            CampaignSpec.from_dict(
+                {"name": "x", "defaults": {"seed": [0]}, "rows": ["path"]}
+            )
+
+    def test_explicit_empty_axes_rejected(self):
+        with pytest.raises(ValueError, match="empty 'sizes'"):
+            CampaignSpec.from_dict(
+                {"name": "x", "rows": [{"row": "path", "sizes": []}]}
+            )
+        with pytest.raises(ValueError, match="empty 'seeds'"):
+            CampaignSpec.from_dict(
+                {"name": "x", "rows": [{"row": "path", "seeds": []}]}
+            )
+        with pytest.raises(ValueError, match="empty 'seeds'"):
+            CampaignSpec.from_dict(
+                {"name": "x", "defaults": {"seeds": []}, "rows": ["path"]}
+            )
+
+    def test_job_key_is_content_addressed(self):
+        a = JobSpec(row="path", size=64, seed=0)
+        b = JobSpec.from_dict({"seed": 0, "size": 64, "row": "path"})
+        assert a.key() == b.key()
+        assert a.key() != JobSpec(row="path", size=64, seed=1).key()
+        assert a.key() != JobSpec(
+            row="path", size=64, seed=0, options=(("failure", 0.1),)
+        ).key()
+
+    def test_registry_covers_all_cli_rows(self):
+        assert set(_TABLE1_ROWS) <= set(ROW_REGISTRY)
+
+    def test_non_int_axis_literals_hash_like_ints(self, tmp_path):
+        # JSON configs may carry 8.0 or "8"; keys must match the worker's
+        # int-coerced round trip or resume never gets a cache hit.
+        float_spec = CampaignSpec.from_dict({
+            "name": "x",
+            "rows": [{"row": "path", "sizes": [16.0], "seeds": ["0"]}],
+        })
+        int_spec = CampaignSpec.from_dict({
+            "name": "x",
+            "rows": [{"row": "path", "sizes": [16], "seeds": [0]}],
+        })
+        assert [j.key() for j in float_spec.jobs()] == [
+            j.key() for j in int_spec.jobs()
+        ]
+        store = _store(tmp_path)
+        run_campaign(float_spec, store, jobs=1)
+        again = run_campaign(float_spec, store, jobs=1)
+        assert again.ran == 0 and again.skipped == 1
+        assert aggregate_campaign(float_spec, store)["path"][0].n == 16
+
+    def test_overlapping_rows_execute_and_count_once(self, tmp_path):
+        from repro.campaign import campaign_status
+
+        spec = CampaignSpec.from_dict({
+            "name": "x",
+            "rows": [
+                {"row": "path", "sizes": [8], "seeds": [0]},
+                {"row": "path", "sizes": [8, 16], "seeds": [0]},
+            ],
+        })
+        store = _store(tmp_path)
+        report = run_campaign(spec, store, jobs=1)
+        assert report.total == 2 and report.ok == 2  # not 3
+        assert store.line_count() == 2
+        point = aggregate_campaign(spec, store)["path"][0]
+        assert point.seeds == 1  # the shared cell is not double-counted
+        assert campaign_status(spec, store)["path"]["total"] == 2
+
+
+class TestStore:
+    def test_append_load_last_wins(self, tmp_path):
+        store = _store(tmp_path)
+        store.append({"key": "k1", "job": {}, "status": "error"})
+        store.append({"key": "k1", "job": {}, "status": "ok", "result": {}})
+        store.append({"key": "k2", "job": {}, "status": "ok", "result": {}})
+        assert store.completed_keys() == {"k1", "k2"}
+        assert store.line_count() == 3
+
+    def test_torn_final_line_is_skipped(self, tmp_path):
+        store = _store(tmp_path)
+        store.append({"key": "k1", "job": {}, "status": "ok"})
+        with open(store.path, "a", encoding="utf-8") as handle:
+            handle.write('{"key": "k2", "stat')  # killed mid-write
+        assert store.completed_keys() == {"k1"}
+
+    def test_missing_file_is_empty(self, tmp_path):
+        assert _store(tmp_path).load() == {}
+
+
+class TestRunner:
+    def test_serial_run_and_resume(self, tmp_path):
+        spec, store = _tiny_spec(), _store(tmp_path)
+        report = run_campaign(spec, store, jobs=1)
+        assert report.ok == 2 and report.all_ok
+        again = run_campaign(spec, store, jobs=1)
+        assert again.ran == 0 and again.skipped == 2
+        assert store.line_count() == 2
+
+    def test_parallel_matches_serial(self, tmp_path):
+        spec = _tiny_spec()
+        serial_store = _store(tmp_path / "serial")
+        parallel_store = _store(tmp_path / "parallel")
+        run_campaign(spec, serial_store, jobs=1)
+        report = run_campaign(spec, parallel_store, jobs=2)
+        assert report.all_ok
+        serial = aggregate_campaign(spec, serial_store)["bounded"][0]
+        parallel = aggregate_campaign(spec, parallel_store)["bounded"][0]
+        assert serial.time_median == parallel.time_median
+        assert serial.max_energy_median == parallel.max_energy_median
+        assert serial.mean_energy_median == parallel.mean_energy_median
+
+    def test_crashing_cell_is_isolated(self, tmp_path, crashing_row):
+        spec = CampaignSpec.from_dict({
+            "name": "x",
+            "rows": [
+                {"row": crashing_row, "sizes": [4], "seeds": [0]},
+                {"row": "bounded", "sizes": [8], "seeds": [0]},
+            ],
+        })
+        store = _store(tmp_path)
+        report = run_campaign(spec, store, jobs=1)
+        assert report.errors == 1 and report.ok == 1
+        records = list(store.load().values())
+        failed = [r for r in records if r["status"] == "error"]
+        assert len(failed) == 1 and "boom" in failed[0]["error"]
+
+    def test_timeout_kills_only_the_slow_cell(self, tmp_path, sleeping_row):
+        spec = CampaignSpec.from_dict({
+            "name": "x",
+            "rows": [
+                {"row": sleeping_row, "sizes": [4], "seeds": [0]},
+                {"row": "bounded", "sizes": [8], "seeds": [0]},
+            ],
+        })
+        store = _store(tmp_path)
+        report = run_campaign(spec, store, jobs=1, timeout=1)
+        assert report.timeouts == 1 and report.ok == 1
+
+    def test_failed_cells_retry_on_rerun(self, tmp_path, crashing_row):
+        spec = CampaignSpec.from_dict({
+            "name": "x", "rows": [{"row": crashing_row, "sizes": [4], "seeds": [0]}]
+        })
+        store = _store(tmp_path)
+        run_campaign(spec, store, jobs=1)
+        report = run_campaign(spec, store, jobs=1)
+        assert report.ran == 1  # errored cell is not treated as cached
+
+    def test_execute_job_record_shape(self):
+        record = execute_job(
+            {"job": {"row": "path", "size": 16, "seed": 0}, "timeout": None}
+        )
+        assert record["status"] == "ok"
+        assert record["key"] == JobSpec(row="path", size=16, seed=0).key()
+        assert record["result"]["n"] == 16
+        # Records must survive a JSON round-trip unchanged (store contract).
+        assert json.loads(json.dumps(record)) == record
+
+
+@pytest.fixture
+def crashing_row():
+    def cell(row, size, seed, options):
+        raise ValueError("boom")
+
+    name = "_test-crash"
+    register_row(RowDefinition(
+        name=name, title="crash", model="LOCAL", graph_family="path",
+        builder=lambda g, o: None, default_sizes=(4,), default_seeds=(0,),
+        custom_cell=cell,
+    ))
+    yield name
+    ROW_REGISTRY.pop(name, None)
+
+
+@pytest.fixture
+def sleeping_row():
+    def cell(row, size, seed, options):
+        time.sleep(30)
+
+    name = "_test-sleep"
+    register_row(RowDefinition(
+        name=name, title="sleep", model="LOCAL", graph_family="path",
+        builder=lambda g, o: None, default_sizes=(4,), default_seeds=(0,),
+        custom_cell=cell,
+    ))
+    yield name
+    ROW_REGISTRY.pop(name, None)
+
+
+class TestAggregate:
+    def _cells(self, values):
+        return [
+            CellResult(
+                label="x", size=8, n=8, max_degree=2, diameter=7, seed=i,
+                delivered=True, duration=v, max_energy=v / 2, mean_energy=v / 4,
+            )
+            for i, v in enumerate(values)
+        ]
+
+    def test_extended_stats(self):
+        point = aggregate_cells(self._cells([10.0, 20.0, 30.0]), extended=True)
+        assert point.time_median == 20.0
+        assert point.extras["time_min"] == 10.0
+        assert point.extras["time_max"] == 30.0
+        assert point.extras["time_stdev"] == 10.0
+        assert (
+            point.extras["time_ci_lo"]
+            <= point.time_median
+            <= point.extras["time_ci_hi"]
+        )
+
+    def test_flag_extras_aggregate_conjunctively(self):
+        # One failing seed must flag the whole group, matching the
+        # serial lower-bound runners' AND over seeds.
+        cells = self._cells([10.0, 20.0, 30.0])
+        for i, ok in enumerate((1.0, 1.0, 0.0)):
+            cells[i].extras = {"bound_holds": ok, "lb_ok": ok, "le_time": 5.0 + i}
+        point = aggregate_cells(cells)
+        assert point.extras["bound_holds"] == 0.0
+        assert point.extras["lb_ok"] == 0.0
+        assert point.extras["le_time"] == 6.0  # non-flags stay medians
+
+    def test_lb_path_cell_reports_theorem1_bound(self):
+        cell = execute_cell("lb-path", 64, 0, {})
+        assert cell.extras["lower_bound"] == pytest.approx(6 / 5)
+        assert cell.extras["lb_ok"] == 1.0
+        assert cell.extras["worst_pre_reception"] >= cell.extras["lower_bound"]
+
+    def test_plain_aggregation_has_no_extended_keys(self):
+        point = aggregate_cells(self._cells([10.0, 20.0]))
+        assert "time_min" not in point.extras
+
+    def test_empty_group_rejected(self):
+        with pytest.raises(ValueError):
+            aggregate_cells([])
+
+    def test_bootstrap_ci_deterministic(self):
+        values = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0]
+        assert bootstrap_median_ci(values, seed=7) == bootstrap_median_ci(
+            values, seed=7
+        )
+        lo, hi = bootstrap_median_ci(values, seed=7)
+        assert lo <= hi
+
+    def test_cd_bound_tracks_epsilon_option(self, tmp_path):
+        # The Theorem 12 bound divides by epsilon: halving epsilon must
+        # double the ratio column for the same measurements.
+        spec_for = lambda eps: CampaignSpec.from_dict({
+            "name": "x",
+            "rows": [{"row": "cd", "sizes": [8], "seeds": [0],
+                      "options": {"epsilon": eps}}],
+        })
+        from repro.campaign.registry import get_row, resolve_bounds
+
+        definition = get_row("cd")
+        metric, fn_half = resolve_bounds(definition, {"epsilon": 0.5})["log^2n/llog"]
+        _, fn_quarter = resolve_bounds(definition, {"epsilon": 0.25})["log^2n/llog"]
+        store = _store(tmp_path)
+        run_campaign(spec_for(0.5), store, jobs=1)
+        point = aggregate_campaign(spec_for(0.5), store)["cd[epsilon=0.5]"][0]
+        assert metric == "energy"
+        assert fn_quarter(point) == pytest.approx(2 * fn_half(point))
+
+    def test_serial_table1_rows_share_registry(self):
+        # The serial runners are thin wrappers over the registry; a row's
+        # table must carry the registry title and bounds columns.
+        from repro.experiments.table1 import registry_row
+
+        points, table = registry_row("bounded", sizes=(8,), seeds=(0,))
+        assert points[0].n == 8
+        assert "Corollary 13" in table and "log n ratio" in table
+
+    def test_option_variants_aggregate_separately(self, tmp_path):
+        spec = CampaignSpec.from_dict({
+            "name": "x",
+            "rows": [
+                {"row": "abl-beta", "sizes": [12], "seeds": [0],
+                 "options": {"beta": 0.15}},
+                {"row": "abl-beta", "sizes": [12], "seeds": [0],
+                 "options": {"beta": 0.6}},
+            ],
+        })
+        store = _store(tmp_path)
+        assert run_campaign(spec, store, jobs=1).all_ok
+        points = aggregate_campaign(spec, store)
+        assert set(points) == {"abl-beta[beta=0.15]", "abl-beta[beta=0.6]"}
+        assert points["abl-beta[beta=0.15]"][0].extras["lemma14_bound"] == 0.3
+        assert points["abl-beta[beta=0.6]"][0].extras["lemma14_bound"] == 1.2
+        report = render_report(spec, store)
+        assert "beta=0.15" in report and "beta=0.6" in report
+
+    def test_ablation_cell_extras(self):
+        cell = execute_cell("abl-beta", 20, 0, {"beta": 0.5})
+        assert cell.extras["lemma14_bound"] == 1.0
+        assert 0.0 <= cell.extras["edge_cut_rate"] <= 1.0
+
+
+class TestReportRendering:
+    def test_status_and_report(self, tmp_path):
+        spec, store = _tiny_spec(), _store(tmp_path)
+        status = render_status(spec, store)
+        assert "0/2 cells complete" in status and "2 pending" in status
+        assert "(no completed cells)" in render_report(spec, store)
+        run_campaign(spec, store, jobs=1)
+        assert "2/2 cells complete" in render_status(spec, store)
+        report = render_report(spec, store)
+        assert "Corollary 13" in report and "log n ratio" in report
+
+
+class TestCampaignCLI:
+    def _config(self, tmp_path):
+        path = os.path.join(str(tmp_path), "config.json")
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(
+                {"name": "cli", "rows": [
+                    {"row": "path", "sizes": [16], "seeds": [0, 1]}
+                ]},
+                handle,
+            )
+        return path
+
+    def test_run_status_report(self, tmp_path, capsys):
+        from repro.cli import main
+
+        config = self._config(tmp_path)
+        out = os.path.join(str(tmp_path), "out")
+        assert main(["campaign", "run", config, "--out", out]) == 0
+        stdout = capsys.readouterr().out
+        assert "2 computed" in stdout and "Thm 21" in stdout
+        assert main(["campaign", "status", config, "--out", out]) == 0
+        assert "2/2 cells complete" in capsys.readouterr().out
+        assert main(["campaign", "report", config, "--out", out]) == 0
+        assert "2n time ratio" in capsys.readouterr().out
+
+    def test_run_twice_appends_nothing(self, tmp_path, capsys):
+        from repro.cli import main
+
+        config = self._config(tmp_path)
+        out = os.path.join(str(tmp_path), "out")
+        main(["campaign", "run", config, "--out", out])
+        store = CampaignStore(os.path.join(out, "results.jsonl"))
+        before = store.line_count()
+        assert main(["campaign", "run", config, "--out", out]) == 0
+        capsys.readouterr()
+        assert store.line_count() == before
+
+    def test_shipped_configs_parse_and_validate(self):
+        here = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        for name in ("table1.json", "ablations.json", "smoke.json"):
+            spec = CampaignSpec.from_json_file(
+                os.path.join(here, "configs", name)
+            )
+            spec.validate()
+            assert list(spec.jobs())
+
+    def test_smoke_config_is_two_cells(self):
+        here = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        spec = CampaignSpec.from_json_file(
+            os.path.join(here, "configs", "smoke.json")
+        )
+        assert len(list(spec.jobs())) == 2
+
+
+class TestTable1Passthrough:
+    def test_seeds_and_scale_flags(self, capsys):
+        from repro.cli import main
+
+        code = main(
+            ["table1", "bounded", "--seeds", "1", "--sizes-scale", "0.5"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        # Default sizes (8, 12, 16) scaled by 0.5 -> (4, 6, 8).
+        assert "\n4  " in out and "\n8  " in out and "\n16 " not in out
+
+    def test_scale_applies_to_ks_rows(self, capsys):
+        from repro.cli import main
+
+        assert main(
+            ["table1", "lb-reduction", "--seeds", "1", "--sizes-scale", "0.5"]
+        ) == 0
+        assert "K_{2,k}" in capsys.readouterr().out
