@@ -1,6 +1,11 @@
 """Broadcast algorithms: the paper's contributions plus baselines."""
 
-from repro.broadcast.base import BroadcastOutcome, run_broadcast, source_inputs
+from repro.broadcast.base import (
+    BroadcastOutcome,
+    run_broadcast,
+    run_broadcast_trials,
+    source_inputs,
+)
 from repro.broadcast.cd_optimal import CDOptimalParams, cd_optimal_broadcast_protocol
 from repro.broadcast.clustering import (
     ClusterBroadcastParams,
@@ -20,6 +25,7 @@ from repro.broadcast.path import path_broadcast_protocol
 __all__ = [
     "BroadcastOutcome",
     "run_broadcast",
+    "run_broadcast_trials",
     "source_inputs",
     "CDOptimalParams",
     "cd_optimal_broadcast_protocol",

@@ -10,14 +10,20 @@ verified by comparing every output against the source's payload.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Optional, Sequence
+from typing import Any, Callable, List, Optional, Sequence
 
 from repro.graphs.graph import Graph
-from repro.sim.engine import SimResult, Simulator
+from repro.sim.batch import run_trials
+from repro.sim.engine import SimResult
 from repro.sim.models import ChannelModel
 from repro.sim.node import Knowledge, NodeCtx
 
-__all__ = ["BroadcastOutcome", "run_broadcast", "source_inputs"]
+__all__ = [
+    "BroadcastOutcome",
+    "run_broadcast",
+    "run_broadcast_trials",
+    "source_inputs",
+]
 
 
 @dataclass
@@ -55,6 +61,48 @@ def source_inputs(source: int, payload: Any):
     return {source: {"source": True, "payload": payload}}
 
 
+def _verify(result: SimResult, payload: Any, n: int) -> BroadcastOutcome:
+    informed = sum(1 for out in result.outputs if out == payload)
+    return BroadcastOutcome(
+        sim=result,
+        delivered=(informed == n),
+        payload=payload,
+        informed=informed,
+    )
+
+
+def run_broadcast_trials(
+    graph: Graph,
+    model: ChannelModel,
+    protocol_factory: Callable[[NodeCtx], Any],
+    seeds: Sequence[int],
+    source: int = 0,
+    payload: Any = "m",
+    knowledge: Optional[Knowledge] = None,
+    uids: Optional[Sequence[int]] = None,
+    time_limit: int = 200_000_000,
+    record_trace: bool = False,
+) -> List[BroadcastOutcome]:
+    """Run one broadcast cell across many seeds on the batched engine core.
+
+    Graph preprocessing, knowledge, and uid setup happen once; each trial
+    is one seeded run (see :func:`repro.sim.batch.run_trials`).  Returns
+    one verified :class:`BroadcastOutcome` per seed, in order.
+    """
+    results = run_trials(
+        graph,
+        model,
+        protocol_factory,
+        seeds,
+        inputs=source_inputs(source, payload),
+        knowledge=knowledge,
+        uids=uids,
+        time_limit=time_limit,
+        record_trace=record_trace,
+    )
+    return [_verify(result, payload, graph.n) for result in results]
+
+
 def run_broadcast(
     graph: Graph,
     model: ChannelModel,
@@ -68,20 +116,15 @@ def run_broadcast(
     record_trace: bool = False,
 ) -> BroadcastOutcome:
     """Run one broadcast protocol and verify delivery."""
-    sim = Simulator(
+    return run_broadcast_trials(
         graph,
         model,
-        seed=seed,
-        time_limit=time_limit,
+        protocol_factory,
+        (seed,),
+        source=source,
+        payload=payload,
         knowledge=knowledge,
         uids=uids,
+        time_limit=time_limit,
         record_trace=record_trace,
-    )
-    result = sim.run(protocol_factory, inputs=source_inputs(source, payload))
-    informed = sum(1 for out in result.outputs if out == payload)
-    return BroadcastOutcome(
-        sim=result,
-        delivered=(informed == graph.n),
-        payload=payload,
-        informed=informed,
-    )
+    )[0]

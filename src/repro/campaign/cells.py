@@ -19,7 +19,7 @@ import statistics
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
-from repro.broadcast.base import BroadcastOutcome, run_broadcast
+from repro.broadcast.base import BroadcastOutcome, run_broadcast_trials
 from repro.graphs.graph import Graph
 from repro.graphs.properties import diameter as graph_diameter
 from repro.sim.models import ChannelModel
@@ -30,6 +30,7 @@ __all__ = [
     "CellResult",
     "knowledge_for",
     "run_cell",
+    "run_cells",
     "aggregate_cells",
     "bootstrap_median_ci",
 ]
@@ -120,6 +121,57 @@ def knowledge_for(graph: Graph, id_space_from_n: bool = False) -> Knowledge:
     )
 
 
+def run_cells(
+    graph: Graph,
+    model: ChannelModel,
+    protocol_factory: Callable,
+    *,
+    label: str,
+    size: int,
+    seeds: Sequence[int],
+    source: int = 0,
+    knowledge: Optional[Knowledge] = None,
+    id_space_from_n: bool = False,
+    record_trace: bool = False,
+    extra_metrics: Optional[Callable[[BroadcastOutcome], Dict[str, float]]] = None,
+) -> List[CellResult]:
+    """Execute one (row, size) cell group across seeds on the batched core.
+
+    All trials share one prepared engine
+    (:func:`repro.broadcast.base.run_broadcast_trials`), so graph
+    preprocessing and knowledge are paid once per size, not per seed.
+    Returns one :class:`CellResult` per seed, in ``seeds`` order.
+    """
+    if knowledge is None:
+        knowledge = knowledge_for(graph, id_space_from_n=id_space_from_n)
+    outcomes = run_broadcast_trials(
+        graph,
+        model,
+        protocol_factory,
+        seeds,
+        source=source,
+        knowledge=knowledge,
+        record_trace=record_trace,
+    )
+    cells = []
+    for seed, outcome in zip(seeds, outcomes):
+        extras = dict(extra_metrics(outcome)) if extra_metrics is not None else {}
+        cells.append(CellResult(
+            label=label,
+            size=size,
+            n=graph.n,
+            max_degree=graph.max_degree,
+            diameter=knowledge.diameter,
+            seed=seed,
+            delivered=outcome.delivered,
+            duration=outcome.duration,
+            max_energy=outcome.max_energy,
+            mean_energy=outcome.mean_energy,
+            extras=extras,
+        ))
+    return cells
+
+
 def run_cell(
     graph: Graph,
     model: ChannelModel,
@@ -134,32 +186,21 @@ def run_cell(
     record_trace: bool = False,
     extra_metrics: Optional[Callable[[BroadcastOutcome], Dict[str, float]]] = None,
 ) -> CellResult:
-    """Execute one broadcast cell and reduce it to storable numbers."""
-    if knowledge is None:
-        knowledge = knowledge_for(graph, id_space_from_n=id_space_from_n)
-    outcome = run_broadcast(
+    """Execute one broadcast cell (a single-seed batch) and reduce it to
+    storable numbers — the unit the sharded campaign runner executes."""
+    return run_cells(
         graph,
         model,
         protocol_factory,
-        source=source,
-        knowledge=knowledge,
-        seed=seed,
-        record_trace=record_trace,
-    )
-    extras = dict(extra_metrics(outcome)) if extra_metrics is not None else {}
-    return CellResult(
         label=label,
         size=size,
-        n=graph.n,
-        max_degree=graph.max_degree,
-        diameter=knowledge.diameter,
-        seed=seed,
-        delivered=outcome.delivered,
-        duration=outcome.duration,
-        max_energy=outcome.max_energy,
-        mean_energy=outcome.mean_energy,
-        extras=extras,
-    )
+        seeds=(seed,),
+        source=source,
+        knowledge=knowledge,
+        id_space_from_n=id_space_from_n,
+        record_trace=record_trace,
+        extra_metrics=extra_metrics,
+    )[0]
 
 
 def bootstrap_median_ci(

@@ -13,6 +13,10 @@ Commands:
 * ``campaign status CONFIG [--out DIR]`` — per-row completion accounting.
 * ``campaign report CONFIG [--out DIR]`` — render Table-1-style tables
   from the store.
+* ``bench [--out PATH] [--quick] [--min-legacy-speedup X]
+  [--min-ref-speedup X]`` — run the engine microbenchmarks, write
+  ``BENCH_engine.json``, and optionally fail if the engine is not fast
+  enough (the CI perf-smoke tripwire).
 """
 
 from __future__ import annotations
@@ -160,6 +164,28 @@ def _cmd_campaign_report(args) -> int:
     return 0
 
 
+def _cmd_bench(args) -> int:
+    from repro.experiments.bench import (
+        check_thresholds,
+        format_report,
+        run_engine_benchmarks,
+        write_results,
+    )
+
+    report = run_engine_benchmarks(quick=args.quick)
+    write_results(report, args.out)
+    print(format_report(report))
+    print(f"wrote {args.out}")
+    violations = check_thresholds(
+        report,
+        min_legacy_speedup=args.min_legacy_speedup,
+        min_ref_speedup=args.min_ref_speedup,
+    )
+    for violation in violations:
+        print(f"FAIL: {violation}")
+    return 1 if violations else 0
+
+
 def _cmd_ablations(args) -> int:
     del args
     from repro.experiments import ablate_beta, ablate_probe, ablate_ps
@@ -229,6 +255,29 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_abl = sub.add_parser("ablations", help="run the ablations")
     p_abl.set_defaults(func=_cmd_ablations)
+
+    p_bench = sub.add_parser(
+        "bench", help="engine microbenchmarks -> BENCH_engine.json"
+    )
+    p_bench.add_argument(
+        "--out", default="BENCH_engine.json",
+        help="output JSON path (default: BENCH_engine.json)",
+    )
+    p_bench.add_argument(
+        "--quick", action="store_true",
+        help="small workloads for CI smoke runs",
+    )
+    p_bench.add_argument(
+        "--min-legacy-speedup", type=float, default=None,
+        help="fail unless every workload beats the frozen pre-refactor "
+             "engine by this factor",
+    )
+    p_bench.add_argument(
+        "--min-ref-speedup", type=float, default=None,
+        help="fail unless every workload beats the reference simulator "
+             "by this factor",
+    )
+    p_bench.set_defaults(func=_cmd_bench)
 
     p_demo = sub.add_parser("demo", help="decay vs Algorithm 1 on a chain")
     p_demo.set_defaults(func=_cmd_demo)

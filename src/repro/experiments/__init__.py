@@ -2,6 +2,13 @@
 
 from repro.experiments.ablations import ablate_beta, ablate_probe, ablate_ps
 from repro.experiments.analysis import crossover_size, fit_log_power, fit_power_law
+from repro.experiments.bench import (
+    check_thresholds,
+    default_workloads,
+    format_report,
+    run_engine_benchmarks,
+    write_results,
+)
 from repro.experiments.figure1 import figure1, render_path_timeline
 from repro.experiments.harness import (
     SweepPoint,
@@ -25,6 +32,11 @@ from repro.experiments.table1 import (
 )
 
 __all__ = [
+    "check_thresholds",
+    "default_workloads",
+    "format_report",
+    "run_engine_benchmarks",
+    "write_results",
     "ablate_beta",
     "crossover_size",
     "fit_log_power",

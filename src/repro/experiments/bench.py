@@ -1,0 +1,319 @@
+"""Engine microbenchmarks: slots/sec on fixed workloads.
+
+``repro bench`` runs each workload on four simulators —
+
+* ``engine`` — the current bitmask-resolution engine,
+* ``engine_list_path`` — the same engine forced onto the legacy
+  per-neighbor list resolution (``resolution="list"``),
+* ``legacy_engine`` — the frozen pre-refactor engine
+  (:mod:`repro.sim.legacy`), the baseline the refactor is measured
+  against,
+* ``reference`` — the naive slot-by-slot oracle
+  (:class:`~repro.sim.reference.ReferenceSimulator`),
+
+verifies they produce identical outputs/energy/duration, and writes the
+timings to ``BENCH_engine.json`` so the repo's perf trajectory is
+recorded run over run.  CI runs the quick variant and fails if the
+event-heap engine is not measurably faster than the reference oracle —
+the tripwire for silent O(n * slots) regressions.
+
+Speedups are reported as ``other_seconds / engine_seconds`` (higher is
+better for the engine).  ``slots/sec`` is simulated slots (the run's
+``duration``) per wall-clock second on that fixed workload; it is only
+comparable across runners of the *same* workload.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.broadcast.base import source_inputs
+from repro.broadcast.path import path_broadcast_protocol
+from repro.campaign.cells import knowledge_for
+from repro.campaign.registry import GRAPH_FAMILIES, get_row
+from repro.graphs import clique, path_graph
+from repro.graphs.graph import Graph
+from repro.sim import LOCAL, NO_CD, Knowledge, Listen, Send, Simulator
+from repro.sim.legacy import LegacySimulator
+from repro.sim.models import MODELS, ChannelModel
+from repro.sim.reference import ReferenceSimulator
+
+__all__ = [
+    "BenchWorkload",
+    "default_workloads",
+    "run_engine_benchmarks",
+    "check_thresholds",
+    "write_results",
+    "format_report",
+]
+
+
+@dataclass
+class BenchWorkload:
+    """One fixed (graph, model, protocol) cell timed on every runner."""
+
+    name: str
+    description: str
+    build: Callable[[], Tuple[Graph, ChannelModel, Callable, Knowledge, Dict]]
+    reps: int = 3
+    time_limit: int = 10_000_000
+    # Whether --min-legacy-speedup gates this workload.  The two
+    # resolution-bound workloads (dense single-hop, clustering row) carry
+    # the refactor's 2x acceptance bar; the idle-dominated workload exists
+    # for the engine-vs-reference tripwire and is gated only by
+    # --min-ref-speedup.
+    legacy_gate: bool = True
+
+
+def _dense_protocol(slots: int):
+    """Every node is active every slot (send w.p. 1/16, else listen):
+    the channel-resolution stress test."""
+
+    def protocol(ctx):
+        heard = 0
+        send_p = 1.0 / 16.0
+        for step in range(slots):
+            if ctx.rng.random() < send_p:
+                yield Send(("m", ctx.index, step))
+            else:
+                feedback = yield Listen()
+                if feedback is not None:
+                    heard += 1
+        return heard
+
+    return protocol
+
+
+def _dense_single_hop(n: int, slots: int):
+    def build():
+        graph = clique(n)
+        knowledge = Knowledge(n=n, max_degree=n - 1, diameter=1)
+        return graph, NO_CD, _dense_protocol(slots), knowledge, {}
+
+    return build
+
+
+def _clustering_row(size: int):
+    def build():
+        row = get_row("nocd")
+        graph = GRAPH_FAMILIES[row.graph_family](size)
+        knowledge = knowledge_for(graph)
+        protocol = row.builder(graph, {})
+        return graph, MODELS[row.model], protocol, knowledge, source_inputs(0, "m")
+
+    return build
+
+
+def _path_idle(n: int):
+    def build():
+        graph = path_graph(n)
+        knowledge = Knowledge(n=n, max_degree=2, diameter=n - 1)
+        protocol = path_broadcast_protocol(oriented=True)
+        return graph, LOCAL, protocol, knowledge, source_inputs(0, "m")
+
+    return build
+
+
+def default_workloads(quick: bool = False) -> List[BenchWorkload]:
+    """The standing benchmark set.
+
+    * ``dense_single_hop_n512`` — every device active every slot on a
+      clique: resolution cost dominates (the bitmask fast path's home
+      turf).
+    * ``table1_clustering_row`` — the Table 1 No-CD clustering row
+      (Theorem 11), sleep-heavy with realistic activity patterns: the
+      per-slot engine overhead test.
+    * ``path_idle_n1024`` — the Theorem 21 path algorithm, almost all
+      idle: the event-heap vs slot-by-slot (reference) gap, guarding
+      "idle time is free".
+
+    ``quick`` shrinks sizes for CI smoke use; speedup *ratios* shrink
+    with them, so thresholds for quick runs must be conservative.
+    """
+    if quick:
+        return [
+            BenchWorkload(
+                "dense_single_hop_n512",
+                "clique n=128, No-CD, 8 all-active slots (quick variant)",
+                _dense_single_hop(128, 8),
+                reps=3,
+            ),
+            BenchWorkload(
+                "table1_clustering_row",
+                "T1.noCD.1 clustering cell, gnp n=16, seed 0 (quick variant)",
+                _clustering_row(16),
+                reps=3,
+            ),
+            BenchWorkload(
+                "path_idle_n1024",
+                "Thm 21 path algorithm, n=512, idle-dominated (quick variant)",
+                _path_idle(512),
+                reps=3,
+                legacy_gate=False,
+            ),
+        ]
+    return [
+        BenchWorkload(
+            "dense_single_hop_n512",
+            "clique n=512, No-CD, 24 all-active slots",
+            _dense_single_hop(512, 24),
+        ),
+        BenchWorkload(
+            "table1_clustering_row",
+            "T1.noCD.1 clustering cell (Theorem 11, No-CD), gnp n=32, seed 0",
+            _clustering_row(32),
+        ),
+        BenchWorkload(
+            "path_idle_n1024",
+            "Thm 21 path algorithm, n=1024, idle-dominated",
+            _path_idle(1024),
+            legacy_gate=False,
+        ),
+    ]
+
+
+def _time_best(make_runner: Callable[[], Any], protocol, inputs, reps: int):
+    """Best-of-``reps`` wall time; a fresh runner per rep so per-run state
+    (masks are graph-cached and shared, deliberately) is realistic."""
+    best = float("inf")
+    result = None
+    for _ in range(reps):
+        runner = make_runner()
+        start = time.perf_counter()
+        result = runner.run(protocol, inputs=inputs)
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def _runners(graph, model, knowledge, time_limit) -> Dict[str, Callable[[], Any]]:
+    common = dict(seed=0, knowledge=knowledge, time_limit=time_limit)
+    return {
+        "engine": lambda: Simulator(graph, model, **common),
+        "engine_list_path": lambda: Simulator(
+            graph, model, resolution="list", **common
+        ),
+        "legacy_engine": lambda: LegacySimulator(graph, model, **common),
+        "reference": lambda: ReferenceSimulator(graph, model, **common),
+    }
+
+
+def run_engine_benchmarks(
+    quick: bool = False,
+    workloads: Optional[Sequence[BenchWorkload]] = None,
+) -> Dict:
+    """Time every workload on every runner; verify equivalence; report."""
+    if workloads is None:
+        workloads = default_workloads(quick=quick)
+    report: Dict[str, Any] = {
+        "generated_by": "repro bench",
+        "quick": bool(quick),
+        "python": platform.python_version(),
+        "workloads": {},
+    }
+    for workload in workloads:
+        graph, model, protocol, knowledge, inputs = workload.build()
+        timings: Dict[str, float] = {}
+        results = {}
+        for name, make_runner in _runners(
+            graph, model, knowledge, workload.time_limit
+        ).items():
+            timings[name], results[name] = _time_best(
+                make_runner, protocol, inputs, workload.reps
+            )
+        baseline = results["engine"]
+        equivalent = all(
+            other.outputs == baseline.outputs
+            and other.duration == baseline.duration
+            and [e.total for e in other.energy]
+            == [e.total for e in baseline.energy]
+            for other in results.values()
+        )
+        slots = baseline.duration
+        engine_seconds = timings["engine"]
+        report["workloads"][workload.name] = {
+            "description": workload.description,
+            "n": graph.n,
+            "slots": slots,
+            "seconds": {k: round(v, 6) for k, v in timings.items()},
+            "slots_per_sec": {
+                k: round(slots / v, 1) if v > 0 else float("inf")
+                for k, v in timings.items()
+            },
+            "speedup_vs_legacy": round(timings["legacy_engine"] / engine_seconds, 3),
+            "speedup_vs_list_path": round(
+                timings["engine_list_path"] / engine_seconds, 3
+            ),
+            "speedup_vs_reference": round(timings["reference"] / engine_seconds, 3),
+            "equivalent": equivalent,
+            "legacy_gate": workload.legacy_gate,
+        }
+    report["summary"] = {
+        f"min_{key}": min(
+            entry[key] for entry in report["workloads"].values()
+        )
+        for key in (
+            "speedup_vs_legacy",
+            "speedup_vs_list_path",
+            "speedup_vs_reference",
+        )
+        if report["workloads"]
+    }
+    return report
+
+
+def check_thresholds(
+    report: Dict,
+    min_legacy_speedup: Optional[float] = None,
+    min_ref_speedup: Optional[float] = None,
+) -> List[str]:
+    """Return human-readable violations (empty = all thresholds met)."""
+    violations = []
+    for name, entry in report["workloads"].items():
+        if not entry["equivalent"]:
+            violations.append(f"{name}: runners disagree (equivalence failed)")
+        if (
+            min_legacy_speedup is not None
+            and entry.get("legacy_gate", True)
+            and entry["speedup_vs_legacy"] < min_legacy_speedup
+        ):
+            violations.append(
+                f"{name}: speedup_vs_legacy {entry['speedup_vs_legacy']}x "
+                f"< required {min_legacy_speedup}x"
+            )
+        if (
+            min_ref_speedup is not None
+            and entry["speedup_vs_reference"] < min_ref_speedup
+        ):
+            violations.append(
+                f"{name}: speedup_vs_reference {entry['speedup_vs_reference']}x "
+                f"< required {min_ref_speedup}x"
+            )
+    return violations
+
+
+def write_results(report: Dict, path: str) -> None:
+    with open(path, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+
+
+def format_report(report: Dict) -> str:
+    lines = ["engine microbenchmarks (slots/sec; speedups are vs the engine)"]
+    for name, entry in report["workloads"].items():
+        lines.append(f"  {name}: {entry['description']}")
+        lines.append(
+            "    engine {engine:>12.1f} slots/s | legacy x{legacy:.2f} | "
+            "list-path x{list_path:.2f} | reference x{ref:.2f} | "
+            "equivalent={eq}".format(
+                engine=entry["slots_per_sec"]["engine"],
+                legacy=entry["speedup_vs_legacy"],
+                list_path=entry["speedup_vs_list_path"],
+                ref=entry["speedup_vs_reference"],
+                eq=entry["equivalent"],
+            )
+        )
+    return "\n".join(lines)

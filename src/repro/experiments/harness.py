@@ -22,7 +22,7 @@ from repro.campaign.cells import (
     SweepPoint,
     aggregate_cells,
     knowledge_for,
-    run_cell,
+    run_cells,
 )
 from repro.graphs.graph import Graph
 from repro.sim.models import ChannelModel
@@ -55,26 +55,28 @@ def sweep(
     extra_metrics: Optional[Callable[[BroadcastOutcome], Dict[str, float]]] = None,
     record_trace: bool = False,
 ) -> List[SweepPoint]:
-    """Run ``protocol_builder(graph)`` on every size and seed; aggregate."""
+    """Run ``protocol_builder(graph)`` on every size and seed; aggregate.
+
+    Each size's seeds run as one batch on the shared engine core
+    (:func:`repro.campaign.cells.run_cells`), so serial sweeps and
+    sharded campaigns execute the identical per-cell computation.
+    """
     points: List[SweepPoint] = []
     for size in sizes:
         graph = graph_factory(size)
         knowledge = knowledge_for(graph, id_space_from_n=id_space_from_n)
-        cells = [
-            run_cell(
-                graph,
-                model,
-                protocol_builder(graph),
-                label=label,
-                size=size,
-                seed=seed,
-                source=source,
-                knowledge=knowledge,
-                record_trace=record_trace,
-                extra_metrics=extra_metrics,
-            )
-            for seed in seeds
-        ]
+        cells = run_cells(
+            graph,
+            model,
+            protocol_builder(graph),
+            label=label,
+            size=size,
+            seeds=seeds,
+            source=source,
+            knowledge=knowledge,
+            record_trace=record_trace,
+            extra_metrics=extra_metrics,
+        )
         points.append(aggregate_cells(cells))
     return points
 

@@ -3,10 +3,22 @@
 Vertices are integers ``0..n-1``.  The structure is immutable after
 construction; adjacency lists are sorted tuples so channel resolution and
 LOCAL-model message ordering are deterministic.
+
+Two derived representations are computed lazily and cached, because the
+engine resolves receptions against the same graph for every slot of every
+trial of a sweep:
+
+* a CSR (compressed sparse row) adjacency — one flat ``array`` of neighbor
+  indices plus an offset table, cache-friendlier than tuple-of-tuples for
+  whole-graph scans (BFS, connectivity);
+* per-vertex neighbor bitmasks — arbitrary-precision ints with bit ``w``
+  set iff ``w`` is a neighbor, so "which of my neighbors transmitted" is a
+  single ``mask & transmit_mask`` instead of a per-neighbor loop.
 """
 
 from __future__ import annotations
 
+from array import array
 from typing import Iterable, Sequence, Tuple
 
 __all__ = ["Graph"]
@@ -15,7 +27,7 @@ __all__ = ["Graph"]
 class Graph:
     """An immutable simple undirected graph on vertices ``0..n-1``."""
 
-    __slots__ = ("_n", "_adj", "_edges")
+    __slots__ = ("_n", "_adj", "_edges", "_csr", "_masks")
 
     def __init__(self, n: int, edges: Iterable[Tuple[int, int]]) -> None:
         if n < 1:
@@ -36,6 +48,8 @@ class Graph:
         self._n = n
         self._adj = tuple(tuple(sorted(s)) for s in adj)
         self._edges = tuple(sorted(edge_set))
+        self._csr = None
+        self._masks = None
 
     @property
     def n(self) -> int:
@@ -58,6 +72,42 @@ class Graph:
     def max_degree(self) -> int:
         """The paper's Delta."""
         return max(len(a) for a in self._adj)
+
+    def csr(self) -> Tuple[array, array]:
+        """CSR adjacency ``(indptr, indices)``; computed once and cached.
+
+        ``indices[indptr[v]:indptr[v + 1]]`` are the sorted neighbors of
+        ``v``.  Both arrays are typed ``array('l')`` for a compact,
+        cache-friendly layout.
+        """
+        if self._csr is None:
+            indptr = array("l", [0])
+            indices = array("l")
+            total = 0
+            for neighbors in self._adj:
+                total += len(neighbors)
+                indptr.append(total)
+                indices.extend(neighbors)
+            self._csr = (indptr, indices)
+        return self._csr
+
+    def neighbor_mask(self, v: int) -> int:
+        """Bitmask of ``v``'s neighborhood: bit ``w`` set iff ``{v,w}`` is
+        an edge.  Never includes ``v`` itself (no self-loops)."""
+        return self.neighbor_masks()[v]
+
+    def neighbor_masks(self) -> Tuple[int, ...]:
+        """All neighbor bitmasks, indexed by vertex; computed once and
+        cached so every simulation over this graph shares them."""
+        if self._masks is None:
+            masks = []
+            for neighbors in self._adj:
+                mask = 0
+                for w in neighbors:
+                    mask |= 1 << w
+                masks.append(mask)
+            self._masks = tuple(masks)
+        return self._masks
 
     def has_edge(self, u: int, v: int) -> bool:
         return v in self._adj[u] if len(self._adj[u]) < 8 else self._bsearch(u, v)

@@ -22,15 +22,22 @@ __all__ = [
 
 
 def bfs_distances(graph: Graph, source: int) -> List[int]:
-    """Distances from ``source``; unreachable vertices get -1."""
+    """Distances from ``source``; unreachable vertices get -1.
+
+    Scans the graph's cached CSR adjacency — diameter computation runs a
+    BFS per vertex, so the flat layout matters for workload labeling on
+    larger graphs.
+    """
+    indptr, indices = graph.csr()
     dist = [-1] * graph.n
     dist[source] = 0
     queue = deque([source])
     while queue:
         u = queue.popleft()
-        for w in graph.neighbors(u):
+        d = dist[u] + 1
+        for w in indices[indptr[u]:indptr[u + 1]]:
             if dist[w] < 0:
-                dist[w] = dist[u] + 1
+                dist[w] = d
                 queue.append(w)
     return dist
 

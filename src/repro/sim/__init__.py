@@ -1,8 +1,15 @@
 """Slot-synchronous radio-network simulator with energy accounting."""
 
 from repro.sim.actions import Idle, Listen, Send, SendListen
+from repro.sim.batch import run_trials
 from repro.sim.energy import EnergyMeter, EnergyReport
-from repro.sim.engine import ProtocolError, Simulator, SimResult, SimulationTimeout
+from repro.sim.engine import (
+    RESOLUTION_MODES,
+    ProtocolError,
+    Simulator,
+    SimResult,
+    SimulationTimeout,
+)
 from repro.sim.feedback import BEEP, NOISE, SILENCE, is_message
 from repro.sim.models import (
     BEEPING,
@@ -11,11 +18,13 @@ from repro.sim.models import (
     CD_STAR,
     LOCAL,
     MODELS,
+    NEEDS_MESSAGES,
     NO_CD,
     NO_CD_FD,
     ChannelModel,
 )
 from repro.sim.node import Knowledge, NodeCtx
+from repro.sim.observers import EnergyObserver, SlotObserver, TraceObserver
 from repro.sim.trace import Trace, TraceEvent
 
 __all__ = [
@@ -26,9 +35,15 @@ __all__ = [
     "EnergyMeter",
     "EnergyReport",
     "ProtocolError",
+    "RESOLUTION_MODES",
     "Simulator",
     "SimResult",
     "SimulationTimeout",
+    "run_trials",
+    "SlotObserver",
+    "EnergyObserver",
+    "TraceObserver",
+    "NEEDS_MESSAGES",
     "BEEP",
     "NOISE",
     "SILENCE",

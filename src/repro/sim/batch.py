@@ -1,0 +1,79 @@
+"""Batched trial execution: one prepared simulator, many seeds.
+
+Every sweep in the repo — Table 1 rows, ablations, campaigns — runs the
+same (graph, model, protocol) cell across a list of seeds.  Constructing a
+fresh :class:`~repro.sim.engine.Simulator` per seed re-did the per-graph
+setup (uid validation, knowledge defaults, neighbor-bitmask lookup, bit
+table) every time; :func:`run_trials` does it once and reuses the engine,
+so per-trial overhead is just the run itself.
+
+Both execution paths share this core:
+
+* the serial :func:`repro.experiments.harness.sweep` driver batches all
+  seeds of a size through one call, and
+* the sharded campaign path (:mod:`repro.campaign.cells`) runs
+  single-seed batches — same code, parallelism layered on top.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.graphs.graph import Graph
+from repro.sim.engine import ProtocolFactory, Simulator, SimResult
+from repro.sim.models import ChannelModel
+from repro.sim.node import Knowledge
+from repro.sim.observers import SlotObserver
+
+__all__ = ["run_trials"]
+
+
+def run_trials(
+    graph: Graph,
+    model: ChannelModel,
+    protocol_factory: ProtocolFactory,
+    seeds: Sequence[int],
+    *,
+    inputs: Optional[Dict[int, Dict[str, Any]]] = None,
+    knowledge: Optional[Knowledge] = None,
+    uids: Optional[Sequence[int]] = None,
+    time_limit: int = 50_000_000,
+    record_trace: bool = False,
+    resolution: str = "bitmask",
+    meter_energy: bool = True,
+    observers: Sequence[SlotObserver] = (),
+    model_factory: Optional[Callable[[int], ChannelModel]] = None,
+) -> List[SimResult]:
+    """Run one protocol cell once per seed, amortizing setup.
+
+    Args:
+        seeds: master seeds, one trial each; results come back in the
+            same order (each :class:`SimResult` carries its seed).
+        model_factory: optional per-seed model constructor for stateful
+            channels (e.g. ``lambda seed: LossyModel(NO_CD, 0.1, seed)``)
+            so each trial starts from a fresh, reproducible channel state.
+            When omitted, all trials share ``model`` (stateless paper
+            models are unaffected; a shared stateful model carries its
+            rng state across trials, as a serial loop always did).
+        Remaining arguments match :class:`~repro.sim.engine.Simulator`.
+
+    Returns:
+        One :class:`SimResult` per seed, in ``seeds`` order.
+    """
+    simulator = Simulator(
+        graph,
+        model,
+        time_limit=time_limit,
+        knowledge=knowledge,
+        uids=uids,
+        record_trace=record_trace,
+        resolution=resolution,
+        meter_energy=meter_energy,
+        observers=observers,
+    )
+    results: List[SimResult] = []
+    for seed in seeds:
+        if model_factory is not None:
+            simulator.model = model_factory(seed)
+        results.append(simulator.run(protocol_factory, inputs=inputs, seed=seed))
+    return results

@@ -8,29 +8,75 @@ work — mirroring the paper's "idle time is free" in both the energy model
 and simulator wall time.
 
 Channel semantics are delegated to a :class:`~repro.sim.models.ChannelModel`
-(LOCAL, CD, No-CD, CD*, BEEP).
+(LOCAL, CD, No-CD, CD*, BEEP).  Reception resolution is bitmask-driven by
+default: the engine ORs each transmitter's bit into a per-slot transmit
+mask, and a listener's contention count is
+``popcount(graph.neighbor_mask(v) & transmit_mask)`` — one big-int AND
+instead of a per-neighbor scan.  Models whose outcome is a pure function of
+that count (all five paper models, via
+:meth:`~repro.sim.models.ChannelModel.resolve_count`) never materialize the
+message list except for the sole sender's message when exactly one neighbor
+transmitted; per-transmission models such as
+:class:`~repro.sim.models.LossyModel` fall back to the ordered list.
+``resolution="list"`` forces the legacy per-neighbor scan everywhere (the
+differential tests drive both paths against the reference oracle).
+
+Energy metering and trace recording live in :mod:`repro.sim.observers`
+hooks, keeping the slot loop free of instrumentation branches — tracing
+costs zero when disabled.
 """
 
 from __future__ import annotations
 
 import heapq
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, Generator, List, Optional, Sequence
 
 from repro.graphs.graph import Graph
 from repro.sim.actions import Idle, Listen, Send, SendListen
-from repro.sim.energy import EnergyMeter, EnergyReport
-from repro.sim.models import ChannelModel
-from repro.sim.node import Knowledge, NodeCtx
-from repro.sim.trace import Trace, TraceEvent
+from repro.sim.energy import EnergyReport
+from repro.sim.models import NEEDS_MESSAGES, ChannelModel
+from repro.sim.node import Knowledge, NodeCtx, validate_input_keys
+from repro.sim.observers import (
+    EnergyObserver,
+    SlotObserver,
+    TraceObserver,
+    _ZeroEnergyObserver,
+)
+from repro.sim.trace import Trace
 
-__all__ = ["Simulator", "SimResult", "SimulationTimeout", "ProtocolError"]
+__all__ = [
+    "Simulator",
+    "SimResult",
+    "SimulationTimeout",
+    "ProtocolError",
+    "RESOLUTION_MODES",
+]
 
 Protocol = Generator[Any, Any, Any]
 ProtocolFactory = Callable[[NodeCtx], Protocol]
 
 _RESUME = object()  # heap payload marker: wake a sleeping generator
+
+RESOLUTION_MODES = ("bitmask", "list")
+
+try:
+    _popcount = int.bit_count  # Python >= 3.10
+except AttributeError:  # pragma: no cover - exercised on older CI pythons
+    def _popcount(x: int) -> int:
+        return bin(x).count("1")
+
+
+def _mask_messages(masked: int, transmitting: Dict[int, Any]) -> List[Any]:
+    """Materialize the transmissions selected by ``masked``, ordered by
+    sender index ascending (lowest set bit first)."""
+    messages = []
+    while masked:
+        low = masked & -masked
+        messages.append(transmitting[low.bit_length() - 1])
+        masked ^= low
+    return messages
 
 
 class SimulationTimeout(RuntimeError):
@@ -76,18 +122,22 @@ class SimResult:
         return self.total_energy / len(self.energy)
 
 
-@dataclass
-class _NodeState:
-    gen: Protocol
-    ctx: NodeCtx
-    meter: EnergyMeter = field(default_factory=EnergyMeter)
-    done: bool = False
-    output: Any = None
-    finish_slot: int = -1
-
-
 class Simulator:
     """Runs one protocol on one graph under one collision model.
+
+    Args:
+        resolution: ``"bitmask"`` (default) resolves receptions via the
+            transmit-mask fast path; ``"list"`` forces the legacy
+            per-neighbor scan (kept as a semantic cross-check and as the
+            pre-refactor baseline for the engine benchmarks).
+        meter_energy: when False, energy accounting is skipped and the
+            result carries all-zero meters (throughput benchmarking).
+        observers: extra :class:`~repro.sim.observers.SlotObserver` hooks
+            invoked after each active slot is resolved.
+
+    A ``Simulator`` is reusable: :meth:`run` accepts a per-call ``seed``
+    so batched trials (:func:`repro.sim.batch.run_trials`) amortize graph
+    preprocessing, knowledge, and uid setup across seeds.
 
     Example:
         >>> from repro.graphs import path_graph
@@ -113,12 +163,22 @@ class Simulator:
         knowledge: Optional[Knowledge] = None,
         uids: Optional[Sequence[int]] = None,
         record_trace: bool = False,
+        resolution: str = "bitmask",
+        meter_energy: bool = True,
+        observers: Sequence[SlotObserver] = (),
     ) -> None:
         self.graph = graph
         self.model = model
         self.seed = seed
         self.time_limit = time_limit
         self.record_trace = record_trace
+        if resolution not in RESOLUTION_MODES:
+            raise ValueError(
+                f"resolution must be one of {RESOLUTION_MODES}, got {resolution!r}"
+            )
+        self.resolution = resolution
+        self.meter_energy = meter_energy
+        self.extra_observers = list(observers)
         if knowledge is None:
             knowledge = Knowledge(
                 n=graph.n, max_degree=max(graph.max_degree, 1), diameter=None
@@ -129,34 +189,79 @@ class Simulator:
         if len(uids) != graph.n or len(set(uids)) != graph.n:
             raise ValueError("uids must be distinct and cover every vertex")
         self.uids = list(uids)
+        # Per-graph precomputation, shared across every run() of this
+        # simulator (and, via the Graph cache, across simulators).
+        self._masks = graph.neighbor_masks() if resolution == "bitmask" else None
+        self._bits = [1 << v for v in range(graph.n)]
 
     def run(
         self,
         protocol_factory: ProtocolFactory,
         inputs: Optional[Dict[int, Dict[str, Any]]] = None,
+        seed: Optional[int] = None,
     ) -> SimResult:
         """Execute the protocol on every vertex until all terminate.
 
         Args:
             protocol_factory: called once per vertex with its
                 :class:`NodeCtx`; returns the protocol generator.
-            inputs: optional per-vertex input dictionaries.
+            inputs: optional per-vertex input dictionaries, keyed by
+                vertex index in ``[0, n)``.
+            seed: per-run override of the simulator's seed (batched
+                trials reuse one simulator across seeds).
 
         Raises:
+            ValueError: if ``inputs`` contains a key that is not a vertex
+                index in ``[0, n)``.
             SimulationTimeout: if any protocol is still running at
                 ``time_limit`` slots.
             ProtocolError: on full-duplex actions in half-duplex models or
                 other illegal yields.
         """
         graph, model = self.graph, self.model
-        master = random.Random(self.seed)
-        trace = Trace() if self.record_trace else None
+        run_seed = self.seed if seed is None else seed
+        master = random.Random(run_seed)
         inputs = inputs or {}
+        validate_input_keys(inputs, graph.n)
 
-        states: List[_NodeState] = []
-        heap: List = []  # entries: (slot, node_index, payload)
+        energy = EnergyObserver() if self.meter_energy else _ZeroEnergyObserver()
+        observers: List[SlotObserver] = [energy]
+        trace = Trace() if self.record_trace else None
+        if trace is not None:
+            observers.append(TraceObserver(trace))
+        observers.extend(self.extra_observers)
+        for observer in observers:
+            observer.on_run_start(graph.n)
+
+        # Per-node state lives in parallel lists, and the advance/schedule
+        # steps are inlined below: this loop runs once per device action
+        # across the whole simulation, so attribute lookups, dataclass
+        # indirection, and helper-call overhead all cost measurable wall
+        # time on sweep workloads.
+        #
+        # Scheduling invariant: a yielded Send/Listen/SendListen always
+        # executes at exactly the next processed slot, so those actions are
+        # classified straight into the next slot's sender/listener sets
+        # ("the bucket") and never touch the heap.  The heap holds only
+        # Idle wake-ups — (wake_slot, vertex, _RESUME) timers.
+        n = graph.n
+        gens: List[Protocol] = [None] * n  # type: ignore[list-item]
+        ctxs: List[NodeCtx] = [None] * n  # type: ignore[list-item]
+        outputs: List[Any] = [None] * n
+        finish_slot = [-1] * n
+
+        heap: List = []
+        heappush, heappop = heapq.heappush, heapq.heappop
+        full_duplex = model.full_duplex
+        model_name = model.name
+
+        bucket_slot = 0
+        bucket_senders: Dict[int, Any] = {}
+        bucket_listeners: List[int] = []
+        bucket_duplexers: Dict[int, Any] = {}
+
         remaining = 0
-        for v in range(graph.n):
+        for v in range(n):
             ctx = NodeCtx(
                 index=v,
                 uid=self.uids[v],
@@ -164,134 +269,183 @@ class Simulator:
                 rng=random.Random(master.getrandbits(64)),
                 inputs=dict(inputs.get(v, ())),
             )
-            state = _NodeState(gen=protocol_factory(ctx), ctx=ctx)
-            states.append(state)
+            ctxs[v] = ctx
+            gen = protocol_factory(ctx)
+            gens[v] = gen
             try:
-                action = next(state.gen)
+                action = next(gen)
             except StopIteration as stop:
-                state.done = True
-                state.output = stop.value
+                outputs[v] = stop.value
                 continue
             remaining += 1
-            self._schedule(heap, v, action, start=0)
+            cls = action.__class__
+            if cls is Idle or isinstance(action, Idle):
+                heappush(heap, (action.duration, v, _RESUME))
+            elif cls is Send or isinstance(action, Send):
+                bucket_senders[v] = action.message
+            elif cls is Listen or isinstance(action, Listen):
+                bucket_listeners.append(v)
+            elif cls is SendListen or isinstance(action, SendListen):
+                if not full_duplex:
+                    raise ProtocolError(
+                        f"SendListen is illegal in the {model_name} model"
+                    )
+                bucket_duplexers[v] = action.message
+            else:
+                raise ProtocolError(f"protocol yielded non-action {action!r}")
+
+        # Hot-loop locals: resolved once, not per slot.
+        masks = self._masks
+        bits = self._bits
+        count_based = masks is not None and model.supports_count
+        resolve = model.resolve
+        resolve_count = model.resolve_count if count_based else None
+        # All count-based models map k == 0 to a fixed value; cache it so
+        # the (typical) silent reception is branch + dict-store only.
+        silence = resolve_count(0, None) if count_based else None
+        time_limit = self.time_limit
 
         duration = 0
         while remaining:
-            slot = heap[0][0]
-            if slot > self.time_limit:
+            if bucket_senders or bucket_listeners or bucket_duplexers:
+                slot = bucket_slot
+                senders = bucket_senders
+                listeners = bucket_listeners
+                duplexers = bucket_duplexers
+            else:
+                slot = heap[0][0]
+                senders, listeners, duplexers = {}, [], {}
+            bucket_senders, bucket_listeners, bucket_duplexers = {}, [], {}
+            if slot > time_limit:
                 raise SimulationTimeout(
-                    f"simulation exceeded {self.time_limit} slots "
+                    f"simulation exceeded {time_limit} slots "
                     f"({remaining} protocols still running)"
                 )
 
-            # Collect everything happening at this slot.  Resumed sleepers
-            # may immediately act in this same slot, so drain until the heap
-            # front moves past `slot`.
-            senders: Dict[int, Any] = {}
-            listeners: List[int] = []
-            duplexers: Dict[int, Any] = {}
+            # Wake every sleeper due at this slot; a resumed generator may
+            # immediately act, joining the slot it woke in.
             while heap and heap[0][0] == slot:
-                _, v, payload = heapq.heappop(heap)
-                state = states[v]
-                if payload is _RESUME:
-                    state.ctx.time = slot
-                    finished = self._advance(
-                        heap, state, v, feedback=None, next_start=slot
-                    )
-                    if finished:
-                        remaining -= 1
-                        duration = max(duration, slot)
-                elif isinstance(payload, Send):
-                    senders[v] = payload.message
-                elif isinstance(payload, Listen):
+                _, v, _ = heappop(heap)
+                ctxs[v].time = slot
+                try:
+                    action = gens[v].send(None)
+                except StopIteration as stop:
+                    outputs[v] = stop.value
+                    finish_slot[v] = slot - 1
+                    remaining -= 1
+                    if duration < slot:
+                        duration = slot
+                    continue
+                cls = action.__class__
+                if cls is Idle or isinstance(action, Idle):
+                    heappush(heap, (slot + action.duration, v, _RESUME))
+                elif cls is Send or isinstance(action, Send):
+                    senders[v] = action.message
+                elif cls is Listen or isinstance(action, Listen):
                     listeners.append(v)
-                elif isinstance(payload, SendListen):
-                    duplexers[v] = payload.message
-                else:  # pragma: no cover - schedule() filters action types
-                    raise ProtocolError(f"unknown action {payload!r}")
+                elif cls is SendListen or isinstance(action, SendListen):
+                    if not full_duplex:
+                        raise ProtocolError(
+                            f"SendListen is illegal in the {model_name} model"
+                        )
+                    duplexers[v] = action.message
+                else:
+                    raise ProtocolError(f"protocol yielded non-action {action!r}")
 
-            transmitting = dict(senders)
-            transmitting.update(duplexers)
+            if not (senders or listeners or duplexers):
+                continue
 
-            # Resolve receptions, charge energy, record trace.
+            if duplexers:
+                transmitting = dict(senders)
+                transmitting.update(duplexers)
+                receivers = listeners + list(duplexers)
+            else:
+                transmitting = senders
+                receivers = listeners
+            if not count_based:
+                # Stateful models (LossyModel) consume channel randomness
+                # per reception: resolve in ascending vertex order, exactly
+                # like the reference oracle's single pass.  Count-based
+                # models are stateless, so their order cannot matter.
+                receivers = sorted(receivers)
+
+            # Resolve receptions.
             feedbacks: Dict[int, Any] = {}
-            for v in listeners:
-                heard = [
-                    transmitting[w]
-                    for w in graph.neighbors(v)
-                    if w in transmitting
-                ]
-                feedbacks[v] = model.resolve(heard)
-                states[v].meter.charge_listen(slot)
-            for v in duplexers:
-                heard = [
-                    transmitting[w]
-                    for w in graph.neighbors(v)
-                    if w in transmitting
-                ]
-                feedbacks[v] = model.resolve(heard)
-                states[v].meter.charge_duplex(slot)
+            if count_based:
+                if transmitting:
+                    transmit_mask = 0
+                    for v in transmitting:
+                        transmit_mask |= bits[v]
+                    for v in receivers:
+                        masked = masks[v] & transmit_mask
+                        if not masked:
+                            feedbacks[v] = silence
+                            continue
+                        first = transmitting[(masked & -masked).bit_length() - 1]
+                        feedback = resolve_count(_popcount(masked), first)
+                        if feedback is NEEDS_MESSAGES:
+                            feedback = resolve(_mask_messages(masked, transmitting))
+                        feedbacks[v] = feedback
+                else:
+                    for v in receivers:
+                        feedbacks[v] = silence
+            elif masks is not None:
+                transmit_mask = 0
+                for v in transmitting:
+                    transmit_mask |= bits[v]
+                for v in receivers:
+                    feedbacks[v] = resolve(
+                        _mask_messages(masks[v] & transmit_mask, transmitting)
+                    )
+            else:
+                for v in receivers:
+                    feedbacks[v] = resolve([
+                        transmitting[w]
+                        for w in graph.neighbors(v)
+                        if w in transmitting
+                    ])
             for v in senders:
-                states[v].meter.charge_send(slot)
                 feedbacks[v] = None
 
-            if trace is not None:
-                for v in senders:
-                    trace.record(TraceEvent(slot, v, "send", senders[v]))
-                for v in listeners:
-                    trace.record(TraceEvent(slot, v, "listen", None, feedbacks[v]))
-                for v in duplexers:
-                    trace.record(
-                        TraceEvent(slot, v, "duplex", duplexers[v], feedbacks[v])
-                    )
+            for observer in observers:
+                observer.on_slot(slot, senders, listeners, duplexers, feedbacks)
 
-            # Advance every actor; their next action starts at slot+1.
-            for v in list(senders) + listeners + list(duplexers):
-                state = states[v]
-                state.ctx.time = slot + 1
-                finished = self._advance(
-                    heap, state, v, feedback=feedbacks[v], next_start=slot + 1
-                )
-                if finished:
+            # Advance every actor; their next action starts at slot+1 and,
+            # unless it sleeps, is classified straight into the bucket.
+            next_slot = slot + 1
+            bucket_slot = next_slot
+            if duration < next_slot:
+                duration = next_slot
+            for v in receivers if not senders else list(senders) + receivers:
+                ctxs[v].time = next_slot
+                try:
+                    action = gens[v].send(feedbacks[v])
+                except StopIteration as stop:
+                    outputs[v] = stop.value
+                    finish_slot[v] = slot
                     remaining -= 1
-                    duration = max(duration, slot + 1)
+                    continue
+                cls = action.__class__
+                if cls is Idle or isinstance(action, Idle):
+                    heappush(heap, (next_slot + action.duration, v, _RESUME))
+                elif cls is Send or isinstance(action, Send):
+                    bucket_senders[v] = action.message
+                elif cls is Listen or isinstance(action, Listen):
+                    bucket_listeners.append(v)
+                elif cls is SendListen or isinstance(action, SendListen):
+                    if not full_duplex:
+                        raise ProtocolError(
+                            f"SendListen is illegal in the {model_name} model"
+                        )
+                    bucket_duplexers[v] = action.message
                 else:
-                    duration = max(duration, slot + 1)
+                    raise ProtocolError(f"protocol yielded non-action {action!r}")
 
         return SimResult(
-            outputs=[s.output for s in states],
-            energy=[s.meter.snapshot() for s in states],
-            finish_slot=[s.finish_slot for s in states],
+            outputs=outputs,
+            energy=energy.reports(),
+            finish_slot=finish_slot,
             duration=duration,
             trace=trace,
-            seed=self.seed,
+            seed=run_seed,
         )
-
-    def _advance(
-        self, heap: List, state: _NodeState, v: int, feedback: Any, next_start: int
-    ) -> bool:
-        """Feed ``feedback`` to the node's generator; schedule its next
-        action starting at ``next_start``.  Returns True if it finished."""
-        try:
-            action = state.gen.send(feedback)
-        except StopIteration as stop:
-            state.done = True
-            state.output = stop.value
-            state.finish_slot = next_start - 1
-            return True
-        self._schedule(heap, v, action, start=next_start)
-        return False
-
-    def _schedule(self, heap: List, v: int, action: Any, start: int) -> None:
-        if isinstance(action, Idle):
-            heapq.heappush(heap, (start + action.duration, v, _RESUME))
-        elif isinstance(action, (Send, Listen)):
-            heapq.heappush(heap, (start, v, action))
-        elif isinstance(action, SendListen):
-            if not self.model.full_duplex:
-                raise ProtocolError(
-                    f"SendListen is illegal in the {self.model.name} model"
-                )
-            heapq.heappush(heap, (start, v, action))
-        else:
-            raise ProtocolError(f"protocol yielded non-action {action!r}")

@@ -1,0 +1,265 @@
+"""FROZEN pre-refactor engine (PR 1 state) - benchmark baseline ONLY.
+
+This is a verbatim copy of the event-heap engine as it existed before the
+bitmask/batched refactor (git f71d51e), kept so `repro bench` can measure
+the refactored engine against the true pre-refactor baseline rather than
+a proxy.  Do not use it for experiments and do not improve it: its whole
+value is standing still.  Semantics are pinned by the same differential
+tests that pin the current engine.
+
+Original module docstring follows.
+
+
+This is the substrate everything else runs on.  Devices are generator-based
+protocols; each yielded action occupies one slot (``Send``/``Listen``/
+``SendListen``) or several (``Idle(k)``).  The engine keeps an event heap
+keyed by the slot at which each device next acts, so long sleeps cost O(1)
+work — mirroring the paper's "idle time is free" in both the energy model
+and simulator wall time.
+
+Channel semantics are delegated to a :class:`~repro.sim.models.ChannelModel`
+(LOCAL, CD, No-CD, CD*, BEEP).
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Generator, List, Optional, Sequence
+
+from repro.graphs.graph import Graph
+from repro.sim.actions import Idle, Listen, Send, SendListen
+from repro.sim.energy import EnergyMeter
+from repro.sim.engine import ProtocolError, SimResult, SimulationTimeout
+from repro.sim.models import ChannelModel
+from repro.sim.node import Knowledge, NodeCtx
+from repro.sim.trace import Trace, TraceEvent
+
+__all__ = ["LegacySimulator"]
+
+Protocol = Generator[Any, Any, Any]
+ProtocolFactory = Callable[[NodeCtx], Protocol]
+
+_RESUME = object()  # heap payload marker: wake a sleeping generator
+
+
+@dataclass
+class _NodeState:
+    gen: Protocol
+    ctx: NodeCtx
+    meter: EnergyMeter = field(default_factory=EnergyMeter)
+    done: bool = False
+    output: Any = None
+    finish_slot: int = -1
+
+
+class LegacySimulator:
+    """Runs one protocol on one graph under one collision model.
+
+    Example:
+        >>> from repro.graphs import path_graph
+        >>> from repro.sim import Simulator, NO_CD, Send, Listen, Idle
+        >>> def proto(ctx):
+        ...     if ctx.inputs.get("source"):
+        ...         yield Send("hello")
+        ...         return "hello"
+        ...     fb = yield Listen()
+        ...     return fb
+        >>> sim = Simulator(path_graph(2), NO_CD, seed=1)
+        >>> result = sim.run(proto, inputs={0: {"source": True}})
+        >>> result.outputs
+        ['hello', 'hello']
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        model: ChannelModel,
+        seed: int = 0,
+        time_limit: int = 50_000_000,
+        knowledge: Optional[Knowledge] = None,
+        uids: Optional[Sequence[int]] = None,
+        record_trace: bool = False,
+    ) -> None:
+        self.graph = graph
+        self.model = model
+        self.seed = seed
+        self.time_limit = time_limit
+        self.record_trace = record_trace
+        if knowledge is None:
+            knowledge = Knowledge(
+                n=graph.n, max_degree=max(graph.max_degree, 1), diameter=None
+            )
+        self.knowledge = knowledge
+        if uids is None:
+            uids = list(range(1, graph.n + 1))
+        if len(uids) != graph.n or len(set(uids)) != graph.n:
+            raise ValueError("uids must be distinct and cover every vertex")
+        self.uids = list(uids)
+
+    def run(
+        self,
+        protocol_factory: ProtocolFactory,
+        inputs: Optional[Dict[int, Dict[str, Any]]] = None,
+    ) -> SimResult:
+        """Execute the protocol on every vertex until all terminate.
+
+        Args:
+            protocol_factory: called once per vertex with its
+                :class:`NodeCtx`; returns the protocol generator.
+            inputs: optional per-vertex input dictionaries.
+
+        Raises:
+            SimulationTimeout: if any protocol is still running at
+                ``time_limit`` slots.
+            ProtocolError: on full-duplex actions in half-duplex models or
+                other illegal yields.
+        """
+        graph, model = self.graph, self.model
+        master = random.Random(self.seed)
+        trace = Trace() if self.record_trace else None
+        inputs = inputs or {}
+
+        states: List[_NodeState] = []
+        heap: List = []  # entries: (slot, node_index, payload)
+        remaining = 0
+        for v in range(graph.n):
+            ctx = NodeCtx(
+                index=v,
+                uid=self.uids[v],
+                knowledge=self.knowledge,
+                rng=random.Random(master.getrandbits(64)),
+                inputs=dict(inputs.get(v, ())),
+            )
+            state = _NodeState(gen=protocol_factory(ctx), ctx=ctx)
+            states.append(state)
+            try:
+                action = next(state.gen)
+            except StopIteration as stop:
+                state.done = True
+                state.output = stop.value
+                continue
+            remaining += 1
+            self._schedule(heap, v, action, start=0)
+
+        duration = 0
+        while remaining:
+            slot = heap[0][0]
+            if slot > self.time_limit:
+                raise SimulationTimeout(
+                    f"simulation exceeded {self.time_limit} slots "
+                    f"({remaining} protocols still running)"
+                )
+
+            # Collect everything happening at this slot.  Resumed sleepers
+            # may immediately act in this same slot, so drain until the heap
+            # front moves past `slot`.
+            senders: Dict[int, Any] = {}
+            listeners: List[int] = []
+            duplexers: Dict[int, Any] = {}
+            while heap and heap[0][0] == slot:
+                _, v, payload = heapq.heappop(heap)
+                state = states[v]
+                if payload is _RESUME:
+                    state.ctx.time = slot
+                    finished = self._advance(
+                        heap, state, v, feedback=None, next_start=slot
+                    )
+                    if finished:
+                        remaining -= 1
+                        duration = max(duration, slot)
+                elif isinstance(payload, Send):
+                    senders[v] = payload.message
+                elif isinstance(payload, Listen):
+                    listeners.append(v)
+                elif isinstance(payload, SendListen):
+                    duplexers[v] = payload.message
+                else:  # pragma: no cover - schedule() filters action types
+                    raise ProtocolError(f"unknown action {payload!r}")
+
+            transmitting = dict(senders)
+            transmitting.update(duplexers)
+
+            # Resolve receptions, charge energy, record trace.
+            feedbacks: Dict[int, Any] = {}
+            for v in listeners:
+                heard = [
+                    transmitting[w]
+                    for w in graph.neighbors(v)
+                    if w in transmitting
+                ]
+                feedbacks[v] = model.resolve(heard)
+                states[v].meter.charge_listen(slot)
+            for v in duplexers:
+                heard = [
+                    transmitting[w]
+                    for w in graph.neighbors(v)
+                    if w in transmitting
+                ]
+                feedbacks[v] = model.resolve(heard)
+                states[v].meter.charge_duplex(slot)
+            for v in senders:
+                states[v].meter.charge_send(slot)
+                feedbacks[v] = None
+
+            if trace is not None:
+                for v in senders:
+                    trace.record(TraceEvent(slot, v, "send", senders[v]))
+                for v in listeners:
+                    trace.record(TraceEvent(slot, v, "listen", None, feedbacks[v]))
+                for v in duplexers:
+                    trace.record(
+                        TraceEvent(slot, v, "duplex", duplexers[v], feedbacks[v])
+                    )
+
+            # Advance every actor; their next action starts at slot+1.
+            for v in list(senders) + listeners + list(duplexers):
+                state = states[v]
+                state.ctx.time = slot + 1
+                finished = self._advance(
+                    heap, state, v, feedback=feedbacks[v], next_start=slot + 1
+                )
+                if finished:
+                    remaining -= 1
+                    duration = max(duration, slot + 1)
+                else:
+                    duration = max(duration, slot + 1)
+
+        return SimResult(
+            outputs=[s.output for s in states],
+            energy=[s.meter.snapshot() for s in states],
+            finish_slot=[s.finish_slot for s in states],
+            duration=duration,
+            trace=trace,
+            seed=self.seed,
+        )
+
+    def _advance(
+        self, heap: List, state: _NodeState, v: int, feedback: Any, next_start: int
+    ) -> bool:
+        """Feed ``feedback`` to the node's generator; schedule its next
+        action starting at ``next_start``.  Returns True if it finished."""
+        try:
+            action = state.gen.send(feedback)
+        except StopIteration as stop:
+            state.done = True
+            state.output = stop.value
+            state.finish_slot = next_start - 1
+            return True
+        self._schedule(heap, v, action, start=next_start)
+        return False
+
+    def _schedule(self, heap: List, v: int, action: Any, start: int) -> None:
+        if isinstance(action, Idle):
+            heapq.heappush(heap, (start + action.duration, v, _RESUME))
+        elif isinstance(action, (Send, Listen)):
+            heapq.heappush(heap, (start, v, action))
+        elif isinstance(action, SendListen):
+            if not self.model.full_duplex:
+                raise ProtocolError(
+                    f"SendListen is illegal in the {self.model.name} model"
+                )
+            heapq.heappush(heap, (start, v, action))
+        else:
+            raise ProtocolError(f"protocol yielded non-action {action!r}")

@@ -17,6 +17,7 @@ from repro.sim.feedback import BEEP, NOISE, SILENCE
 
 __all__ = [
     "ChannelModel",
+    "NEEDS_MESSAGES",
     "LOCAL",
     "CD",
     "NO_CD",
@@ -27,6 +28,20 @@ __all__ = [
 ]
 
 
+class _NeedsMessages:
+    """Sentinel a count-based model returns from :meth:`resolve_count`
+    when it cannot decide from ``(k, first_message)`` alone and needs the
+    full transmission list (e.g. LOCAL with >= 2 transmitters)."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "NEEDS_MESSAGES"
+
+
+NEEDS_MESSAGES = _NeedsMessages()
+
+
 class ChannelModel:
     """A named collision-resolution rule.
 
@@ -35,9 +50,19 @@ class ChannelModel:
         full_duplex: Whether :class:`~repro.sim.actions.SendListen` is legal.
             The paper's LOCAL model permits full duplex (Section 8); the
             single-hop networks of Theorem 2's reduction do too.
+        supports_count: Whether :meth:`resolve_count` implements the
+            model.  True for the five paper models — their outcome depends
+            only on *how many* neighbors transmitted plus (sometimes) the
+            lowest-index transmitter's message — so the engine can resolve
+            via ``popcount(neighbor_mask & transmit_mask)`` without ever
+            materializing the message list.  False for per-transmission
+            models such as :class:`LossyModel`, which keep the list-based
+            slow path.
     """
 
     __slots__ = ("name", "full_duplex")
+
+    supports_count = False
 
     def __init__(self, name: str, full_duplex: bool = False) -> None:
         self.name = name
@@ -52,6 +77,25 @@ class ChannelModel:
         """
         raise NotImplementedError
 
+    def resolve_count(self, k: int, first_message: Any) -> Any:
+        """Count-based fast path: resolve from the transmitter count alone.
+
+        Args:
+            k: number of transmitting neighbors.
+            first_message: the message of the lowest-index transmitting
+                neighbor (None when ``k == 0``).  With ``k == 1`` this is
+                the sole transmission.
+
+        Returns:
+            The feedback, or :data:`NEEDS_MESSAGES` if the model needs the
+            full ordered transmission list for this ``k``.
+
+        Only called when :attr:`supports_count` is True; must agree with
+        :meth:`resolve` on every input (the differential tests drive both
+        paths against the reference simulator).
+        """
+        raise NotImplementedError
+
     def __repr__(self) -> str:
         return f"ChannelModel({self.name})"
 
@@ -59,12 +103,23 @@ class ChannelModel:
 class _LocalModel(ChannelModel):
     """No collisions: every listener hears every neighboring transmission."""
 
+    supports_count = True
+
     def resolve(self, transmissions: Sequence[Any]) -> Any:
         return tuple(transmissions)
+
+    def resolve_count(self, k: int, first_message: Any) -> Any:
+        if k == 0:
+            return ()
+        if k == 1:
+            return (first_message,)
+        return NEEDS_MESSAGES
 
 
 class _CDModel(ChannelModel):
     """Collision detection: 0 -> silence, 1 -> message, >=2 -> noise."""
+
+    supports_count = True
 
     def resolve(self, transmissions: Sequence[Any]) -> Any:
         if not transmissions:
@@ -73,14 +128,26 @@ class _CDModel(ChannelModel):
             return transmissions[0]
         return NOISE
 
+    def resolve_count(self, k: int, first_message: Any) -> Any:
+        if k == 0:
+            return SILENCE
+        if k == 1:
+            return first_message
+        return NOISE
+
 
 class _NoCDModel(ChannelModel):
     """No collision detection: 0 or >=2 -> silence, 1 -> message."""
+
+    supports_count = True
 
     def resolve(self, transmissions: Sequence[Any]) -> Any:
         if len(transmissions) == 1:
             return transmissions[0]
         return SILENCE
+
+    def resolve_count(self, k: int, first_message: Any) -> Any:
+        return first_message if k == 1 else SILENCE
 
 
 class _CDStarModel(ChannelModel):
@@ -90,17 +157,27 @@ class _CDStarModel(ChannelModel):
     neighbor (a legal adversarial choice, reproducible across runs).
     """
 
+    supports_count = True
+
     def resolve(self, transmissions: Sequence[Any]) -> Any:
         if not transmissions:
             return SILENCE
         return transmissions[0]
 
+    def resolve_count(self, k: int, first_message: Any) -> Any:
+        return SILENCE if k == 0 else first_message
+
 
 class _BeepModel(ChannelModel):
     """Beeping model [8]: listeners only learn whether anyone transmitted."""
 
+    supports_count = True
+
     def resolve(self, transmissions: Sequence[Any]) -> Any:
         return BEEP if transmissions else SILENCE
+
+    def resolve_count(self, k: int, first_message: Any) -> Any:
+        return BEEP if k else SILENCE
 
 
 LOCAL = _LocalModel("LOCAL", full_duplex=True)
@@ -116,6 +193,11 @@ class LossyModel(ChannelModel):
     collides (deep fade), so CD listeners may hear spurious silence or a
     message despite contention — the harshest fault mode for the paper's
     detection-based protocols.
+
+    Erasure is decided per transmission, so the outcome is not a function
+    of the transmitter count: ``supports_count`` stays False and the
+    engine materializes the full message list (the slow path) for every
+    reception under this model.
     """
 
     __slots__ = ("inner", "loss_rate", "_rng")

@@ -15,7 +15,21 @@ import random
 from dataclasses import dataclass, field
 from typing import Any, Dict, Optional
 
-__all__ = ["Knowledge", "NodeCtx"]
+__all__ = ["Knowledge", "NodeCtx", "validate_input_keys"]
+
+
+def validate_input_keys(inputs: Dict[int, Dict[str, Any]], n: int) -> None:
+    """Reject per-node ``inputs`` keys that are not vertex indices in
+    ``[0, n)`` — shared by the engine and the reference oracle so their
+    accepted domains cannot drift apart."""
+    invalid = [
+        key for key in inputs if not (isinstance(key, int) and 0 <= key < n)
+    ]
+    if invalid:
+        raise ValueError(
+            f"inputs keys must be vertex indices in [0, {n}); "
+            f"got {sorted(invalid, key=repr)!r}"
+        )
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,134 @@
+"""Slot observers: energy metering and trace recording as engine hooks.
+
+The engine's inner loop stays pure channel semantics — collect actions,
+resolve receptions, advance generators.  Everything that merely *watches*
+a slot (charging energy meters, appending trace events, custom
+instrumentation) is a :class:`SlotObserver` invoked once per active slot.
+Observers the run doesn't need are simply not installed, so e.g. tracing
+costs nothing when disabled instead of an ``if trace`` branch per slot.
+
+Observer call order is the installation order; the engine always installs
+:class:`EnergyObserver` first (energy is part of :class:`SimResult`), then
+:class:`TraceObserver` when tracing is on, then any user observers.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from repro.sim.energy import EnergyReport
+from repro.sim.trace import Trace, TraceEvent
+
+__all__ = ["SlotObserver", "EnergyObserver", "TraceObserver"]
+
+
+class SlotObserver:
+    """Base class: sees every active slot of a run.
+
+    ``on_slot`` receives the slot number and the slot's complete activity:
+    ``senders``/``duplexers`` map vertex -> outgoing message, ``listeners``
+    is the list of listening vertices, and ``feedbacks`` maps every active
+    vertex to what it heard (None for pure senders).  Iteration order of
+    the collections is unspecified (the engine classifies actions as
+    generators yield them); observers that need a canonical order sort,
+    as :class:`TraceObserver` does.
+    """
+
+    def on_run_start(self, n: int) -> None:
+        """Called once before the first slot; ``n`` is the vertex count."""
+
+    def on_slot(
+        self,
+        slot: int,
+        senders: Dict[int, Any],
+        listeners: List[int],
+        duplexers: Dict[int, Any],
+        feedbacks: Dict[int, Any],
+    ) -> None:
+        """Called once per slot in which at least one device was active."""
+
+
+class EnergyObserver(SlotObserver):
+    """Owns the per-node energy counters and charges them.
+
+    The paper's energy measure — one unit per slot spent sending and/or
+    listening (Section 1) — lives here, out of the engine's hot loop.
+    Counters are flat integer arrays rather than :class:`EnergyMeter`
+    objects: charging is the single hottest observer operation (every
+    active device, every active slot), and ``listens[v] += 1`` beats a
+    method call per charge.  :meth:`reports` snapshots the arrays into
+    the same :class:`EnergyReport` records the meters produce.
+    """
+
+    def __init__(self) -> None:
+        self.sends: List[int] = []
+        self.listens: List[int] = []
+        self.duplex: List[int] = []
+        self.last_active: List[int] = []
+
+    def on_run_start(self, n: int) -> None:
+        self.sends = [0] * n
+        self.listens = [0] * n
+        self.duplex = [0] * n
+        self.last_active = [-1] * n
+
+    def on_slot(self, slot, senders, listeners, duplexers, feedbacks) -> None:
+        last = self.last_active
+        counts = self.sends
+        for v in senders:
+            counts[v] += 1
+            last[v] = slot
+        counts = self.listens
+        for v in listeners:
+            counts[v] += 1
+            last[v] = slot
+        counts = self.duplex
+        for v in duplexers:
+            counts[v] += 1
+            last[v] = slot
+
+    def reports(self) -> List[EnergyReport]:
+        return [
+            EnergyReport(
+                sends=s,
+                listens=l,
+                duplex=d,
+                total=s + l + d,
+                last_active_slot=a,
+            )
+            for s, l, d, a in zip(
+                self.sends, self.listens, self.duplex, self.last_active
+            )
+        ]
+
+
+class _ZeroEnergyObserver(EnergyObserver):
+    """Metering disabled: never charges; reports all-zero meters.
+
+    Used by throughput benchmarks that want the engine's raw slot rate;
+    normal runs keep the real meter bank.
+    """
+
+    def on_slot(self, slot, senders, listeners, duplexers, feedbacks) -> None:
+        pass
+
+
+class TraceObserver(SlotObserver):
+    """Appends one :class:`TraceEvent` per active device per slot.
+
+    Event order within a slot is senders, then listeners, then duplexers
+    (each ascending by vertex) — the order Figure 1 and the lower-bound
+    trace consumers have always seen.
+    """
+
+    def __init__(self, trace: Trace) -> None:
+        self.trace = trace
+
+    def on_slot(self, slot, senders, listeners, duplexers, feedbacks) -> None:
+        record = self.trace.record
+        for v in sorted(senders):
+            record(TraceEvent(slot, v, "send", senders[v]))
+        for v in sorted(listeners):
+            record(TraceEvent(slot, v, "listen", None, feedbacks[v]))
+        for v in sorted(duplexers):
+            record(TraceEvent(slot, v, "duplex", duplexers[v], feedbacks[v]))

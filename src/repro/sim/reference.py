@@ -18,7 +18,7 @@ from repro.sim.actions import Idle, Listen, Send, SendListen
 from repro.sim.energy import EnergyMeter
 from repro.sim.engine import ProtocolError, SimResult, SimulationTimeout
 from repro.sim.models import ChannelModel
-from repro.sim.node import Knowledge, NodeCtx
+from repro.sim.node import Knowledge, NodeCtx, validate_input_keys
 
 __all__ = ["ReferenceSimulator"]
 
@@ -69,6 +69,7 @@ class ReferenceSimulator:
     def run(self, protocol_factory, inputs=None) -> SimResult:
         master = random.Random(self.seed)
         inputs = inputs or {}
+        validate_input_keys(inputs, self.graph.n)
         nodes: List[_Node] = []
         for v in range(self.graph.n):
             ctx = NodeCtx(

@@ -1,0 +1,99 @@
+"""Tests for the engine microbenchmark harness (repro bench)."""
+
+from __future__ import annotations
+
+import json
+
+from repro.experiments.bench import (
+    BenchWorkload,
+    check_thresholds,
+    default_workloads,
+    format_report,
+    run_engine_benchmarks,
+    write_results,
+)
+from repro.graphs import clique
+from repro.sim import NO_CD, Knowledge, Listen, Send
+
+
+def _tiny_workload() -> BenchWorkload:
+    def protocol(ctx):
+        for step in range(3):
+            if (ctx.index + step) % 3 == 0:
+                yield Send(("m", ctx.index, step))
+            else:
+                yield Listen()
+        return ctx.index
+
+    def build():
+        graph = clique(5)
+        knowledge = Knowledge(n=5, max_degree=4, diameter=1)
+        return graph, NO_CD, protocol, knowledge, {}
+
+    return BenchWorkload("tiny", "clique n=5 smoke workload", build, reps=1)
+
+
+class TestBenchHarness:
+    def test_report_shape_and_equivalence(self):
+        report = run_engine_benchmarks(workloads=[_tiny_workload()])
+        entry = report["workloads"]["tiny"]
+        assert entry["equivalent"] is True
+        assert entry["n"] == 5
+        assert entry["slots"] == 3
+        assert set(entry["seconds"]) == {
+            "engine", "engine_list_path", "legacy_engine", "reference",
+        }
+        for value in entry["seconds"].values():
+            assert value >= 0
+        assert "speedup_vs_legacy" in entry
+        assert "min_speedup_vs_reference" in report["summary"]
+
+    def test_thresholds(self):
+        report = run_engine_benchmarks(workloads=[_tiny_workload()])
+        # Impossible bars must be flagged...
+        violations = check_thresholds(
+            report, min_legacy_speedup=1e9, min_ref_speedup=1e9
+        )
+        assert len(violations) == 2
+        # ...no bars, no violations.
+        assert check_thresholds(report) == []
+        # legacy_gate=False exempts a workload from the legacy bar only.
+        report["workloads"]["tiny"]["legacy_gate"] = False
+        assert check_thresholds(report, min_legacy_speedup=1e9) == []
+        assert len(check_thresholds(report, min_ref_speedup=1e9)) == 1
+
+    def test_equivalence_failure_is_a_violation(self):
+        report = run_engine_benchmarks(workloads=[_tiny_workload()])
+        report["workloads"]["tiny"]["equivalent"] = False
+        violations = check_thresholds(report)
+        assert violations and "disagree" in violations[0]
+
+    def test_write_results_round_trips(self, tmp_path):
+        report = run_engine_benchmarks(workloads=[_tiny_workload()])
+        path = tmp_path / "BENCH_engine.json"
+        write_results(report, str(path))
+        loaded = json.loads(path.read_text())
+        assert loaded["workloads"]["tiny"]["slots"] == 3
+        assert "tiny" in format_report(loaded)
+
+    def test_default_workloads_cover_acceptance_set(self):
+        for quick in (False, True):
+            names = {w.name for w in default_workloads(quick=quick)}
+            assert {"dense_single_hop_n512", "table1_clustering_row"} <= names
+            gates = {
+                w.name: w.legacy_gate for w in default_workloads(quick=quick)
+            }
+            assert gates["dense_single_hop_n512"]
+            assert gates["table1_clustering_row"]
+
+
+class TestBenchCli:
+    def test_cli_quick_flag_parses(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["bench", "--quick", "--out", "x.json", "--min-ref-speedup", "1.2"]
+        )
+        assert args.quick and args.out == "x.json"
+        assert args.min_ref_speedup == 1.2
+        assert args.min_legacy_speedup is None

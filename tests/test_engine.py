@@ -235,6 +235,116 @@ def test_uids_default_and_custom():
         Simulator(path_graph(3), NO_CD, uids=[1, 1, 2])
 
 
+def test_inputs_keys_outside_range_raise():
+    def proto(ctx):
+        yield Idle(1)
+        return None
+
+    sim = Simulator(path_graph(3), NO_CD, seed=0)
+    with pytest.raises(ValueError, match=r"inputs keys"):
+        sim.run(proto, inputs={3: {"source": True}})
+    with pytest.raises(ValueError, match=r"inputs keys"):
+        sim.run(proto, inputs={-1: {"source": True}})
+    with pytest.raises(ValueError, match=r"inputs keys"):
+        sim.run(proto, inputs={"0": {"source": True}})
+    # in-range keys still work
+    assert sim.run(proto, inputs={2: {"x": 1}}).outputs == [None] * 3
+
+
+def test_reference_rejects_out_of_range_inputs_too():
+    from repro.sim.reference import ReferenceSimulator
+
+    def proto(ctx):
+        yield Idle(1)
+        return None
+
+    with pytest.raises(ValueError, match=r"inputs keys"):
+        ReferenceSimulator(path_graph(2), NO_CD).run(proto, inputs={5: {}})
+
+
+def test_invalid_resolution_mode_rejected():
+    with pytest.raises(ValueError, match="resolution"):
+        Simulator(path_graph(2), NO_CD, resolution="numpy")
+
+
+def test_list_resolution_matches_bitmask():
+    def proto(ctx):
+        if ctx.index % 2:
+            yield Send(("m", ctx.index))
+            return None
+        return (yield Listen())
+
+    graph = star_graph(5)
+    a = Simulator(graph, CD, seed=0, resolution="bitmask").run(proto)
+    b = Simulator(graph, CD, seed=0, resolution="list").run(proto)
+    assert a.outputs == b.outputs
+    assert a.duration == b.duration
+    assert [e.total for e in a.energy] == [e.total for e in b.energy]
+
+
+def test_meter_energy_off_reports_zeros():
+    def proto(ctx):
+        yield Send("x")
+        yield Listen()
+        return None
+
+    result = Simulator(
+        path_graph(2), NO_CD, seed=0, meter_energy=False
+    ).run(proto)
+    assert all(e.total == 0 for e in result.energy)
+    assert result.duration == 2  # semantics unaffected
+
+
+def test_custom_observer_sees_every_active_slot():
+    from repro.sim import SlotObserver
+
+    class Recorder(SlotObserver):
+        def __init__(self):
+            self.slots = []
+            self.n = None
+
+        def on_run_start(self, n):
+            self.n = n
+
+        def on_slot(self, slot, senders, listeners, duplexers, feedbacks):
+            self.slots.append(
+                (slot, sorted(senders), sorted(listeners), sorted(duplexers))
+            )
+
+    def proto(ctx):
+        if ctx.index == 0:
+            yield Send("a")
+            yield Idle(3)
+            yield Send("b")
+            return None
+        yield Listen()
+        yield Idle(3)
+        yield Listen()
+        return None
+
+    recorder = Recorder()
+    Simulator(path_graph(2), NO_CD, seed=0, observers=[recorder]).run(proto)
+    assert recorder.n == 2
+    assert recorder.slots == [
+        (0, [0], [1], []),
+        (4, [0], [1], []),
+    ]
+
+
+def test_run_seed_override_matches_fresh_simulator():
+    def proto(ctx):
+        yield Idle(1)
+        return ctx.rng.random()
+
+    sim = Simulator(path_graph(3), NO_CD, seed=0)
+    overridden = sim.run(proto, seed=42)
+    fresh = Simulator(path_graph(3), NO_CD, seed=42).run(proto)
+    assert overridden.outputs == fresh.outputs
+    assert overridden.seed == 42
+    # and the simulator's own seed is untouched
+    assert sim.run(proto).seed == 0
+
+
 def test_immediate_return_protocol():
     def proto(ctx):
         return "done"

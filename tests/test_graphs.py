@@ -49,6 +49,31 @@ class TestGraphBasics:
         assert g.degree(3) == 1
         assert g.max_degree == 4
 
+    def test_neighbor_masks_match_adjacency(self):
+        g = random_gnp(12, 0.4, random.Random(3))
+        for v in range(g.n):
+            mask = g.neighbor_mask(v)
+            assert mask == sum(1 << w for w in g.neighbors(v))
+            assert not (mask >> v) & 1  # never contains the vertex itself
+        # cached: same tuple object on every call
+        assert g.neighbor_masks() is g.neighbor_masks()
+
+    def test_csr_matches_adjacency(self):
+        g = random_gnp(10, 0.5, random.Random(7))
+        indptr, indices = g.csr()
+        assert len(indptr) == g.n + 1
+        assert indptr[0] == 0
+        for v in range(g.n):
+            assert tuple(indices[indptr[v]:indptr[v + 1]]) == g.neighbors(v)
+        assert g.csr() is g.csr()  # cached
+
+    def test_masks_and_csr_on_edgeless_graph(self):
+        g = Graph(3, [])
+        assert g.neighbor_masks() == (0, 0, 0)
+        indptr, indices = g.csr()
+        assert list(indptr) == [0, 0, 0, 0]
+        assert len(indices) == 0
+
     def test_has_edge_small_and_large_adjacency(self):
         g = clique(12)
         assert g.has_edge(0, 11)

@@ -14,6 +14,7 @@ from repro.sim.models import (
     CD_STAR,
     LOCAL,
     MODELS,
+    NEEDS_MESSAGES,
     NO_CD,
     NO_CD_FD,
     LossyModel,
@@ -54,6 +55,39 @@ class TestResolutionRules:
         assert MODELS["CD"] is CD
         assert MODELS["No-CD"] is NO_CD
         assert len(MODELS) == 7
+
+
+class TestResolveCountFastPath:
+    """resolve_count(k, first) must agree with resolve(list) everywhere:
+    the engine's bitmask path depends on it."""
+
+    def test_capability_flags(self):
+        for model in (LOCAL, CD, NO_CD, CD_STAR, BEEPING, CD_FD, NO_CD_FD):
+            assert model.supports_count
+        assert not LossyModel(CD, 0.1).supports_count
+
+    @pytest.mark.parametrize(
+        "model", [LOCAL, CD, NO_CD, CD_STAR, BEEPING], ids=lambda m: m.name
+    )
+    def test_agrees_with_resolve(self, model):
+        for k in range(5):
+            transmissions = [f"m{i}" for i in range(k)]
+            first = transmissions[0] if transmissions else None
+            fast = model.resolve_count(k, first)
+            if fast is NEEDS_MESSAGES:
+                fast = model.resolve(transmissions)
+            assert fast == model.resolve(transmissions)
+
+    def test_local_needs_full_list_on_contention(self):
+        assert LOCAL.resolve_count(0, None) == ()
+        assert LOCAL.resolve_count(1, "m") == ("m",)
+        assert LOCAL.resolve_count(2, "m") is NEEDS_MESSAGES
+
+    def test_count_decides_without_messages(self):
+        assert CD.resolve_count(2, None) is NOISE
+        assert NO_CD.resolve_count(3, None) is SILENCE
+        assert BEEPING.resolve_count(7, None) is BEEP
+        assert CD_STAR.resolve_count(2, "lowest") == "lowest"
 
 
 class TestFeedbackSentinels:

@@ -15,9 +15,30 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.graphs import clique, grid_graph, path_graph, random_gnp, star_graph
-from repro.sim import CD, CD_FD, LOCAL, NO_CD, Idle, Listen, Send, Simulator
+from repro.sim import (
+    BEEPING,
+    CD,
+    CD_FD,
+    CD_STAR,
+    LOCAL,
+    NO_CD,
+    Idle,
+    Listen,
+    Send,
+    Simulator,
+)
 from repro.sim.actions import SendListen
+from repro.sim.legacy import LegacySimulator
+from repro.sim.models import LossyModel
 from repro.sim.reference import ReferenceSimulator
+
+FIVE_MODELS = {
+    "LOCAL": LOCAL,
+    "CD": CD,
+    "No-CD": NO_CD,
+    "CD*": CD_STAR,
+    "BEEP": BEEPING,
+}
 
 
 def _random_protocol(steps: int, duplex: bool):
@@ -45,15 +66,41 @@ def _random_protocol(steps: int, duplex: bool):
     return protocol
 
 
-def _compare(graph, model, protocol, seed, inputs=None):
-    fast = Simulator(graph, model, seed=seed).run(protocol, inputs=inputs)
-    slow = ReferenceSimulator(graph, model, seed=seed).run(protocol, inputs=inputs)
+def _assert_same(fast, slow):
     assert fast.outputs == slow.outputs
     assert [e.total for e in fast.energy] == [e.total for e in slow.energy]
     assert [e.sends for e in fast.energy] == [e.sends for e in slow.energy]
     assert [e.listens for e in fast.energy] == [e.listens for e in slow.energy]
     assert fast.finish_slot == slow.finish_slot
     assert fast.duration == slow.duration
+
+
+def _compare(
+    graph, model, protocol, seed, inputs=None, model_factory=None,
+    include_legacy=True,
+):
+    """Engine (both resolution paths) and the frozen legacy engine must
+    all match the reference oracle.
+
+    ``model_factory`` builds a fresh model per run for stateful channels
+    (LossyModel carries rng state across runs, so each simulator needs
+    its own instance).  ``include_legacy=False`` skips the frozen engine:
+    it resolves listeners before duplexers rather than in vertex order,
+    which only matters (and was never exercised) for stateful models
+    under full duplex.
+    """
+    make = model_factory or (lambda: model)
+    slow = ReferenceSimulator(graph, make(), seed=seed).run(protocol, inputs=inputs)
+    for resolution in ("bitmask", "list"):
+        fast = Simulator(
+            graph, make(), seed=seed, resolution=resolution
+        ).run(protocol, inputs=inputs)
+        _assert_same(fast, slow)
+    if include_legacy:
+        legacy = LegacySimulator(graph, make(), seed=seed).run(
+            protocol, inputs=inputs
+        )
+        _assert_same(legacy, slow)
 
 
 class TestEquivalence:
@@ -120,3 +167,66 @@ class TestEquivalence:
 
     def test_star_contention(self):
         _compare(star_graph(6), CD, _random_protocol(14, duplex=False), 7)
+
+
+class TestAllModelsBothPaths:
+    """The satellite sweep: five channel models x LossyModel wrapper x
+    random protocols x both engine resolution paths (plus the frozen
+    legacy engine), all differentially pinned to the reference oracle."""
+
+    @pytest.mark.parametrize("model_name", sorted(FIVE_MODELS))
+    @pytest.mark.parametrize("lossy", [False, True], ids=["clean", "lossy"])
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_model_matrix(self, model_name, lossy, seed):
+        base = FIVE_MODELS[model_name]
+        graph = random_gnp(9, 0.5, random.Random(40 + seed))
+        if lossy:
+            factory = lambda: LossyModel(base, 0.35, seed=91)
+        else:
+            factory = lambda: base
+        _compare(
+            graph,
+            base,
+            _random_protocol(14, duplex=False),
+            seed,
+            model_factory=factory,
+        )
+
+    @pytest.mark.parametrize("model_name", sorted(FIVE_MODELS))
+    def test_model_matrix_dense_contention(self, model_name):
+        """Clique stress: every reception sees high contention, driving
+        the >=2-transmitters branches (NOISE, LOCAL's full-list path)."""
+        base = FIVE_MODELS[model_name]
+        _compare(clique(7), base, _random_protocol(12, duplex=False), 3)
+
+    @pytest.mark.parametrize("lossy", [False, True], ids=["clean", "lossy"])
+    def test_full_duplex_lossy_receiver_order(self, lossy):
+        """Duplexers and listeners interleave by vertex index; with a
+        stateful (lossy) channel the resolution *order* itself is part of
+        the semantics, so engine and oracle must consume channel
+        randomness identically.  (The frozen legacy engine predates this
+        guarantee and is deliberately excluded.)"""
+        base = LOCAL  # full duplex
+        if lossy:
+            factory = lambda: LossyModel(base, 0.3, seed=17)
+        else:
+            factory = lambda: base
+        for seed in (0, 1, 2):
+            _compare(
+                clique(6),
+                base,
+                _random_protocol(12, duplex=True),
+                seed,
+                model_factory=factory,
+                include_legacy=False,
+            )
+
+    def test_lossy_nocd_on_grid(self):
+        factory = lambda: LossyModel(NO_CD, 0.5, seed=5)
+        _compare(
+            grid_graph(3, 4),
+            NO_CD,
+            _random_protocol(16, duplex=False),
+            11,
+            model_factory=factory,
+        )
