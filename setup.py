@@ -42,6 +42,9 @@ setup(
     extras_require={
         "test": ["pytest", "hypothesis"],
         "bench": ["pytest-benchmark"],
+        # Optional acceleration: the vectorized resolution="numpy"
+        # backend.  Everything degrades gracefully without it.
+        "fast": ["numpy"],
     },
     entry_points={
         "console_scripts": [

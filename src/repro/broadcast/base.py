@@ -17,6 +17,7 @@ from repro.sim.batch import run_trials
 from repro.sim.engine import SimResult
 from repro.sim.models import ChannelModel
 from repro.sim.node import Knowledge, NodeCtx
+from repro.sim.observers import SlotObserver
 
 __all__ = [
     "BroadcastOutcome",
@@ -82,12 +83,17 @@ def run_broadcast_trials(
     uids: Optional[Sequence[int]] = None,
     time_limit: int = 200_000_000,
     record_trace: bool = False,
+    resolution: str = "bitmask",
+    lockstep: bool = False,
+    observer_factory: Optional[Callable[[int], Sequence[SlotObserver]]] = None,
 ) -> List[BroadcastOutcome]:
     """Run one broadcast cell across many seeds on the batched engine core.
 
     Graph preprocessing, knowledge, and uid setup happen once; each trial
-    is one seeded run (see :func:`repro.sim.batch.run_trials`).  Returns
-    one verified :class:`BroadcastOutcome` per seed, in order.
+    is one seeded run (see :func:`repro.sim.batch.run_trials`, including
+    the ``resolution`` backend switch, lock-step batching, and per-seed
+    ``observer_factory``).  Returns one verified
+    :class:`BroadcastOutcome` per seed, in order.
     """
     results = run_trials(
         graph,
@@ -99,6 +105,9 @@ def run_broadcast_trials(
         uids=uids,
         time_limit=time_limit,
         record_trace=record_trace,
+        resolution=resolution,
+        lockstep=lockstep,
+        observer_factory=observer_factory,
     )
     return [_verify(result, payload, graph.n) for result in results]
 

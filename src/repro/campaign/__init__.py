@@ -27,14 +27,17 @@ from repro.campaign.cells import (
     SweepPoint,
     aggregate_cells,
     bootstrap_median_ci,
+    execution_options,
     knowledge_for,
     run_cell,
+    run_cells,
 )
 from repro.campaign.registry import (
     GRAPH_FAMILIES,
     ROW_REGISTRY,
     RowDefinition,
     execute_cell,
+    execute_cell_block,
     get_row,
     register_row,
 )
@@ -58,12 +61,15 @@ __all__ = [
     "SweepPoint",
     "aggregate_cells",
     "bootstrap_median_ci",
+    "execution_options",
     "knowledge_for",
     "run_cell",
+    "run_cells",
     "GRAPH_FAMILIES",
     "ROW_REGISTRY",
     "RowDefinition",
     "execute_cell",
+    "execute_cell_block",
     "get_row",
     "register_row",
     "CampaignRunReport",

@@ -142,10 +142,14 @@ def render_report(spec: CampaignSpec, store: CampaignStore) -> str:
         if not row_points:
             sections.append(f"{title}\n  (no completed cells)")
             continue
+        columns = definition.columns
+        if plan.options.get("contention_hist"):
+            # Mirror the serial runner: show the analytics ride-along.
+            columns = tuple(columns) + ("ch_mean_load", "ch_collision_rate")
         sections.append(format_table(
             title,
             row_points,
-            columns=definition.columns,
+            columns=columns,
             bounds=resolve_bounds(definition, plan.options),
         ))
     return "\n\n".join(sections)

@@ -24,16 +24,34 @@ from repro.graphs.graph import Graph
 from repro.graphs.properties import diameter as graph_diameter
 from repro.sim.models import ChannelModel
 from repro.sim.node import Knowledge
+from repro.sim.observers import ContentionHistogramObserver
 
 __all__ = [
     "SweepPoint",
     "CellResult",
+    "EXECUTION_OPTION_KEYS",
+    "execution_options",
     "knowledge_for",
     "run_cell",
     "run_cells",
     "aggregate_cells",
     "bootstrap_median_ci",
 ]
+
+# Cell options that steer *how* a cell executes rather than what it
+# measures.  They ride in the same per-row ``options`` dict as protocol
+# knobs (so campaign configs can set them per row) and are consumed by
+# run_cells(); protocol builders ignore them.
+EXECUTION_OPTION_KEYS = ("resolution", "lockstep", "contention_hist")
+
+
+def execution_options(options: Optional[Dict]) -> Dict[str, object]:
+    """Extract the execution-steering subset of a cell options dict."""
+    if not options:
+        return {}
+    return {
+        key: options[key] for key in EXECUTION_OPTION_KEYS if key in options
+    }
 
 
 @dataclass
@@ -134,16 +152,33 @@ def run_cells(
     id_space_from_n: bool = False,
     record_trace: bool = False,
     extra_metrics: Optional[Callable[[BroadcastOutcome], Dict[str, float]]] = None,
+    resolution: str = "bitmask",
+    lockstep: bool = False,
+    contention_hist: bool = False,
 ) -> List[CellResult]:
     """Execute one (row, size) cell group across seeds on the batched core.
 
     All trials share one prepared engine
     (:func:`repro.broadcast.base.run_broadcast_trials`), so graph
-    preprocessing and knowledge are paid once per size, not per seed.
+    preprocessing and knowledge are paid once per size, not per seed;
+    ``lockstep=True`` additionally advances the seeds in lock-step slot
+    batches and ``resolution`` selects the reception backend — both are
+    execution details, measurements are byte-identical.
+
+    ``contention_hist=True`` attaches a per-trial
+    :class:`~repro.sim.observers.ContentionHistogramObserver` and folds
+    its summary into each cell's ``extras`` under ``ch_*`` keys.
     Returns one :class:`CellResult` per seed, in ``seeds`` order.
     """
     if knowledge is None:
         knowledge = knowledge_for(graph, id_space_from_n=id_space_from_n)
+    observer_factory = None
+    histograms: Dict[int, ContentionHistogramObserver] = {}
+    if contention_hist:
+        def observer_factory(seed):
+            observer = ContentionHistogramObserver(graph)
+            histograms[seed] = observer
+            return (observer,)
     outcomes = run_broadcast_trials(
         graph,
         model,
@@ -152,10 +187,18 @@ def run_cells(
         source=source,
         knowledge=knowledge,
         record_trace=record_trace,
+        resolution=resolution,
+        lockstep=lockstep,
+        observer_factory=observer_factory,
     )
     cells = []
     for seed, outcome in zip(seeds, outcomes):
         extras = dict(extra_metrics(outcome)) if extra_metrics is not None else {}
+        if contention_hist:
+            extras.update({
+                f"ch_{key}": value
+                for key, value in histograms[seed].summary().items()
+            })
         cells.append(CellResult(
             label=label,
             size=size,
@@ -185,6 +228,9 @@ def run_cell(
     id_space_from_n: bool = False,
     record_trace: bool = False,
     extra_metrics: Optional[Callable[[BroadcastOutcome], Dict[str, float]]] = None,
+    resolution: str = "bitmask",
+    lockstep: bool = False,
+    contention_hist: bool = False,
 ) -> CellResult:
     """Execute one broadcast cell (a single-seed batch) and reduce it to
     storable numbers — the unit the sharded campaign runner executes."""
@@ -200,6 +246,9 @@ def run_cell(
         id_space_from_n=id_space_from_n,
         record_trace=record_trace,
         extra_metrics=extra_metrics,
+        resolution=resolution,
+        lockstep=lockstep,
+        contention_hist=contention_hist,
     )[0]
 
 

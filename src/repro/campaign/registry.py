@@ -20,7 +20,7 @@ import math
 import random
 import statistics
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.broadcast import (
     ClusterBroadcastParams,
@@ -37,7 +37,12 @@ from repro.broadcast.deterministic import (
 from repro.broadcast.dtime import DTimeParams, dtime_broadcast_protocol
 from repro.broadcast.local_sim import local_sim_broadcast_protocol
 from repro.broadcast.path import path_broadcast_protocol
-from repro.campaign.cells import CellResult, run_cell
+from repro.campaign.cells import (
+    CellResult,
+    execution_options,
+    run_cell,
+    run_cells,
+)
 from repro.graphs import (
     cycle_graph,
     grid_graph,
@@ -57,6 +62,7 @@ __all__ = [
     "register_row",
     "resolve_bounds",
     "execute_cell",
+    "execute_cell_block",
 ]
 
 _GNP_P = 0.3
@@ -145,21 +151,41 @@ def get_row(name: str) -> RowDefinition:
 
 
 def execute_cell(row: str, size: int, seed: int, options: Dict) -> CellResult:
-    """Run one (row, size, seed) cell — the worker-side entry point."""
+    """Run one (row, size, seed) cell — the single-seed worker entry
+    point (a one-seed block)."""
+    return execute_cell_block(row, size, (seed,), options)[0]
+
+
+def execute_cell_block(
+    row: str, size: int, seeds: Sequence[int], options: Dict
+) -> List[CellResult]:
+    """Run one (row, size) cell across a *block* of seeds.
+
+    The whole block shares one prepared engine via
+    :func:`repro.campaign.cells.run_cells`, so a sharded campaign worker
+    amortizes graph construction and engine setup exactly like the
+    serial sweep.  Execution-steering options (``resolution``,
+    ``lockstep``, ``contention_hist`` — see
+    :data:`repro.campaign.cells.EXECUTION_OPTION_KEYS`) are honored;
+    rows with a ``custom_cell`` run seed by seed, as before.
+    """
     definition = get_row(row)
     if definition.custom_cell is not None:
-        return definition.custom_cell(row, size, seed, options)
+        return [
+            definition.custom_cell(row, size, seed, options) for seed in seeds
+        ]
     graph = GRAPH_FAMILIES[definition.graph_family](size)
-    return run_cell(
+    return run_cells(
         graph,
         MODELS[definition.model],
         definition.builder(graph, options),
         label=row,
         size=size,
-        seed=seed,
+        seeds=tuple(seeds),
         id_space_from_n=definition.id_space_from_n,
         record_trace=definition.record_trace,
         extra_metrics=definition.extra_metrics,
+        **execution_options(options),
     )
 
 

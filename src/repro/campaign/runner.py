@@ -1,17 +1,24 @@
-"""Campaign executor: shard cells across workers, persist every result.
+"""Campaign executor: shard seed blocks across workers, persist cells.
 
-One job = one (row, size, seed) cell.  The runner
+One dispatch unit = one (row, size) *seed block*; one stored record =
+one (row, size, seed) cell.  The runner
 
 * skips every cell whose content-hash key already has an ``ok`` record
-  in the store (resumability / caching — re-runs compute only the delta),
-* isolates crashes: a cell that raises is recorded as ``status=error``
-  and the campaign continues,
-* enforces a per-job wall-clock timeout via ``SIGALRM`` inside the
-  worker process, so one diverging protocol cannot wedge the sweep,
-* with ``jobs > 1`` fans cells out over a ``ProcessPoolExecutor``;
+  in the store and dispatches only each block's missing seeds
+  (resumability / caching — re-runs compute only the delta),
+* batches: a block's seeds share one prepared engine
+  (:func:`repro.campaign.registry.execute_cell_block`), amortizing
+  graph and setup cost exactly like the serial sweep's ``run_cells``,
+* isolates failures: a multi-seed block that raises or times out is
+  re-executed seed by seed so one bad cell cannot poison its
+  blockmates; a failing cell is recorded as ``status=error`` /
+  ``status=timeout`` and the campaign continues,
+* enforces a per-*cell* wall-clock timeout via ``SIGALRM`` inside the
+  worker process (a block's budget is ``timeout * len(seeds)``), so
+  one diverging protocol cannot wedge the sweep,
+* with ``jobs > 1`` fans blocks out over a ``ProcessPoolExecutor``;
   with ``jobs <= 1`` it runs them in-process (same code path as the
-  serial harness — both funnel through
-  :func:`repro.campaign.registry.execute_cell`).
+  serial harness).
 """
 
 from __future__ import annotations
@@ -78,31 +85,48 @@ def _alarm_handler(signum, frame):
     raise CellTimeout("cell exceeded its time budget")
 
 
-def execute_job(payload: Dict) -> Dict:
-    """Run one cell and wrap the outcome in a store record.
+class _Alarm:
+    """SIGALRM budget as a context manager; inert off-main-thread or
+    when no budget is given."""
 
-    Module-level (picklable) so it serves as the multiprocessing worker
-    entry point; also called directly for serial runs.  Never raises —
-    failures become ``error``/``timeout`` records.
-    """
-    job = JobSpec.from_dict(payload["job"])
-    timeout = payload.get("timeout")
+    def __init__(self, budget: Optional[float]) -> None:
+        self.budget = budget
+        self.armed = False
+        self.previous = None
+
+    def __enter__(self) -> "_Alarm":
+        if self.budget and hasattr(signal, "SIGALRM"):
+            try:
+                self.previous = signal.signal(signal.SIGALRM, _alarm_handler)
+                signal.alarm(max(1, math.ceil(self.budget)))
+                self.armed = True
+            except ValueError:  # not the main thread: run without a budget
+                self.armed = False
+        return self
+
+    def disarm(self) -> None:
+        """Stop the clock early (the work is done; don't let the alarm
+        fire while records are being assembled)."""
+        if self.armed:
+            signal.alarm(0)
+
+    def __exit__(self, *exc) -> None:
+        if self.armed:
+            signal.alarm(0)
+            signal.signal(signal.SIGALRM, self.previous)
+        return None
+
+
+def _execute_cell_job(job: JobSpec, timeout: Optional[float]) -> Dict:
+    """Run one single-seed cell under its own alarm; never raises."""
     key = job.key()
     start = time.monotonic()
-    use_alarm = bool(timeout) and hasattr(signal, "SIGALRM")
-    previous_handler = None
-    if use_alarm:
-        try:
-            previous_handler = signal.signal(signal.SIGALRM, _alarm_handler)
-            signal.alarm(max(1, math.ceil(timeout)))
-        except ValueError:  # not the main thread: run without a budget
-            use_alarm = False
     try:
-        from repro.campaign.registry import execute_cell
+        with _Alarm(timeout) as alarm:
+            from repro.campaign.registry import execute_cell
 
-        cell = execute_cell(job.row, job.size, job.seed, job.options_dict)
-        if use_alarm:  # the cell is computed; don't let the alarm fire
-            signal.alarm(0)  # while the record is being assembled
+            cell = execute_cell(job.row, job.size, job.seed, job.options_dict)
+            alarm.disarm()
         return make_record(
             key, job.to_dict(), STATUS_OK,
             result=cell.to_dict(), elapsed=time.monotonic() - start,
@@ -119,10 +143,43 @@ def execute_job(payload: Dict) -> Dict:
             error=traceback.format_exc(limit=20),
             elapsed=time.monotonic() - start,
         )
-    finally:
-        if use_alarm:
-            signal.alarm(0)
-            signal.signal(signal.SIGALRM, previous_handler)
+
+
+def execute_job(payload: Dict) -> List[Dict]:
+    """Run one job (a single cell or a seed block) and wrap every cell's
+    outcome in a store record.
+
+    Module-level (picklable) so it serves as the multiprocessing worker
+    entry point; also called directly for serial runs.  Never raises —
+    failures become ``error``/``timeout`` records.  A multi-seed block
+    first runs batched on one prepared engine (budget: per-cell timeout
+    x block size); if anything in the batch fails, it falls back to
+    seed-by-seed execution so the failure is pinned to the cell that
+    caused it and healthy blockmates still complete.
+    """
+    job = JobSpec.from_dict(payload["job"])
+    timeout = payload.get("timeout")
+    if len(job.seeds) == 1:
+        return [_execute_cell_job(job, timeout)]
+    start = time.monotonic()
+    try:
+        with _Alarm(timeout * len(job.seeds) if timeout else None) as alarm:
+            from repro.campaign.registry import execute_cell_block
+
+            cells = execute_cell_block(
+                job.row, job.size, job.seeds, job.options_dict
+            )
+            alarm.disarm()
+    except Exception:  # includes CellTimeout: isolate per seed
+        return [_execute_cell_job(cell, timeout) for cell in job.cells()]
+    per_cell = (time.monotonic() - start) / len(job.seeds)
+    return [
+        make_record(
+            cell_job.key(), cell_job.to_dict(), STATUS_OK,
+            result=cell.to_dict(), elapsed=per_cell,
+        )
+        for cell_job, cell in zip(job.cells(), cells)
+    ]
 
 
 def run_campaign(
@@ -132,40 +189,56 @@ def run_campaign(
     timeout: Optional[float] = None,
     progress: Optional[Callable[[str], None]] = None,
 ) -> CampaignRunReport:
-    """Execute every not-yet-completed cell of ``spec`` into ``store``."""
+    """Execute every not-yet-completed cell of ``spec`` into ``store``.
+
+    Work is dispatched as (row, size) seed blocks; each block carries
+    only the seeds whose cells are not yet completed, so resuming a
+    half-finished campaign re-runs exactly the missing cells.
+    """
     spec.validate()
     say = progress or (lambda message: None)
+    done = store.completed_keys()
     # Overlapping row entries can name the same cell twice; count and
     # execute each unique key once (aggregation dedupes the same way).
-    all_jobs, seen = [], set()
-    for job in spec.jobs():
-        key = job.key()
-        if key not in seen:
+    seen = set()
+    total_cells = 0
+    pending: List = []  # blocks holding only their not-yet-done seeds
+    for block in spec.job_blocks():
+        fresh, missing = [], []
+        for cell, key in zip(block.cells(), block.cell_keys()):
+            if key in seen:
+                continue
             seen.add(key)
-            all_jobs.append(job)
-    done = store.completed_keys()
-    pending = [job for job in all_jobs if job.key() not in done]
+            fresh.append(cell)
+            if key not in done:
+                missing.append(cell.seed)
+        total_cells += len(fresh)
+        if missing:
+            pending.append(block.with_seeds(missing))
+    pending_cells = sum(len(block.seeds) for block in pending)
     say(
-        f"campaign {spec.name}: {len(all_jobs)} cells, "
-        f"{len(all_jobs) - len(pending)} cached, {len(pending)} to run"
+        f"campaign {spec.name}: {total_cells} cells, "
+        f"{total_cells - pending_cells} cached, {pending_cells} to run "
+        f"in {len(pending)} block(s)"
     )
     start = time.monotonic()
     counts = {STATUS_OK: 0, STATUS_ERROR: 0, STATUS_TIMEOUT: 0}
     failed: List[Dict] = []
 
-    def record_outcome(record: Dict) -> None:
-        store.append(record)
-        counts[record["status"]] = counts.get(record["status"], 0) + 1
-        job = record["job"]
-        tag = f"{job['row']}/n={job['size']}/seed={job['seed']}"
-        if record["status"] == STATUS_OK:
-            say(f"  ok {tag} ({record['elapsed']:.2f}s)")
-        else:
-            failed.append(job)
-            say(f"  {record['status'].upper()} {tag}")
+    def record_outcome(records: List[Dict]) -> None:
+        for record in records:
+            store.append(record)
+            counts[record["status"]] = counts.get(record["status"], 0) + 1
+            job = record["job"]
+            tag = f"{job['row']}/n={job['size']}/seed={job['seed']}"
+            if record["status"] == STATUS_OK:
+                say(f"  ok {tag} ({record['elapsed']:.2f}s)")
+            else:
+                failed.append(job)
+                say(f"  {record['status'].upper()} {tag}")
 
     payloads = [
-        {"job": job.to_dict(), "timeout": timeout} for job in pending
+        {"job": block.to_dict(), "timeout": timeout} for block in pending
     ]
     aborted = False
     if jobs <= 1 or len(pending) <= 1:
@@ -198,18 +271,21 @@ def run_campaign(
                     )
                     break
                 except Exception as exc:  # pickling/submission failures
-                    job = JobSpec.from_dict(payload["job"])
-                    record_outcome(make_record(
-                        job.key(), job.to_dict(), STATUS_ERROR,
-                        error=f"executor failure: {exc!r}",
-                    ))
+                    block = JobSpec.from_dict(payload["job"])
+                    record_outcome([
+                        make_record(
+                            cell.key(), cell.to_dict(), STATUS_ERROR,
+                            error=f"executor failure: {exc!r}",
+                        )
+                        for cell in block.cells()
+                    ])
                 else:
                     record_outcome(record)
 
     ran = sum(counts.values())
     return CampaignRunReport(
-        total=len(all_jobs),
-        skipped=len(all_jobs) - len(pending),
+        total=total_cells,
+        skipped=total_cells - pending_cells,
         ran=ran,
         ok=counts[STATUS_OK],
         errors=counts[STATUS_ERROR],

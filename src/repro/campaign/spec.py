@@ -2,9 +2,15 @@
 
 A campaign is a JSON-loadable description of a sweep matrix: which
 Table 1 rows to run, at which sizes, over which seeds, with which
-options.  It expands to a flat list of :class:`JobSpec` cells — one
-per (row, size, seed) — each with a stable content-hash key used by
-the result store for caching and resumability.
+options.  It expands two ways: :meth:`CampaignSpec.jobs` yields one
+:class:`JobSpec` per (row, size, seed) cell, and
+:meth:`CampaignSpec.job_blocks` yields one *seed-block* JobSpec per
+(row, size) — the unit a sharded worker executes so all seeds of a
+cell group share one prepared engine.  Either way the durable
+identity is the per-(row, size, seed) content-hash key
+(:meth:`JobSpec.cell_keys`), unchanged from single-seed campaigns, so
+existing stores resume seamlessly and a half-finished block re-runs
+only its missing seeds.
 
 Example config (``configs/table1.json``)::
 
@@ -49,36 +55,116 @@ def job_key(job_dict: Dict) -> str:
     return hashlib.sha256(_canonical(payload).encode("utf-8")).hexdigest()[:24]
 
 
-@dataclass(frozen=True)
 class JobSpec:
-    """One cell of a campaign: a single (row, size, seed) measurement."""
+    """One unit of campaign work: a (row, size) cell over a seed block.
 
-    row: str
-    size: int
-    seed: int
-    options: Tuple[Tuple[str, object], ...] = ()
+    Most JobSpecs carry a single seed (one cell); the sharded runner
+    dispatches multi-seed blocks so workers amortize engine setup via
+    :func:`repro.campaign.registry.execute_cell_block`.  Storage
+    identity is always per cell: :meth:`cell_keys` hashes each
+    (row, size, seed) with the *legacy single-seed payload shape*, so
+    blocked and single-seed campaigns share one cache.
+
+    Construct with ``seed=`` (one cell, the historical form) or
+    ``seeds=`` (a block); :meth:`from_dict` accepts both payload shapes.
+    """
+
+    __slots__ = ("row", "size", "seeds", "options")
+
+    def __init__(
+        self,
+        row: str,
+        size: int,
+        seed: Optional[int] = None,
+        options: Tuple[Tuple[str, object], ...] = (),
+        seeds: Optional[Sequence[int]] = None,
+    ) -> None:
+        if (seed is None) == (seeds is None):
+            raise ValueError("pass exactly one of seed= or seeds=")
+        self.row = row
+        self.size = int(size)
+        self.seeds: Tuple[int, ...] = (
+            (int(seed),) if seeds is None else tuple(int(s) for s in seeds)
+        )
+        if not self.seeds:
+            raise ValueError("a job needs at least one seed")
+        self.options = tuple(options)
+
+    @property
+    def seed(self) -> int:
+        """The single seed of a one-cell job (blocks have no one seed)."""
+        if len(self.seeds) != 1:
+            raise ValueError(
+                f"job is a {len(self.seeds)}-seed block; use .seeds"
+            )
+        return self.seeds[0]
 
     @property
     def options_dict(self) -> Dict[str, object]:
         return dict(self.options)
 
+    def with_seeds(self, seeds: Sequence[int]) -> "JobSpec":
+        return JobSpec(
+            row=self.row, size=self.size, seeds=seeds, options=self.options
+        )
+
+    def cells(self) -> Iterator["JobSpec"]:
+        """The per-(row, size, seed) jobs this block covers, in order."""
+        for seed in self.seeds:
+            yield JobSpec(
+                row=self.row, size=self.size, seed=seed, options=self.options
+            )
+
+    def cell_keys(self) -> List[str]:
+        """Per-cell content-hash keys (single-seed payload shape), so a
+        block's cells alias the records a single-seed campaign wrote."""
+        return [cell.key() for cell in self.cells()]
+
     def to_dict(self) -> Dict:
-        data = {"row": self.row, "size": self.size, "seed": self.seed}
+        data: Dict = {"row": self.row, "size": self.size}
+        if len(self.seeds) == 1:
+            # Keep the historical single-seed shape: content hashes (and
+            # the stores keyed by them) must not change under blocking.
+            data["seed"] = self.seeds[0]
+        else:
+            data["seeds"] = list(self.seeds)
         if self.options:
             data["options"] = dict(self.options)
         return data
 
     @classmethod
     def from_dict(cls, data: Dict) -> "JobSpec":
+        if ("seed" in data) == ("seeds" in data):
+            raise ValueError(
+                f"job payload needs exactly one of 'seed'/'seeds': {data!r}"
+            )
         return cls(
             row=data["row"],
             size=int(data["size"]),
-            seed=int(data["seed"]),
+            seed=data.get("seed"),
+            seeds=data.get("seeds"),
             options=tuple(sorted((data.get("options") or {}).items())),
         )
 
     def key(self) -> str:
         return job_key(self.to_dict())
+
+    def _as_tuple(self):
+        return (self.row, self.size, self.seeds, self.options)
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, JobSpec):
+            return NotImplemented
+        return self._as_tuple() == other._as_tuple()
+
+    def __hash__(self) -> int:
+        return hash(self._as_tuple())
+
+    def __repr__(self) -> str:
+        return (
+            f"JobSpec(row={self.row!r}, size={self.size}, "
+            f"seeds={self.seeds}, options={self.options})"
+        )
 
 
 @dataclass
@@ -210,8 +296,10 @@ class CampaignSpec:
         )
         return tuple(sizes), tuple(seeds)
 
-    def jobs(self) -> Iterator[JobSpec]:
-        """Expand the matrix to cells, in deterministic order."""
+    def job_blocks(self) -> Iterator[JobSpec]:
+        """Expand the matrix to seed-block jobs — one per (row, size) —
+        in deterministic order.  The sharded runner dispatches these so
+        workers batch a whole cell group on one prepared engine."""
         from repro.campaign.registry import get_row
 
         for plan in self.rows:
@@ -221,11 +309,17 @@ class CampaignSpec:
             )
             options = tuple(sorted(plan.options.items()))
             for size in sizes:
-                for seed in seeds:
-                    yield JobSpec(
-                        row=plan.row, size=int(size), seed=int(seed),
-                        options=options,
-                    )
+                yield JobSpec(
+                    row=plan.row, size=int(size),
+                    seeds=tuple(int(seed) for seed in seeds),
+                    options=options,
+                )
+
+    def jobs(self) -> Iterator[JobSpec]:
+        """Expand the matrix to single-seed cells, in deterministic
+        order (the per-cell view of :meth:`job_blocks`)."""
+        for block in self.job_blocks():
+            yield from block.cells()
 
     def validate(self) -> None:
         """Raise ``ValueError`` on unknown rows (before any work starts)."""

@@ -52,17 +52,26 @@ def _cmd_figure1(args) -> int:
     return 0
 
 
-def _row_overrides(fn, seeds: Optional[int], sizes_scale: Optional[float]):
+def _row_overrides(
+    fn,
+    seeds: Optional[int],
+    sizes_scale: Optional[float],
+    contention_hist: bool = False,
+):
     """kwargs rescaling a Table 1 runner's default workload.
 
     ``--seeds N`` replaces the seed tuple with ``range(N)``;
     ``--sizes-scale F`` multiplies the row's default sizes (the lower
-    bound rows call them ``ks``) by F, clamped to >= 2.
+    bound rows call them ``ks``) by F, clamped to >= 2;
+    ``--contention-hist`` turns on the channel-load observer for rows
+    that accept options (the registry-backed sweeps).
     """
     parameters = inspect.signature(fn).parameters
     kwargs = {}
     if seeds is not None and "seeds" in parameters:
         kwargs["seeds"] = tuple(range(seeds))
+    if contention_hist and "options" in parameters:
+        kwargs["options"] = {"contention_hist": True}
     if sizes_scale is not None:
         for name in ("sizes", "ks"):
             default = getattr(parameters.get(name), "default", None)
@@ -93,7 +102,9 @@ def _cmd_table1(args) -> int:
         return 2
     for row in rows:
         fn = getattr(experiments, _TABLE1_ROWS[row])
-        _, table = fn(**_row_overrides(fn, args.seeds, args.sizes_scale))
+        _, table = fn(**_row_overrides(
+            fn, args.seeds, args.sizes_scale, args.contention_hist
+        ))
         print(table)
         print()
     return 0
@@ -110,6 +121,13 @@ def _campaign_store(args):
 
     try:
         spec = CampaignSpec.from_json_file(args.config)
+        if getattr(args, "contention_hist", False):
+            # The analytics ride-along is part of a cell's identity (it
+            # changes the stored extras), so it is injected into every
+            # row's options — pass the flag to status/report too when
+            # inspecting a campaign that ran with it.
+            for plan in spec.rows:
+                plan.options = {**plan.options, "contention_hist": True}
         spec.validate()
     except FileNotFoundError:
         raise _ConfigError(f"config not found: {args.config}")
@@ -180,6 +198,7 @@ def _cmd_bench(args) -> int:
         report,
         min_legacy_speedup=args.min_legacy_speedup,
         min_ref_speedup=args.min_ref_speedup,
+        min_numpy_speedup=args.min_numpy_speedup,
     )
     for violation in violations:
         print(f"FAIL: {violation}")
@@ -251,6 +270,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--sizes-scale", type=float, default=None,
         help="multiply each row's default sizes by this factor (min 2)",
     )
+    p_tab.add_argument(
+        "--contention-hist", action="store_true",
+        help="record per-slot channel load / collision analytics as "
+             "ch_* extras (registry-backed rows)",
+    )
     p_tab.set_defaults(func=_cmd_table1)
 
     p_abl = sub.add_parser("ablations", help="run the ablations")
@@ -277,6 +301,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="fail unless every workload beats the reference simulator "
              "by this factor",
     )
+    p_bench.add_argument(
+        "--min-numpy-speedup", type=float, default=None,
+        help="fail unless the numpy resolution backend beats the "
+             "bitmask backend by this factor on the backend-gated "
+             "workloads (requires numpy)",
+    )
     p_bench.set_defaults(func=_cmd_bench)
 
     p_demo = sub.add_parser("demo", help="decay vs Algorithm 1 on a chain")
@@ -292,6 +322,12 @@ def build_parser() -> argparse.ArgumentParser:
         sub_parser.add_argument(
             "--out", default=None,
             help="results directory (default: campaigns/<name>)",
+        )
+        sub_parser.add_argument(
+            "--contention-hist", action="store_true",
+            help="add per-slot channel-load analytics to every cell "
+                 "(changes cell identity; use the same flag for "
+                 "status/report)",
         )
 
     p_run = camp_sub.add_parser("run", help="execute pending campaign cells")

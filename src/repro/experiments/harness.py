@@ -54,12 +54,18 @@ def sweep(
     id_space_from_n: bool = False,
     extra_metrics: Optional[Callable[[BroadcastOutcome], Dict[str, float]]] = None,
     record_trace: bool = False,
+    resolution: str = "bitmask",
+    lockstep: bool = False,
+    contention_hist: bool = False,
 ) -> List[SweepPoint]:
     """Run ``protocol_builder(graph)`` on every size and seed; aggregate.
 
     Each size's seeds run as one batch on the shared engine core
     (:func:`repro.campaign.cells.run_cells`), so serial sweeps and
     sharded campaigns execute the identical per-cell computation.
+    ``resolution`` / ``lockstep`` steer how that batch executes
+    (measurements are byte-identical); ``contention_hist`` adds the
+    per-slot channel-load analytics to every point's extras.
     """
     points: List[SweepPoint] = []
     for size in sizes:
@@ -76,6 +82,9 @@ def sweep(
             knowledge=knowledge,
             record_trace=record_trace,
             extra_metrics=extra_metrics,
+            resolution=resolution,
+            lockstep=lockstep,
+            contention_hist=contention_hist,
         )
         points.append(aggregate_cells(cells))
     return points

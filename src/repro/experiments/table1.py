@@ -63,7 +63,11 @@ def registry_row(
 
     The exact computation a campaign shards: same builder, same graph
     family, same bounds — just driven by the in-process ``sweep()``.
+    Execution-steering options (``resolution``, ``lockstep``,
+    ``contention_hist``) are honored like the campaign path honors them.
     """
+    from repro.campaign.cells import execution_options
+
     definition = get_row(name)
     options = options or {}
     points = sweep(
@@ -76,11 +80,17 @@ def registry_row(
         id_space_from_n=definition.id_space_from_n,
         record_trace=definition.record_trace,
         extra_metrics=definition.extra_metrics,
+        **execution_options(options),
     )
+    columns = definition.columns
+    if options.get("contention_hist"):
+        # Surface the analytics ride-along next to the row's own columns
+        # (format_table pulls unknown names from each point's extras).
+        columns = tuple(columns) + ("ch_mean_load", "ch_collision_rate")
     table = format_table(
         definition.title,
         points,
-        columns=definition.columns,
+        columns=columns,
         bounds=resolve_bounds(definition, options),
     )
     return points, table
@@ -96,92 +106,92 @@ def _defaults(name: str) -> Tuple[Tuple[int, ...], Tuple[int, ...]]:
 _NOCD_SIZES, _NOCD_SEEDS = _defaults("nocd")
 
 
-def t1_nocd_clustering(sizes: Sequence[int] = _NOCD_SIZES, seeds=_NOCD_SEEDS):
+def t1_nocd_clustering(sizes: Sequence[int] = _NOCD_SIZES, seeds=_NOCD_SEEDS, options=None):
     """T1.noCD.1 — Theorem 11: O(n logD log^2 n) time, O(logD log^2 n)
     energy in No-CD (logD = log Delta)."""
-    return registry_row("nocd", sizes, seeds)
+    return registry_row("nocd", sizes, seeds, options)
 
 
 _DTIME_SIZES, _DTIME_SEEDS = _defaults("dtime")
 
 
-def t1_nocd_dtime(sizes: Sequence[int] = _DTIME_SIZES, seeds=_DTIME_SEEDS):
+def t1_nocd_dtime(sizes: Sequence[int] = _DTIME_SIZES, seeds=_DTIME_SEEDS, options=None):
     """T1.noCD.2 — Theorem 16: O(D^{1+eps} polylog) time, polylog energy."""
-    return registry_row("dtime", sizes, seeds)
+    return registry_row("dtime", sizes, seeds, options)
 
 
 _BOUNDED_SIZES, _BOUNDED_SEEDS = _defaults("bounded")
 
 
 def t1_nocd_bounded_degree(
-    sizes: Sequence[int] = _BOUNDED_SIZES, seeds=_BOUNDED_SEEDS
+    sizes: Sequence[int] = _BOUNDED_SIZES, seeds=_BOUNDED_SEEDS, options=None
 ):
     """T1.noCD.3 — Corollary 13: Delta = O(1): O(n log n) time,
     O(log n) energy via LOCAL simulation."""
-    return registry_row("bounded", sizes, seeds)
+    return registry_row("bounded", sizes, seeds, options)
 
 
 _CD_SIZES, _CD_SEEDS = _defaults("cd")
 
 
 def t1_cd_clustering(
-    sizes: Sequence[int] = _CD_SIZES, seeds=_CD_SEEDS, epsilon=0.5
+    sizes: Sequence[int] = _CD_SIZES, seeds=_CD_SEEDS, epsilon=0.5, options=None
 ):
     """T1.CD.1 — Theorem 12: O(log^2 n / (eps loglog n)) energy in CD."""
-    return registry_row("cd", sizes, seeds, {"epsilon": epsilon})
+    return registry_row("cd", sizes, seeds, {"epsilon": epsilon, **(options or {})})
 
 
 _CDOPT_SIZES, _CDOPT_SEEDS = _defaults("cd-optimal")
 
 
-def t1_cd_optimal(sizes: Sequence[int] = _CDOPT_SIZES, seeds=_CDOPT_SEEDS):
+def t1_cd_optimal(sizes: Sequence[int] = _CDOPT_SIZES, seeds=_CDOPT_SEEDS, options=None):
     """T1.CD.2 — Theorem 20: O(log n loglogD / logloglogD) energy,
     O(Delta n^{1+xi}) time."""
-    return registry_row("cd-optimal", sizes, seeds)
+    return registry_row("cd-optimal", sizes, seeds, options)
 
 
 _LOCAL_SIZES, _LOCAL_SEEDS = _defaults("local")
 
 
-def t1_local_clustering(sizes: Sequence[int] = _LOCAL_SIZES, seeds=_LOCAL_SEEDS):
+def t1_local_clustering(sizes: Sequence[int] = _LOCAL_SIZES, seeds=_LOCAL_SEEDS, options=None):
     """T1.LOCAL.1 — Theorem 11 LOCAL row: O(n log n) time, O(log n) energy."""
-    return registry_row("local", sizes, seeds)
+    return registry_row("local", sizes, seeds, options)
 
 
 _DETLOCAL_SIZES, _DETLOCAL_SEEDS = _defaults("det-local")
 
 
-def t1_det_local(sizes: Sequence[int] = _DETLOCAL_SIZES, seeds=_DETLOCAL_SEEDS):
+def t1_det_local(sizes: Sequence[int] = _DETLOCAL_SIZES, seeds=_DETLOCAL_SEEDS, options=None):
     """T1.det.LOCAL — Theorem 25: O(n log n log N) time,
     O(log n log N) energy, deterministic."""
-    return registry_row("det-local", sizes, seeds)
+    return registry_row("det-local", sizes, seeds, options)
 
 
 _DETCD_SIZES, _DETCD_SEEDS = _defaults("det-cd")
 
 
-def t1_det_cd(sizes: Sequence[int] = _DETCD_SIZES, seeds=_DETCD_SEEDS):
+def t1_det_cd(sizes: Sequence[int] = _DETCD_SIZES, seeds=_DETCD_SEEDS, options=None):
     """T1.det.CD — Theorem 27: O(N^2 n log n log N) time,
     O(log^3 N log n) energy, deterministic."""
-    return registry_row("det-cd", sizes, seeds)
+    return registry_row("det-cd", sizes, seeds, options)
 
 
 _PATH_SIZES, _PATH_SEEDS = _defaults("path")
 
 
-def t8_path_algorithm(sizes: Sequence[int] = _PATH_SIZES, seeds=_PATH_SEEDS):
+def t8_path_algorithm(sizes: Sequence[int] = _PATH_SIZES, seeds=_PATH_SEEDS, options=None):
     """Theorem 21 — the path algorithm: time <= 2n, expected per-vertex
     energy O(log n) (we report the mean-energy column)."""
-    return registry_row("path", sizes, seeds)
+    return registry_row("path", sizes, seeds, options)
 
 
 _DECAY_SIZES, _DECAY_SEEDS = _defaults("decay")
 
 
-def baseline_decay(sizes: Sequence[int] = _DECAY_SIZES, seeds=_DECAY_SEEDS):
+def baseline_decay(sizes: Sequence[int] = _DECAY_SIZES, seeds=_DECAY_SEEDS, options=None):
     """The motivating contrast: BGI decay is time-lean but its energy
     grows ~ linearly in D (every uninformed vertex listens non-stop)."""
-    return registry_row("decay", sizes, seeds)
+    return registry_row("decay", sizes, seeds, options)
 
 
 # --- lower-bound rows ------------------------------------------------------

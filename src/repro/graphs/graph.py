@@ -13,7 +13,10 @@ trial of a sweep:
   whole-graph scans (BFS, connectivity);
 * per-vertex neighbor bitmasks — arbitrary-precision ints with bit ``w``
   set iff ``w`` is a neighbor, so "which of my neighbors transmitted" is a
-  single ``mask & transmit_mask`` instead of a per-neighbor loop.
+  single ``mask & transmit_mask`` instead of a per-neighbor loop;
+* (when numpy is installed) the same masks packed into an ``(n, ceil(n/64))``
+  ``uint64`` table, so a whole slot's contention counts resolve as one
+  vectorized AND + popcount sweep (the ``resolution="numpy"`` backend).
 """
 
 from __future__ import annotations
@@ -27,7 +30,7 @@ __all__ = ["Graph"]
 class Graph:
     """An immutable simple undirected graph on vertices ``0..n-1``."""
 
-    __slots__ = ("_n", "_adj", "_edges", "_csr", "_masks")
+    __slots__ = ("_n", "_adj", "_edges", "_csr", "_masks", "_mask_array")
 
     def __init__(self, n: int, edges: Iterable[Tuple[int, int]]) -> None:
         if n < 1:
@@ -50,6 +53,7 @@ class Graph:
         self._edges = tuple(sorted(edge_set))
         self._csr = None
         self._masks = None
+        self._mask_array = None
 
     @property
     def n(self) -> int:
@@ -108,6 +112,27 @@ class Graph:
                 masks.append(mask)
             self._masks = tuple(masks)
         return self._masks
+
+    def neighbor_mask_array(self):
+        """The neighbor bitmasks packed into an ``(n, ceil(n/64))``
+        ``uint64`` numpy array — row ``v``, word ``w`` holds bits
+        ``64w .. 64w+63`` of :meth:`neighbor_mask`.  Computed once and
+        cached; raises ``ImportError`` when numpy is not installed (the
+        numpy resolution backend is optional)."""
+        if self._mask_array is None:
+            import numpy as np
+
+            words = (self._n + 63) >> 6
+            flat = []
+            mask_word = (1 << 64) - 1
+            for mask in self.neighbor_masks():
+                for _ in range(words):
+                    flat.append(mask & mask_word)
+                    mask >>= 64
+            self._mask_array = np.array(
+                flat, dtype=np.uint64
+            ).reshape(self._n, words)
+        return self._mask_array
 
     def has_edge(self, u: int, v: int) -> bool:
         return v in self._adj[u] if len(self._adj[u]) < 8 else self._bsearch(u, v)

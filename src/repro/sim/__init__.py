@@ -24,7 +24,13 @@ from repro.sim.models import (
     ChannelModel,
 )
 from repro.sim.node import Knowledge, NodeCtx
-from repro.sim.observers import EnergyObserver, SlotObserver, TraceObserver
+from repro.sim.observers import (
+    ContentionHistogramObserver,
+    EnergyObserver,
+    SlotObserver,
+    TraceObserver,
+)
+from repro.sim.resolution import ResolutionBackend, create_backend, numpy_available
 from repro.sim.trace import Trace, TraceEvent
 
 __all__ = [
@@ -43,6 +49,10 @@ __all__ = [
     "SlotObserver",
     "EnergyObserver",
     "TraceObserver",
+    "ContentionHistogramObserver",
+    "ResolutionBackend",
+    "create_backend",
+    "numpy_available",
     "NEEDS_MESSAGES",
     "BEEP",
     "NOISE",

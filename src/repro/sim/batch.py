@@ -3,20 +3,29 @@
 Every sweep in the repo — Table 1 rows, ablations, campaigns — runs the
 same (graph, model, protocol) cell across a list of seeds.  Constructing a
 fresh :class:`~repro.sim.engine.Simulator` per seed re-did the per-graph
-setup (uid validation, knowledge defaults, neighbor-bitmask lookup, bit
-table) every time; :func:`run_trials` does it once and reuses the engine,
-so per-trial overhead is just the run itself.
+setup (uid validation, knowledge defaults, resolution-backend build)
+every time; :func:`run_trials` does it once and reuses the engine, so
+per-trial overhead is just the run itself.
 
-Both execution paths share this core:
+Two execution shapes share this entry point:
 
-* the serial :func:`repro.experiments.harness.sweep` driver batches all
-  seeds of a size through one call, and
-* the sharded campaign path (:mod:`repro.campaign.cells`) runs
-  single-seed batches — same code, parallelism layered on top.
+* **serial** (default) — one engine replayed seed after seed; and
+* **lock-step** (``lockstep=True``) — all seeds advance slot-by-slot
+  together (:mod:`repro.sim.lockstep`), so a resolution backend can
+  resolve every trial's receptions in one batched sweep (one transmit
+  mask per trial over the shared mask table, under
+  ``resolution="numpy"``).  Results are byte-identical either way.
+
+Both sweep drivers ride on this core: the serial
+:func:`repro.experiments.harness.sweep` driver batches all seeds of a
+size through one call, and the sharded campaign path
+(:mod:`repro.campaign.cells`) runs seed-block batches — same code,
+parallelism layered on top.
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from repro.graphs.graph import Graph
@@ -26,6 +35,27 @@ from repro.sim.node import Knowledge
 from repro.sim.observers import SlotObserver
 
 __all__ = ["run_trials"]
+
+_warned_stateful_reuse = False
+
+
+def _warn_stateful_reuse(model: ChannelModel) -> None:
+    """Warn (once per process) about the shared-stateful-model footgun:
+    a stateful channel reused across seeds carries its rng state from
+    trial to trial, so individual trials are not independently
+    reproducible from their seed alone."""
+    global _warned_stateful_reuse
+    if _warned_stateful_reuse:
+        return
+    _warned_stateful_reuse = True
+    warnings.warn(
+        f"stateful channel model {model.name!r} is shared across trials; "
+        f"its internal rng state carries over from seed to seed.  Pass "
+        f"model_factory=lambda seed: ... to give every trial fresh, "
+        f"seed-reproducible channel state.",
+        RuntimeWarning,
+        stacklevel=3,
+    )
 
 
 def run_trials(
@@ -42,24 +72,83 @@ def run_trials(
     resolution: str = "bitmask",
     meter_energy: bool = True,
     observers: Sequence[SlotObserver] = (),
+    observer_factory: Optional[Callable[[int], Sequence[SlotObserver]]] = None,
     model_factory: Optional[Callable[[int], ChannelModel]] = None,
+    lockstep: bool = False,
 ) -> List[SimResult]:
     """Run one protocol cell once per seed, amortizing setup.
 
     Args:
         seeds: master seeds, one trial each; results come back in the
             same order (each :class:`SimResult` carries its seed).
+        observer_factory: optional per-seed observer constructor
+            (``seed -> sequence of SlotObservers``) for instrumentation
+            that accumulates per-trial state (e.g.
+            :class:`~repro.sim.observers.ContentionHistogramObserver`).
+            Required instead of ``observers`` under ``lockstep=True``,
+            where trials interleave and shared instances would scramble.
         model_factory: optional per-seed model constructor for stateful
             channels (e.g. ``lambda seed: LossyModel(NO_CD, 0.1, seed)``)
             so each trial starts from a fresh, reproducible channel state.
             When omitted, all trials share ``model`` (stateless paper
-            models are unaffected; a shared stateful model carries its
-            rng state across trials, as a serial loop always did).
+            models are unaffected; sharing a *stateful* model across
+            several seeds warns once — trial outcomes then depend on the
+            whole batch, as a serial loop always did).
+        lockstep: advance all seeds in lock-step slot batches
+            (:func:`repro.sim.lockstep.run_trials_lockstep`) so the
+            resolution backend can resolve all trials' receptions per
+            step in one batched call.  Byte-identical results.
         Remaining arguments match :class:`~repro.sim.engine.Simulator`.
 
     Returns:
         One :class:`SimResult` per seed, in ``seeds`` order.
     """
+    if (
+        not lockstep
+        and model_factory is None
+        and len(seeds) > 1
+        and getattr(model, "stateful", False)
+    ):
+        _warn_stateful_reuse(model)
+
+    if lockstep:
+        if observers:
+            raise ValueError(
+                "lockstep=True interleaves trials; pass observer_factory= "
+                "(per-seed observers) instead of shared observers="
+            )
+        if (
+            model_factory is None
+            and len(seeds) > 1
+            and getattr(model, "stateful", False)
+        ):
+            # A shared stateful channel consumes rng in trial order; the
+            # lock-step schedule interleaves trials per slot, so results
+            # could not match the serial path.  Refuse rather than
+            # silently break the byte-identical contract.
+            raise ValueError(
+                f"lockstep=True cannot share stateful model {model.name!r} "
+                f"across trials (rng consumption order would change); pass "
+                f"model_factory=lambda seed: ... for per-trial channel state"
+            )
+        from repro.sim.lockstep import run_trials_lockstep
+
+        return run_trials_lockstep(
+            graph,
+            model,
+            protocol_factory,
+            seeds,
+            inputs=inputs,
+            knowledge=knowledge,
+            uids=uids,
+            time_limit=time_limit,
+            record_trace=record_trace,
+            resolution=resolution,
+            meter_energy=meter_energy,
+            observer_factory=observer_factory,
+            model_factory=model_factory,
+        )
+
     simulator = Simulator(
         graph,
         model,
@@ -71,9 +160,14 @@ def run_trials(
         meter_energy=meter_energy,
         observers=observers,
     )
+    base_observers = list(observers)
     results: List[SimResult] = []
     for seed in seeds:
         if model_factory is not None:
             simulator.model = model_factory(seed)
+        if observer_factory is not None:
+            simulator.extra_observers = base_observers + list(
+                observer_factory(seed)
+            )
         results.append(simulator.run(protocol_factory, inputs=inputs, seed=seed))
     return results

@@ -8,18 +8,19 @@ work — mirroring the paper's "idle time is free" in both the energy model
 and simulator wall time.
 
 Channel semantics are delegated to a :class:`~repro.sim.models.ChannelModel`
-(LOCAL, CD, No-CD, CD*, BEEP).  Reception resolution is bitmask-driven by
-default: the engine ORs each transmitter's bit into a per-slot transmit
-mask, and a listener's contention count is
-``popcount(graph.neighbor_mask(v) & transmit_mask)`` — one big-int AND
-instead of a per-neighbor scan.  Models whose outcome is a pure function of
-that count (all five paper models, via
-:meth:`~repro.sim.models.ChannelModel.resolve_count`) never materialize the
-message list except for the sole sender's message when exactly one neighbor
-transmitted; per-transmission models such as
-:class:`~repro.sim.models.LossyModel` fall back to the ordered list.
-``resolution="list"`` forces the legacy per-neighbor scan everywhere (the
-differential tests drive both paths against the reference oracle).
+(LOCAL, CD, No-CD, CD*, BEEP).  Reception resolution is pluggable
+(:mod:`repro.sim.resolution`): ``resolution="bitmask"`` (default) ORs each
+transmitter's bit into a per-slot transmit mask and resolves a listener as
+``popcount(graph.neighbor_mask(v) & transmit_mask)``; ``"numpy"`` computes
+every listener's count in one vectorized sweep over a packed ``uint64``
+mask table; ``"list"`` forces the legacy per-neighbor scan.  Models whose
+outcome is a pure function of the contention count (all five paper models,
+via :meth:`~repro.sim.models.ChannelModel.resolve_count`) never materialize
+the message list except for the sole sender's message when exactly one
+neighbor transmitted; per-transmission models such as
+:class:`~repro.sim.models.LossyModel` fall back to the ordered list under
+every backend.  The differential tests drive all backends against the
+reference oracle.
 
 Energy metering and trace recording live in :mod:`repro.sim.observers`
 hooks, keeping the slot loop free of instrumentation branches — tracing
@@ -36,8 +37,9 @@ from typing import Any, Callable, Dict, Generator, List, Optional, Sequence
 from repro.graphs.graph import Graph
 from repro.sim.actions import Idle, Listen, Send, SendListen
 from repro.sim.energy import EnergyReport
-from repro.sim.models import NEEDS_MESSAGES, ChannelModel
+from repro.sim.models import ChannelModel
 from repro.sim.node import Knowledge, NodeCtx, validate_input_keys
+from repro.sim.resolution import RESOLUTION_MODES, create_backend
 from repro.sim.observers import (
     EnergyObserver,
     SlotObserver,
@@ -58,25 +60,6 @@ Protocol = Generator[Any, Any, Any]
 ProtocolFactory = Callable[[NodeCtx], Protocol]
 
 _RESUME = object()  # heap payload marker: wake a sleeping generator
-
-RESOLUTION_MODES = ("bitmask", "list")
-
-try:
-    _popcount = int.bit_count  # Python >= 3.10
-except AttributeError:  # pragma: no cover - exercised on older CI pythons
-    def _popcount(x: int) -> int:
-        return bin(x).count("1")
-
-
-def _mask_messages(masked: int, transmitting: Dict[int, Any]) -> List[Any]:
-    """Materialize the transmissions selected by ``masked``, ordered by
-    sender index ascending (lowest set bit first)."""
-    messages = []
-    while masked:
-        low = masked & -masked
-        messages.append(transmitting[low.bit_length() - 1])
-        masked ^= low
-    return messages
 
 
 class SimulationTimeout(RuntimeError):
@@ -126,10 +109,13 @@ class Simulator:
     """Runs one protocol on one graph under one collision model.
 
     Args:
-        resolution: ``"bitmask"`` (default) resolves receptions via the
-            transmit-mask fast path; ``"list"`` forces the legacy
-            per-neighbor scan (kept as a semantic cross-check and as the
-            pre-refactor baseline for the engine benchmarks).
+        resolution: which :mod:`repro.sim.resolution` backend resolves
+            receptions.  ``"bitmask"`` (default) uses the big-int
+            transmit-mask fast path; ``"numpy"`` the vectorized mask
+            table (falls back to bitmask, with a warning, when numpy is
+            not installed); ``"list"`` the legacy per-neighbor scan
+            (kept as a semantic cross-check and as the pre-refactor
+            baseline for the engine benchmarks).
         meter_energy: when False, energy accounting is skipped and the
             result carries all-zero meters (throughput benchmarking).
         observers: extra :class:`~repro.sim.observers.SlotObserver` hooks
@@ -172,10 +158,9 @@ class Simulator:
         self.seed = seed
         self.time_limit = time_limit
         self.record_trace = record_trace
-        if resolution not in RESOLUTION_MODES:
-            raise ValueError(
-                f"resolution must be one of {RESOLUTION_MODES}, got {resolution!r}"
-            )
+        # Raises ValueError on unknown modes; resolves "numpy" to the
+        # bitmask backend (with a warning) when numpy is unavailable.
+        self.backend = create_backend(resolution, graph)
         self.resolution = resolution
         self.meter_energy = meter_energy
         self.extra_observers = list(observers)
@@ -189,10 +174,6 @@ class Simulator:
         if len(uids) != graph.n or len(set(uids)) != graph.n:
             raise ValueError("uids must be distinct and cover every vertex")
         self.uids = list(uids)
-        # Per-graph precomputation, shared across every run() of this
-        # simulator (and, via the Graph cache, across simulators).
-        self._masks = graph.neighbor_masks() if resolution == "bitmask" else None
-        self._bits = [1 << v for v in range(graph.n)]
 
     def run(
         self,
@@ -294,15 +275,11 @@ class Simulator:
             else:
                 raise ProtocolError(f"protocol yielded non-action {action!r}")
 
-        # Hot-loop locals: resolved once, not per slot.
-        masks = self._masks
-        bits = self._bits
-        count_based = masks is not None and model.supports_count
-        resolve = model.resolve
-        resolve_count = model.resolve_count if count_based else None
-        # All count-based models map k == 0 to a fixed value; cache it so
-        # the (typical) silent reception is branch + dict-store only.
-        silence = resolve_count(0, None) if count_based else None
+        # Hot-loop locals: resolved once, not per slot.  The backend
+        # specializes a per-slot resolver for this model (silence cache,
+        # count-path dispatch) so the loop pays one call per active slot.
+        resolve_slot = self.backend.slot_resolver(model)
+        count_based = model.supports_count
         time_limit = self.time_limit
 
         duration = 0
@@ -371,39 +348,7 @@ class Simulator:
 
             # Resolve receptions.
             feedbacks: Dict[int, Any] = {}
-            if count_based:
-                if transmitting:
-                    transmit_mask = 0
-                    for v in transmitting:
-                        transmit_mask |= bits[v]
-                    for v in receivers:
-                        masked = masks[v] & transmit_mask
-                        if not masked:
-                            feedbacks[v] = silence
-                            continue
-                        first = transmitting[(masked & -masked).bit_length() - 1]
-                        feedback = resolve_count(_popcount(masked), first)
-                        if feedback is NEEDS_MESSAGES:
-                            feedback = resolve(_mask_messages(masked, transmitting))
-                        feedbacks[v] = feedback
-                else:
-                    for v in receivers:
-                        feedbacks[v] = silence
-            elif masks is not None:
-                transmit_mask = 0
-                for v in transmitting:
-                    transmit_mask |= bits[v]
-                for v in receivers:
-                    feedbacks[v] = resolve(
-                        _mask_messages(masks[v] & transmit_mask, transmitting)
-                    )
-            else:
-                for v in receivers:
-                    feedbacks[v] = resolve([
-                        transmitting[w]
-                        for w in graph.neighbors(v)
-                        if w in transmitting
-                    ])
+            resolve_slot(transmitting, receivers, feedbacks)
             for v in senders:
                 feedbacks[v] = None
 

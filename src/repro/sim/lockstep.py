@@ -1,0 +1,386 @@
+"""Lock-step batched trials: many seeds advance slot-by-slot together.
+
+A sweep cell runs one (graph, model, protocol) configuration across many
+seeds.  The serial path (:func:`repro.sim.batch.run_trials`) replays the
+engine once per seed; this module instead keeps *all* trials in flight
+and alternates two phases:
+
+1. **collect** — every live trial advances its private event loop to its
+   next active slot (waking sleepers, classifying yielded actions),
+   stopping right before reception resolution;
+2. **resolve** — all pending slots are resolved in one call through a
+   :mod:`repro.sim.resolution` backend's ``batch_resolver``.  Under the
+   numpy backend that is a single vectorized sweep: one transmit mask
+   per trial, one gather over the shared ``uint64`` mask table, one
+   popcount pass for every listener of every trial.
+
+Trials are independent (each has its own rng chain seeded from its own
+master seed), so lock-step interleaving cannot change any trial's
+outcome: results are byte-identical to the serial path, and the
+differential suite (tests/test_lockstep.py) pins that.
+
+The per-trial state machine below mirrors :meth:`repro.sim.engine.
+Simulator.run` exactly — same bucket/heap scheduling, same wake
+semantics, same duration bookkeeping.  Any semantic change to the engine
+loop must be made in both places; the equivalence tests will catch a
+drift.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.graphs.graph import Graph
+from repro.sim.actions import Idle, Listen, Send, SendListen
+from repro.sim.engine import (
+    ProtocolError,
+    ProtocolFactory,
+    SimResult,
+    SimulationTimeout,
+    _RESUME,
+)
+from repro.sim.models import ChannelModel
+from repro.sim.node import Knowledge, NodeCtx, validate_input_keys
+from repro.sim.observers import (
+    EnergyObserver,
+    SlotObserver,
+    TraceObserver,
+    _ZeroEnergyObserver,
+)
+from repro.sim.resolution import create_backend
+from repro.sim.trace import Trace
+
+__all__ = ["run_trials_lockstep"]
+
+
+class _LockstepTrial:
+    """One seed's engine state, advanced in externally resolved steps."""
+
+    __slots__ = (
+        "graph", "model", "seed", "time_limit", "count_based",
+        "gens", "ctxs", "outputs", "finish_slot", "remaining", "duration",
+        "heap", "bucket_slot", "bucket_senders", "bucket_listeners",
+        "bucket_duplexers", "observers", "energy", "trace",
+        "slot", "senders", "listeners", "duplexers",
+        "transmitting", "receivers", "feedbacks",
+    )
+
+    def __init__(
+        self,
+        graph: Graph,
+        model: ChannelModel,
+        protocol_factory: ProtocolFactory,
+        seed: int,
+        *,
+        knowledge: Knowledge,
+        uids: Sequence[int],
+        inputs: Dict[int, Dict[str, Any]],
+        time_limit: int,
+        meter_energy: bool,
+        record_trace: bool,
+        extra_observers: Sequence[SlotObserver],
+    ) -> None:
+        self.graph = graph
+        self.model = model
+        self.seed = seed
+        self.time_limit = time_limit
+        self.count_based = model.supports_count
+        master = random.Random(seed)
+
+        energy = EnergyObserver() if meter_energy else _ZeroEnergyObserver()
+        self.energy = energy
+        observers: List[SlotObserver] = [energy]
+        self.trace = Trace() if record_trace else None
+        if self.trace is not None:
+            observers.append(TraceObserver(self.trace))
+        observers.extend(extra_observers)
+        self.observers = observers
+        for observer in observers:
+            observer.on_run_start(graph.n)
+
+        n = graph.n
+        self.gens = gens = [None] * n
+        self.ctxs = ctxs = [None] * n
+        self.outputs = outputs = [None] * n
+        self.finish_slot = [-1] * n
+        self.heap = heap = []
+        self.bucket_slot = 0
+        self.bucket_senders: Dict[int, Any] = {}
+        self.bucket_listeners: List[int] = []
+        self.bucket_duplexers: Dict[int, Any] = {}
+        self.duration = 0
+        full_duplex = model.full_duplex
+
+        remaining = 0
+        for v in range(n):
+            ctx = NodeCtx(
+                index=v,
+                uid=uids[v],
+                knowledge=knowledge,
+                rng=random.Random(master.getrandbits(64)),
+                inputs=dict(inputs.get(v, ())),
+            )
+            ctxs[v] = ctx
+            gen = protocol_factory(ctx)
+            gens[v] = gen
+            try:
+                action = next(gen)
+            except StopIteration as stop:
+                outputs[v] = stop.value
+                continue
+            remaining += 1
+            if isinstance(action, Idle):
+                heapq.heappush(heap, (action.duration, v, _RESUME))
+            elif isinstance(action, Send):
+                self.bucket_senders[v] = action.message
+            elif isinstance(action, Listen):
+                self.bucket_listeners.append(v)
+            elif isinstance(action, SendListen):
+                if not full_duplex:
+                    raise ProtocolError(
+                        f"SendListen is illegal in the {model.name} model"
+                    )
+                self.bucket_duplexers[v] = action.message
+            else:
+                raise ProtocolError(f"protocol yielded non-action {action!r}")
+        self.remaining = remaining
+
+    def collect(self) -> bool:
+        """Advance to the next slot with at least one active device.
+
+        Returns True with the slot's activity staged in ``transmitting``
+        / ``receivers`` / ``feedbacks`` (feedbacks empty, to be filled by
+        the resolver), or False when every protocol has terminated.
+        """
+        heap = self.heap
+        heappush, heappop = heapq.heappush, heapq.heappop
+        gens, ctxs, outputs = self.gens, self.ctxs, self.outputs
+        finish_slot = self.finish_slot
+        full_duplex = self.model.full_duplex
+        model_name = self.model.name
+        while self.remaining:
+            if self.bucket_senders or self.bucket_listeners or self.bucket_duplexers:
+                slot = self.bucket_slot
+                senders = self.bucket_senders
+                listeners = self.bucket_listeners
+                duplexers = self.bucket_duplexers
+            else:
+                slot = heap[0][0]
+                senders, listeners, duplexers = {}, [], {}
+            self.bucket_senders, self.bucket_listeners, self.bucket_duplexers = (
+                {}, [], {}
+            )
+            if slot > self.time_limit:
+                raise SimulationTimeout(
+                    f"simulation exceeded {self.time_limit} slots "
+                    f"({self.remaining} protocols still running, "
+                    f"seed {self.seed})"
+                )
+
+            # Wake every sleeper due at this slot; a resumed generator
+            # may immediately act, joining the slot it woke in.  The
+            # bucket references were swapped out above, so wake-joiners
+            # go into the local senders/listeners — exactly like the
+            # engine loop.
+            while heap and heap[0][0] == slot:
+                _, v, _ = heappop(heap)
+                ctxs[v].time = slot
+                try:
+                    action = gens[v].send(None)
+                except StopIteration as stop:
+                    outputs[v] = stop.value
+                    finish_slot[v] = slot - 1
+                    self.remaining -= 1
+                    if self.duration < slot:
+                        self.duration = slot
+                    continue
+                cls = action.__class__
+                if cls is Idle or isinstance(action, Idle):
+                    heappush(heap, (slot + action.duration, v, _RESUME))
+                elif cls is Send or isinstance(action, Send):
+                    senders[v] = action.message
+                elif cls is Listen or isinstance(action, Listen):
+                    listeners.append(v)
+                elif cls is SendListen or isinstance(action, SendListen):
+                    if not full_duplex:
+                        raise ProtocolError(
+                            f"SendListen is illegal in the {model_name} model"
+                        )
+                    duplexers[v] = action.message
+                else:
+                    raise ProtocolError(
+                        f"protocol yielded non-action {action!r}"
+                    )
+
+            if not (senders or listeners or duplexers):
+                continue
+
+            if duplexers:
+                transmitting = dict(senders)
+                transmitting.update(duplexers)
+                receivers = listeners + list(duplexers)
+            else:
+                transmitting = senders
+                receivers = listeners
+            if not self.count_based:
+                # Stateful models consume channel randomness per
+                # reception: ascending vertex order, like the oracle.
+                receivers = sorted(receivers)
+
+            self.slot = slot
+            self.senders = senders
+            self.listeners = listeners
+            self.duplexers = duplexers
+            self.transmitting = transmitting
+            self.receivers = receivers
+            self.feedbacks = {}
+            return True
+        return False
+
+    def apply(self) -> None:
+        """Consume the resolved feedbacks: observers fire, actors advance."""
+        slot = self.slot
+        senders = self.senders
+        feedbacks = self.feedbacks
+        for v in senders:
+            feedbacks[v] = None
+        for observer in self.observers:
+            observer.on_slot(
+                slot, senders, self.listeners, self.duplexers, feedbacks
+            )
+        next_slot = slot + 1
+        self.bucket_slot = next_slot
+        if self.duration < next_slot:
+            self.duration = next_slot
+        receivers = self.receivers
+        gens, ctxs, outputs = self.gens, self.ctxs, self.outputs
+        finish_slot = self.finish_slot
+        heap = self.heap
+        heappush = heapq.heappush
+        bucket_senders = self.bucket_senders
+        bucket_listeners = self.bucket_listeners
+        bucket_duplexers = self.bucket_duplexers
+        full_duplex = self.model.full_duplex
+        for v in list(senders) + receivers if senders else receivers:
+            ctxs[v].time = next_slot
+            try:
+                action = gens[v].send(feedbacks[v])
+            except StopIteration as stop:
+                outputs[v] = stop.value
+                finish_slot[v] = slot
+                self.remaining -= 1
+                continue
+            cls = action.__class__
+            if cls is Idle or isinstance(action, Idle):
+                heappush(heap, (next_slot + action.duration, v, _RESUME))
+            elif cls is Send or isinstance(action, Send):
+                bucket_senders[v] = action.message
+            elif cls is Listen or isinstance(action, Listen):
+                bucket_listeners.append(v)
+            elif cls is SendListen or isinstance(action, SendListen):
+                if not full_duplex:
+                    raise ProtocolError(
+                        f"SendListen is illegal in the {self.model.name} model"
+                    )
+                bucket_duplexers[v] = action.message
+            else:
+                raise ProtocolError(f"protocol yielded non-action {action!r}")
+
+    def result(self) -> SimResult:
+        return SimResult(
+            outputs=self.outputs,
+            energy=self.energy.reports(),
+            finish_slot=self.finish_slot,
+            duration=self.duration,
+            trace=self.trace,
+            seed=self.seed,
+        )
+
+
+def run_trials_lockstep(
+    graph: Graph,
+    model: ChannelModel,
+    protocol_factory: ProtocolFactory,
+    seeds: Sequence[int],
+    *,
+    inputs: Optional[Dict[int, Dict[str, Any]]] = None,
+    knowledge: Optional[Knowledge] = None,
+    uids: Optional[Sequence[int]] = None,
+    time_limit: int = 50_000_000,
+    record_trace: bool = False,
+    resolution: str = "bitmask",
+    meter_energy: bool = True,
+    observer_factory: Optional[Callable[[int], Sequence[SlotObserver]]] = None,
+    model_factory: Optional[Callable[[int], ChannelModel]] = None,
+) -> List[SimResult]:
+    """Run one cell's seeds in lock-step slot batches.
+
+    Semantics and arguments match :func:`repro.sim.batch.run_trials`
+    (which delegates here for ``lockstep=True``); results are
+    byte-identical to the serial path, in ``seeds`` order.
+    ``observer_factory(seed)`` builds per-trial observers — lock-step
+    trials interleave, so sharing one observer instance across seeds
+    would scramble its per-run state.
+    """
+    if knowledge is None:
+        knowledge = Knowledge(
+            n=graph.n, max_degree=max(graph.max_degree, 1), diameter=None
+        )
+    if uids is None:
+        uids = list(range(1, graph.n + 1))
+    if len(uids) != graph.n or len(set(uids)) != graph.n:
+        raise ValueError("uids must be distinct and cover every vertex")
+    inputs = inputs or {}
+    validate_input_keys(inputs, graph.n)
+
+    backend = create_backend(resolution, graph)
+    shared_model = model_factory is None
+    trials = []
+    for seed in seeds:
+        trial_model = model if shared_model else model_factory(seed)
+        trials.append(_LockstepTrial(
+            graph,
+            trial_model,
+            protocol_factory,
+            seed,
+            knowledge=knowledge,
+            uids=uids,
+            inputs=inputs,
+            time_limit=time_limit,
+            meter_energy=meter_energy,
+            record_trace=record_trace,
+            extra_observers=(
+                tuple(observer_factory(seed)) if observer_factory else ()
+            ),
+        ))
+
+    if shared_model:
+        batch_fn = backend.batch_resolver(model)
+
+        def resolve_live(live):
+            batch_fn([
+                (trial.transmitting, trial.receivers, trial.feedbacks)
+                for trial in live
+            ])
+    else:
+        # Per-trial models (stateful channels): resolve each trial's slot
+        # with its own model-bound resolver, in trial order.
+        resolvers = {
+            id(trial): backend.slot_resolver(trial.model) for trial in trials
+        }
+
+        def resolve_live(live):
+            for trial in live:
+                resolvers[id(trial)](
+                    trial.transmitting, trial.receivers, trial.feedbacks
+                )
+
+    live = [trial for trial in trials if trial.collect()]
+    while live:
+        resolve_live(live)
+        for trial in live:
+            trial.apply()
+        live = [trial for trial in live if trial.collect()]
+    return [trial.result() for trial in trials]

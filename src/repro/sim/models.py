@@ -58,11 +58,24 @@ class ChannelModel:
             materializing the message list.  False for per-transmission
             models such as :class:`LossyModel`, which keep the list-based
             slow path.
+        stateful: Whether resolving a reception mutates model state
+            (e.g. :class:`LossyModel` consumes channel randomness).
+            Stateful models reused across batched trials without a
+            ``model_factory`` carry state from trial to trial;
+            :func:`repro.sim.batch.run_trials` warns about that footgun.
+        needs_first_message: Which contention counts require the lowest
+            transmitter's message for :meth:`resolve_count` /
+            :meth:`resolve_count_array` — ``"none"``, ``"one"`` (only
+            ``k == 1``), or ``"any"`` (every ``k >= 1``).  The numpy
+            backend uses this to skip the first-transmitter bit scan
+            where the model cannot need it.
     """
 
     __slots__ = ("name", "full_duplex")
 
     supports_count = False
+    stateful = False
+    needs_first_message = "any"
 
     def __init__(self, name: str, full_duplex: bool = False) -> None:
         self.name = name
@@ -96,14 +109,69 @@ class ChannelModel:
         """
         raise NotImplementedError
 
+    def resolve_count_array(self, counts, firsts, transmitting):
+        """Vectorized :meth:`resolve_count` over a whole slot (or batch).
+
+        Args:
+            counts: int64 numpy array of per-listener transmitter counts.
+            firsts: int64 numpy array of the lowest transmitting
+                neighbor's *vertex index* per listener.  Only the
+                positions selected by :attr:`needs_first_message` are
+                computed — everything else is uninitialized and must not
+                be read.  None when the model declared
+                ``needs_first_message == "none"``.
+            transmitting: this slot's vertex -> message map.
+
+        Returns:
+            ``(out, needs)`` where ``out`` is a list of feedbacks (same
+            length/order as ``counts``) and ``needs`` is a list of
+            positions whose entry is :data:`NEEDS_MESSAGES` (the caller
+            materializes the full ordered message list for those), or
+            None when there are none.
+
+        The base implementation loops :meth:`resolve_count`, so any
+        count-supporting model works under the numpy backend; the five
+        paper models override it with bulk classification.  Only called
+        when :attr:`supports_count` is True.  ``first_message`` is
+        looked up only for the counts selected by
+        :attr:`needs_first_message` — the backend computes nothing else,
+        so positions outside the selection must never be read.
+        """
+        need = self.needs_first_message
+        counts_list = counts.tolist()
+        firsts_list = (
+            [None] * len(counts_list) if firsts is None else firsts.tolist()
+        )
+        out = []
+        needs = []
+        resolve_count = self.resolve_count
+        for i, (k, f) in enumerate(zip(counts_list, firsts_list)):
+            if k and (need == "any" or (need == "one" and k == 1)):
+                first_message = transmitting[f]
+            else:
+                first_message = None
+            feedback = resolve_count(k, first_message)
+            if feedback is NEEDS_MESSAGES:
+                needs.append(i)
+            out.append(feedback)
+        return out, (needs or None)
+
     def __repr__(self) -> str:
         return f"ChannelModel({self.name})"
+
+
+def _first_pairs(counts, firsts, select):
+    """Iterate ``(position, first_vertex)`` over the rows selected by the
+    boolean numpy array ``select``."""
+    rows = select.nonzero()[0]
+    return zip(rows.tolist(), firsts[rows].tolist())
 
 
 class _LocalModel(ChannelModel):
     """No collisions: every listener hears every neighboring transmission."""
 
     supports_count = True
+    needs_first_message = "one"
 
     def resolve(self, transmissions: Sequence[Any]) -> Any:
         return tuple(transmissions)
@@ -115,11 +183,21 @@ class _LocalModel(ChannelModel):
             return (first_message,)
         return NEEDS_MESSAGES
 
+    def resolve_count_array(self, counts, firsts, transmitting):
+        out = [()] * len(counts)
+        for i, f in _first_pairs(counts, firsts, counts == 1):
+            out[i] = (transmitting[f],)
+        needs = (counts >= 2).nonzero()[0].tolist()
+        for i in needs:
+            out[i] = NEEDS_MESSAGES
+        return out, (needs or None)
+
 
 class _CDModel(ChannelModel):
     """Collision detection: 0 -> silence, 1 -> message, >=2 -> noise."""
 
     supports_count = True
+    needs_first_message = "one"
 
     def resolve(self, transmissions: Sequence[Any]) -> Any:
         if not transmissions:
@@ -135,11 +213,20 @@ class _CDModel(ChannelModel):
             return first_message
         return NOISE
 
+    def resolve_count_array(self, counts, firsts, transmitting):
+        out = [SILENCE] * len(counts)
+        for i in (counts >= 2).nonzero()[0].tolist():
+            out[i] = NOISE
+        for i, f in _first_pairs(counts, firsts, counts == 1):
+            out[i] = transmitting[f]
+        return out, None
+
 
 class _NoCDModel(ChannelModel):
     """No collision detection: 0 or >=2 -> silence, 1 -> message."""
 
     supports_count = True
+    needs_first_message = "one"
 
     def resolve(self, transmissions: Sequence[Any]) -> Any:
         if len(transmissions) == 1:
@@ -148,6 +235,12 @@ class _NoCDModel(ChannelModel):
 
     def resolve_count(self, k: int, first_message: Any) -> Any:
         return first_message if k == 1 else SILENCE
+
+    def resolve_count_array(self, counts, firsts, transmitting):
+        out = [SILENCE] * len(counts)
+        for i, f in _first_pairs(counts, firsts, counts == 1):
+            out[i] = transmitting[f]
+        return out, None
 
 
 class _CDStarModel(ChannelModel):
@@ -158,6 +251,7 @@ class _CDStarModel(ChannelModel):
     """
 
     supports_count = True
+    needs_first_message = "any"
 
     def resolve(self, transmissions: Sequence[Any]) -> Any:
         if not transmissions:
@@ -167,17 +261,30 @@ class _CDStarModel(ChannelModel):
     def resolve_count(self, k: int, first_message: Any) -> Any:
         return SILENCE if k == 0 else first_message
 
+    def resolve_count_array(self, counts, firsts, transmitting):
+        out = [SILENCE] * len(counts)
+        for i, f in _first_pairs(counts, firsts, counts > 0):
+            out[i] = transmitting[f]
+        return out, None
+
 
 class _BeepModel(ChannelModel):
     """Beeping model [8]: listeners only learn whether anyone transmitted."""
 
     supports_count = True
+    needs_first_message = "none"
 
     def resolve(self, transmissions: Sequence[Any]) -> Any:
         return BEEP if transmissions else SILENCE
 
     def resolve_count(self, k: int, first_message: Any) -> Any:
         return BEEP if k else SILENCE
+
+    def resolve_count_array(self, counts, firsts, transmitting):
+        out = [SILENCE] * len(counts)
+        for i in counts.nonzero()[0].tolist():
+            out[i] = BEEP
+        return out, None
 
 
 LOCAL = _LocalModel("LOCAL", full_duplex=True)
@@ -201,6 +308,8 @@ class LossyModel(ChannelModel):
     """
 
     __slots__ = ("inner", "loss_rate", "_rng")
+
+    stateful = True
 
     def __init__(self, inner: ChannelModel, loss_rate: float, seed: int = 0) -> None:
         if not 0 <= loss_rate < 1:

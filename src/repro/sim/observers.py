@@ -17,9 +17,15 @@ from __future__ import annotations
 from typing import Any, Dict, List
 
 from repro.sim.energy import EnergyReport
+from repro.sim.resolution import _popcount
 from repro.sim.trace import Trace, TraceEvent
 
-__all__ = ["SlotObserver", "EnergyObserver", "TraceObserver"]
+__all__ = [
+    "SlotObserver",
+    "EnergyObserver",
+    "TraceObserver",
+    "ContentionHistogramObserver",
+]
 
 
 class SlotObserver:
@@ -111,6 +117,92 @@ class _ZeroEnergyObserver(EnergyObserver):
 
     def on_slot(self, slot, senders, listeners, duplexers, feedbacks) -> None:
         pass
+
+
+class ContentionHistogramObserver(SlotObserver):
+    """Per-slot channel-load and collision analytics.
+
+    Rides along as an opt-in observer (``repro table1 --contention-hist``,
+    ``campaign ... --contention-hist``, or the ``contention_hist`` cell
+    option) and costs nothing when not installed.  Per active slot it
+    records
+
+    * the **channel load** — how many devices transmitted — into a
+      histogram, and
+    * every reception's contention count *k* (via the graph's neighbor
+      bitmasks), bucketed into silent (k = 0), clean (k = 1), and
+      collided (k >= 2) receptions.
+
+    Model-independent by design: it counts transmissions on the air, not
+    what the model turned them into, so the same numbers overlay any
+    channel model (Figure 1 overlays, model-mismatch studies).
+    """
+
+    def __init__(self, graph) -> None:
+        self.graph = graph
+        self._masks = graph.neighbor_masks()
+        self.load_histogram: Dict[int, int] = {}
+        self.active_slots = 0
+        self.transmissions = 0
+        self.silent_receptions = 0
+        self.clean_receptions = 0
+        self.collisions = 0
+
+    def on_run_start(self, n: int) -> None:
+        self.load_histogram = {}
+        self.active_slots = 0
+        self.transmissions = 0
+        self.silent_receptions = 0
+        self.clean_receptions = 0
+        self.collisions = 0
+
+    def on_slot(self, slot, senders, listeners, duplexers, feedbacks) -> None:
+        load = len(senders) + len(duplexers)
+        self.active_slots += 1
+        self.transmissions += load
+        histogram = self.load_histogram
+        histogram[load] = histogram.get(load, 0) + 1
+        receivers = (
+            list(listeners) + list(duplexers) if duplexers else listeners
+        )
+        if not load:
+            self.silent_receptions += len(receivers)
+            return
+        transmit_mask = 0
+        for v in senders:
+            transmit_mask |= 1 << v
+        for v in duplexers:
+            transmit_mask |= 1 << v
+        masks = self._masks
+        for v in receivers:
+            k = _popcount(masks[v] & transmit_mask)
+            if k == 0:
+                self.silent_receptions += 1
+            elif k == 1:
+                self.clean_receptions += 1
+            else:
+                self.collisions += 1
+
+    @property
+    def receptions(self) -> int:
+        return self.silent_receptions + self.clean_receptions + self.collisions
+
+    def summary(self) -> Dict[str, float]:
+        """Flat float metrics, ready to merge into a cell's ``extras``."""
+        receptions = self.receptions
+        return {
+            "active_slots": float(self.active_slots),
+            "mean_load": (
+                self.transmissions / self.active_slots
+                if self.active_slots else 0.0
+            ),
+            "max_load": float(max(self.load_histogram, default=0)),
+            "collisions": float(self.collisions),
+            "clean_receptions": float(self.clean_receptions),
+            "collision_rate": (
+                self.collisions / receptions if receptions else 0.0
+            ),
+        }
 
 
 class TraceObserver(SlotObserver):

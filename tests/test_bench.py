@@ -40,13 +40,61 @@ class TestBenchHarness:
         assert entry["equivalent"] is True
         assert entry["n"] == 5
         assert entry["slots"] == 3
-        assert set(entry["seconds"]) == {
+        expected_runners = {
             "engine", "engine_list_path", "legacy_engine", "reference",
         }
+        from repro.sim.resolution import numpy_available
+
+        if numpy_available():
+            expected_runners.add("engine_numpy")
+        assert set(entry["seconds"]) == expected_runners
         for value in entry["seconds"].values():
             assert value >= 0
         assert "speedup_vs_legacy" in entry
         assert "min_speedup_vs_reference" in report["summary"]
+
+    def test_backend_replay_and_numpy_gate(self):
+        from repro.sim.resolution import numpy_available
+
+        workload = _tiny_workload()
+        workload.backend_bench = True
+        report = run_engine_benchmarks(workloads=[workload])
+        backends = report["workloads"]["tiny"]["resolution_backends"]
+        assert backends["equivalent"] is True
+        assert backends["slots_replayed"] == 3
+        assert "bitmask" in backends["seconds"]
+        assert "list" in backends["seconds"]
+        if numpy_available():
+            assert "speedup_numpy_vs_bitmask" in backends
+            # An absurd bar is flagged against the backend ratio.
+            violations = check_thresholds(report, min_numpy_speedup=1e9)
+            assert any("numpy-vs-bitmask" in v for v in violations)
+        else:
+            violations = check_thresholds(report, min_numpy_speedup=1.0)
+            assert any("not installed" in v for v in violations)
+        assert "lockstep_trials" in report
+        assert report["lockstep_trials"]["equivalent"] is True
+
+    def test_backend_replay_with_no_active_slots(self):
+        from repro.sim import Idle
+
+        def protocol(ctx):
+            yield Idle(3)
+            return ctx.index
+
+        def build():
+            graph = clique(4)
+            knowledge = Knowledge(n=4, max_degree=3, diameter=1)
+            return graph, NO_CD, protocol, knowledge, {}
+
+        workload = BenchWorkload(
+            "idle-only", "no active slots", build, reps=1, backend_bench=True
+        )
+        report = run_engine_benchmarks(workloads=[workload])
+        backends = report["workloads"]["idle-only"]["resolution_backends"]
+        assert backends == {
+            "slots_replayed": 0, "seconds": {}, "equivalent": True,
+        }
 
     def test_thresholds(self):
         report = run_engine_benchmarks(workloads=[_tiny_workload()])

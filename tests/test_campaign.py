@@ -116,6 +116,34 @@ class TestSpec:
             row="path", size=64, seed=0, options=(("failure", 0.1),)
         ).key()
 
+    def test_seed_block_jobspec(self):
+        block = JobSpec(row="path", size=64, seeds=(0, 1, 2))
+        # Per-cell keys use the legacy single-seed payload shape, so a
+        # blocked campaign aliases the records single-seed runs wrote.
+        assert block.cell_keys() == [
+            JobSpec(row="path", size=64, seed=s).key() for s in (0, 1, 2)
+        ]
+        assert [c.seed for c in block.cells()] == [0, 1, 2]
+        assert block.to_dict() == {"row": "path", "size": 64, "seeds": [0, 1, 2]}
+        assert JobSpec.from_dict(block.to_dict()) == block
+        assert block.with_seeds((1,)).seed == 1
+        with pytest.raises(ValueError, match="block"):
+            block.seed
+        with pytest.raises(ValueError):
+            JobSpec(row="path", size=64)  # neither seed nor seeds
+        with pytest.raises(ValueError):
+            JobSpec.from_dict(
+                {"row": "path", "size": 64, "seed": 0, "seeds": [1]}
+            )
+
+    def test_jobs_is_per_cell_view_of_job_blocks(self):
+        spec = _tiny_spec()
+        blocks = list(spec.job_blocks())
+        assert [b.seeds for b in blocks] == [(0, 1)]
+        assert [j.to_dict() for j in spec.jobs()] == [
+            c.to_dict() for b in blocks for c in b.cells()
+        ]
+
     def test_registry_covers_all_cli_rows(self):
         assert set(_TABLE1_ROWS) <= set(ROW_REGISTRY)
 
@@ -179,6 +207,84 @@ class TestStore:
 
 
 class TestRunner:
+    def test_half_finished_block_reruns_only_missing_seeds(self, tmp_path):
+        spec = CampaignSpec.from_dict({
+            "name": "x",
+            "rows": [{"row": "bounded", "sizes": [8], "seeds": [0, 1, 2]}],
+        })
+        store = _store(tmp_path)
+        first = run_campaign(spec, store, jobs=1)
+        assert first.ok == 3
+        # Drop one cell's record: simulate a half-finished blocked run.
+        records = [
+            r for r in store.load().values() if r["job"]["seed"] != 1
+        ]
+        with open(store.path, "w", encoding="utf-8") as handle:
+            for record in records:
+                handle.write(json.dumps(record) + "\n")
+        again = run_campaign(spec, store, jobs=1)
+        assert again.ran == 1 and again.skipped == 2 and again.ok == 1
+        assert {r["job"]["seed"] for r in store.load().values()} == {0, 1, 2}
+        # And the recomputed cell is identical to a fresh serial run.
+        fresh = _store(tmp_path / "fresh")
+        run_campaign(spec, fresh, jobs=1)
+        by_seed = lambda s: {
+            r["job"]["seed"]: r["result"] for r in s.load().values()
+        }
+        assert by_seed(store) == by_seed(fresh)
+
+    def test_blocked_campaign_matches_serial_sweep_aggregates(self, tmp_path):
+        from repro.experiments.table1 import registry_row
+
+        spec = CampaignSpec.from_dict({
+            "name": "x",
+            "rows": [{"row": "bounded", "sizes": [8, 12], "seeds": [0, 1, 2]}],
+        })
+        store = _store(tmp_path)
+        assert run_campaign(spec, store, jobs=2).all_ok
+        campaign_points = aggregate_campaign(spec, store, extended=False)
+        serial_points, _ = registry_row(
+            "bounded", sizes=(8, 12), seeds=(0, 1, 2)
+        )
+        assert [p.__dict__ for p in campaign_points["bounded"]] == [
+            p.__dict__ for p in serial_points
+        ]
+
+    def test_execution_options_do_not_change_measurements(self, tmp_path):
+        from repro.sim.resolution import numpy_available
+
+        base = lambda opts: CampaignSpec.from_dict({
+            "name": "x",
+            "rows": [{"row": "bounded", "sizes": [8], "seeds": [0, 1],
+                      "options": opts}],
+        })
+        plain_store, fast_store = _store(tmp_path / "a"), _store(tmp_path / "b")
+        run_campaign(base({}), plain_store, jobs=1)
+        options = {"lockstep": True}
+        if numpy_available():
+            options["resolution"] = "numpy"
+        run_campaign(base(options), fast_store, jobs=1)
+        plain = [r["result"] for r in sorted(
+            plain_store.load().values(), key=lambda r: r["job"]["seed"]
+        )]
+        fast = [r["result"] for r in sorted(
+            fast_store.load().values(), key=lambda r: r["job"]["seed"]
+        )]
+        assert plain == fast
+
+    def test_contention_hist_option_adds_extras(self, tmp_path):
+        spec = CampaignSpec.from_dict({
+            "name": "x",
+            "rows": [{"row": "bounded", "sizes": [8], "seeds": [0],
+                      "options": {"contention_hist": True}}],
+        })
+        store = _store(tmp_path)
+        assert run_campaign(spec, store, jobs=1).all_ok
+        (record,) = store.ok_records()
+        extras = record["result"]["extras"]
+        assert extras["ch_active_slots"] > 0
+        assert "ch_collision_rate" in extras
+
     def test_serial_run_and_resume(self, tmp_path):
         spec, store = _tiny_spec(), _store(tmp_path)
         report = run_campaign(spec, store, jobs=1)
@@ -237,14 +343,34 @@ class TestRunner:
         assert report.ran == 1  # errored cell is not treated as cached
 
     def test_execute_job_record_shape(self):
-        record = execute_job(
+        records = execute_job(
             {"job": {"row": "path", "size": 16, "seed": 0}, "timeout": None}
         )
+        assert len(records) == 1
+        record = records[0]
         assert record["status"] == "ok"
         assert record["key"] == JobSpec(row="path", size=16, seed=0).key()
         assert record["result"]["n"] == 16
         # Records must survive a JSON round-trip unchanged (store contract).
         assert json.loads(json.dumps(record)) == record
+
+    def test_execute_job_block_produces_per_seed_records(self):
+        records = execute_job({
+            "job": {"row": "path", "size": 16, "seeds": [0, 1]},
+            "timeout": None,
+        })
+        assert [r["status"] for r in records] == ["ok", "ok"]
+        # Block records carry per-cell keys + single-seed payloads, so
+        # they alias what a single-seed campaign would have stored.
+        assert [r["key"] for r in records] == [
+            JobSpec(row="path", size=16, seed=0).key(),
+            JobSpec(row="path", size=16, seed=1).key(),
+        ]
+        assert [r["job"]["seed"] for r in records] == [0, 1]
+        solo = execute_job(
+            {"job": {"row": "path", "size": 16, "seed": 1}, "timeout": None}
+        )[0]
+        assert records[1]["result"] == solo["result"]
 
 
 @pytest.fixture
@@ -470,3 +596,42 @@ class TestTable1Passthrough:
             ["table1", "lb-reduction", "--seeds", "1", "--sizes-scale", "0.5"]
         ) == 0
         assert "K_{2,k}" in capsys.readouterr().out
+
+    def test_contention_hist_flag(self, capsys):
+        from repro.cli import main
+
+        # Registry-backed row: runs with the observer attached; bespoke
+        # lower-bound rows simply ignore the flag.
+        assert main(
+            ["table1", "bounded", "lb-reduction", "--seeds", "1",
+             "--sizes-scale", "0.5", "--contention-hist"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Corollary 13" in out and "K_{2,k}" in out
+
+    def test_campaign_contention_hist_changes_cell_identity(
+        self, tmp_path, capsys
+    ):
+        from repro.cli import main
+
+        config = os.path.join(str(tmp_path), "config.json")
+        with open(config, "w", encoding="utf-8") as handle:
+            json.dump(
+                {"name": "cli", "rows": [
+                    {"row": "bounded", "sizes": [8], "seeds": [0]}
+                ]},
+                handle,
+            )
+        out = os.path.join(str(tmp_path), "out")
+        assert main(
+            ["campaign", "run", config, "--out", out, "--contention-hist"]
+        ) == 0
+        capsys.readouterr()
+        # status WITH the flag sees the completed cell ...
+        assert main(
+            ["campaign", "status", config, "--out", out, "--contention-hist"]
+        ) == 0
+        assert "1/1 cells complete" in capsys.readouterr().out
+        # ... status WITHOUT it addresses different cells (still pending).
+        assert main(["campaign", "status", config, "--out", out]) == 0
+        assert "0/1 cells complete" in capsys.readouterr().out

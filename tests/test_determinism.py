@@ -70,8 +70,8 @@ class TestSimulatorDeterminism:
 class TestCampaignDeterminism:
     def test_cell_payload_byte_identical(self):
         payload = {"job": {"row": "decay", "size": 16, "seed": 2}}
-        first = execute_job(payload)
-        second = execute_job(payload)
+        first = execute_job(payload)[0]
+        second = execute_job(payload)[0]
         assert first["status"] == second["status"] == "ok"
         assert json.dumps(first["result"], sort_keys=True) == json.dumps(
             second["result"], sort_keys=True

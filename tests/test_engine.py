@@ -264,7 +264,15 @@ def test_reference_rejects_out_of_range_inputs_too():
 
 def test_invalid_resolution_mode_rejected():
     with pytest.raises(ValueError, match="resolution"):
-        Simulator(path_graph(2), NO_CD, resolution="numpy")
+        Simulator(path_graph(2), NO_CD, resolution="quantum")
+
+
+def test_all_resolution_modes_accepted():
+    from repro.sim import RESOLUTION_MODES
+
+    assert set(RESOLUTION_MODES) == {"bitmask", "list", "numpy"}
+    for mode in RESOLUTION_MODES:
+        Simulator(path_graph(2), NO_CD, resolution=mode)
 
 
 def test_list_resolution_matches_bitmask():

@@ -1,0 +1,327 @@
+"""Lock-step batched trials must be byte-identical to serial trials.
+
+Also covers the batch-layer satellites: the per-seed observer factory,
+the shared-stateful-model warning, and the ContentionHistogramObserver
+analytics ride-along.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+import repro.sim.batch as batch_module
+from repro.graphs import clique, path_graph, random_gnp, star_graph
+from repro.sim import (
+    BEEPING,
+    CD,
+    CD_STAR,
+    LOCAL,
+    NO_CD,
+    ContentionHistogramObserver,
+    Idle,
+    Listen,
+    Send,
+    numpy_available,
+    run_trials,
+)
+from repro.sim.models import LossyModel
+
+FIVE_MODELS = {
+    "LOCAL": LOCAL,
+    "CD": CD,
+    "No-CD": NO_CD,
+    "CD*": CD_STAR,
+    "BEEP": BEEPING,
+}
+
+RESOLUTIONS = ("bitmask", "list") + (("numpy",) if numpy_available() else ())
+
+
+def _random_protocol(steps: int):
+    def protocol(ctx):
+        heard = 0
+        for step in range(steps):
+            roll = ctx.rng.random()
+            if roll < 0.3:
+                yield Send(("m", ctx.index, step, heard))
+            elif roll < 0.65:
+                feedback = yield Listen()
+                if feedback not in (None, ()) and not isinstance(feedback, str):
+                    heard += 1
+            else:
+                yield Idle(1 + ctx.rng.randrange(4))
+        return (ctx.index, heard)
+
+    return protocol
+
+
+def _assert_same_results(a, b):
+    assert len(a) == len(b)
+    for x, y in zip(a, b):
+        assert x.seed == y.seed
+        assert x.outputs == y.outputs
+        assert x.finish_slot == y.finish_slot
+        assert x.duration == y.duration
+        assert [e.total for e in x.energy] == [e.total for e in y.energy]
+        assert [e.sends for e in x.energy] == [e.sends for e in y.energy]
+
+
+class TestLockstepEquivalence:
+    SEEDS = (0, 1, 2, 7, 11)
+
+    @pytest.mark.parametrize("model_name", sorted(FIVE_MODELS))
+    @pytest.mark.parametrize("resolution", RESOLUTIONS)
+    def test_models_by_resolution(self, model_name, resolution):
+        model = FIVE_MODELS[model_name]
+        graph = random_gnp(9, 0.5, random.Random(21))
+        protocol = _random_protocol(14)
+        serial = run_trials(graph, model, protocol, self.SEEDS)
+        lockstep = run_trials(
+            graph, model, protocol, self.SEEDS,
+            lockstep=True, resolution=resolution,
+        )
+        _assert_same_results(serial, lockstep)
+
+    def test_dense_contention(self):
+        graph = clique(8)
+        protocol = _random_protocol(12)
+        for resolution in RESOLUTIONS:
+            _assert_same_results(
+                run_trials(graph, CD, protocol, self.SEEDS),
+                run_trials(
+                    graph, CD, protocol, self.SEEDS,
+                    lockstep=True, resolution=resolution,
+                ),
+            )
+
+    def test_trials_finish_at_different_times(self):
+        def protocol(ctx):
+            # Runtime depends on the trial rng: trials leave the
+            # lock-step band at different steps.
+            for _ in range(2 + ctx.rng.randrange(12)):
+                if ctx.rng.random() < 0.5:
+                    yield Send("x")
+                else:
+                    yield Listen()
+            return ctx.index
+
+        graph = star_graph(5)
+        serial = run_trials(graph, NO_CD, protocol, self.SEEDS)
+        lockstep = run_trials(graph, NO_CD, protocol, self.SEEDS, lockstep=True)
+        _assert_same_results(serial, lockstep)
+
+    def test_lossy_model_factory(self):
+        graph = random_gnp(8, 0.5, random.Random(5))
+        protocol = _random_protocol(12)
+        factory = lambda seed: LossyModel(NO_CD, 0.4, seed=seed)
+        serial = run_trials(
+            graph, NO_CD, protocol, self.SEEDS, model_factory=factory
+        )
+        for resolution in RESOLUTIONS:
+            lockstep = run_trials(
+                graph, NO_CD, protocol, self.SEEDS,
+                model_factory=factory, lockstep=True, resolution=resolution,
+            )
+            _assert_same_results(serial, lockstep)
+
+    def test_trace_recording_matches(self):
+        graph = path_graph(6)
+        protocol = _random_protocol(10)
+        serial = run_trials(graph, NO_CD, protocol, (0, 3), record_trace=True)
+        lockstep = run_trials(
+            graph, NO_CD, protocol, (0, 3), record_trace=True, lockstep=True
+        )
+        for a, b in zip(serial, lockstep):
+            assert list(a.trace) == list(b.trace)
+
+    def test_empty_and_single_seed(self):
+        graph = path_graph(3)
+        protocol = _random_protocol(4)
+        assert run_trials(graph, NO_CD, protocol, [], lockstep=True) == []
+        _assert_same_results(
+            run_trials(graph, NO_CD, protocol, [5]),
+            run_trials(graph, NO_CD, protocol, [5], lockstep=True),
+        )
+
+    def test_broadcast_cell_lockstep(self):
+        from repro.broadcast import run_broadcast_trials
+        from repro.broadcast.flooding import decay_broadcast_protocol
+        from repro.sim import Knowledge
+
+        graph = path_graph(8)
+        knowledge = Knowledge(n=8, max_degree=2, diameter=7)
+        protocol = decay_broadcast_protocol(failure=0.02)
+        seeds = (0, 1, 2)
+        serial = run_broadcast_trials(
+            graph, NO_CD, protocol, seeds, knowledge=knowledge
+        )
+        for resolution in RESOLUTIONS:
+            lockstep = run_broadcast_trials(
+                graph, NO_CD, protocol, seeds, knowledge=knowledge,
+                lockstep=True, resolution=resolution,
+            )
+            for a, b in zip(serial, lockstep):
+                assert a.delivered == b.delivered
+                assert a.duration == b.duration
+                assert a.max_energy == b.max_energy
+
+    def test_shared_observers_rejected(self):
+        from repro.sim import SlotObserver
+
+        with pytest.raises(ValueError, match="observer_factory"):
+            run_trials(
+                path_graph(3), NO_CD, _random_protocol(3), (0, 1),
+                lockstep=True, observers=(SlotObserver(),),
+            )
+
+    def test_shared_stateful_model_rejected(self):
+        """A shared stateful channel cannot match the serial path under
+        lock-step (rng consumption order changes), so it is refused
+        instead of silently diverging."""
+        model = LossyModel(NO_CD, 0.4, seed=7)
+        with pytest.raises(ValueError, match="model_factory"):
+            run_trials(
+                clique(6), model, _random_protocol(6), (0, 1, 2),
+                lockstep=True,
+            )
+        # A single seed has no interleaving: allowed and serial-identical.
+        _assert_same_results(
+            run_trials(clique(6), LossyModel(NO_CD, 0.4, seed=7),
+                       _random_protocol(6), (0,)),
+            run_trials(clique(6), LossyModel(NO_CD, 0.4, seed=7),
+                       _random_protocol(6), (0,), lockstep=True),
+        )
+
+
+class TestObserverFactory:
+    def test_per_seed_observers_in_both_modes(self):
+        graph = random_gnp(8, 0.5, random.Random(2))
+        protocol = _random_protocol(10)
+        seeds = (0, 1, 2)
+
+        def collect(lockstep):
+            observers = {}
+
+            def factory(seed):
+                observer = ContentionHistogramObserver(graph)
+                observers[seed] = observer
+                return (observer,)
+
+            run_trials(
+                graph, NO_CD, protocol, seeds,
+                observer_factory=factory, lockstep=lockstep,
+            )
+            return {
+                seed: observer.summary()
+                for seed, observer in observers.items()
+            }
+
+        serial = collect(lockstep=False)
+        lockstep = collect(lockstep=True)
+        assert serial == lockstep
+        assert set(serial) == set(seeds)
+        assert all(s["active_slots"] > 0 for s in serial.values())
+
+
+class TestStatefulReuseWarning:
+    def test_warns_once_for_shared_stateful_model(self, monkeypatch):
+        monkeypatch.setattr(batch_module, "_warned_stateful_reuse", False)
+        graph = path_graph(4)
+        protocol = _random_protocol(4)
+        model = LossyModel(NO_CD, 0.3, seed=1)
+        with pytest.warns(RuntimeWarning, match="stateful channel model"):
+            run_trials(graph, model, protocol, (0, 1))
+        # Second occurrence is silent (once per process).
+        with _no_warning():
+            run_trials(graph, model, protocol, (0, 1))
+
+    def test_no_warning_with_model_factory_or_single_seed(self, monkeypatch):
+        monkeypatch.setattr(batch_module, "_warned_stateful_reuse", False)
+        graph = path_graph(4)
+        protocol = _random_protocol(4)
+        with _no_warning():
+            run_trials(
+                graph, NO_CD, protocol, (0, 1, 2),
+                model_factory=lambda seed: LossyModel(NO_CD, 0.3, seed=seed),
+            )
+        with _no_warning():
+            run_trials(graph, LossyModel(NO_CD, 0.3, seed=1), protocol, (0,))
+        with _no_warning():
+            run_trials(graph, NO_CD, protocol, (0, 1, 2))
+
+
+class _no_warning:
+    """Assert no stateful-reuse warning is emitted inside the block."""
+
+    def __enter__(self):
+        import warnings
+
+        self._catcher = warnings.catch_warnings(record=True)
+        self._log = self._catcher.__enter__()
+        warnings.simplefilter("always")
+        return self._log
+
+    def __exit__(self, *exc):
+        self._catcher.__exit__(*exc)
+        stateful = [
+            w for w in self._log
+            if "stateful channel model" in str(w.message)
+        ]
+        assert not stateful, stateful
+        return False
+
+
+class TestContentionHistogramObserver:
+    def test_counts_on_crafted_slots(self):
+        # Star with hub 0 and leaves 1..4: transmitters {1, 2} -> hub
+        # sees k=2 (collision), an idle leaf sees k=0... exercised via a
+        # deterministic protocol.
+        graph = star_graph(5)
+
+        def protocol(ctx):
+            if ctx.index in (1, 2):
+                yield Send("m")
+            else:
+                yield Listen()  # hub hears k=2; leaves 3,4 hear k=0
+            if ctx.index == 3:
+                yield Send("solo")
+            elif ctx.index == 0:
+                yield Listen()  # hub hears k=1
+            return None
+
+        observer = ContentionHistogramObserver(graph)
+        run_trials(
+            graph, NO_CD, protocol, (0,), observer_factory=lambda s: (observer,)
+        )
+        assert observer.active_slots == 2
+        assert observer.load_histogram == {2: 1, 1: 1}
+        assert observer.collisions == 1  # hub in slot 0
+        assert observer.clean_receptions == 1  # hub in slot 1
+        assert observer.silent_receptions == 2  # leaves 3, 4 in slot 0
+        summary = observer.summary()
+        assert summary["mean_load"] == 1.5
+        assert summary["max_load"] == 2.0
+        assert summary["collision_rate"] == 0.25
+
+    def test_cell_extras_via_contention_hist(self):
+        from repro.campaign.cells import run_cells
+        from repro.broadcast.flooding import decay_broadcast_protocol
+
+        graph = path_graph(8)
+        cells = run_cells(
+            graph, NO_CD, decay_broadcast_protocol(failure=0.02),
+            label="row", size=8, seeds=(0, 1), contention_hist=True,
+        )
+        for cell in cells:
+            assert cell.extras["ch_active_slots"] > 0
+            assert 0.0 <= cell.extras["ch_collision_rate"] <= 1.0
+        # The analytics ride-along must not perturb the measurement.
+        plain = run_cells(
+            graph, NO_CD, decay_broadcast_protocol(failure=0.02),
+            label="row", size=8, seeds=(0, 1),
+        )
+        for cell, base in zip(cells, plain):
+            assert cell.duration == base.duration
+            assert cell.max_energy == base.max_energy

@@ -31,6 +31,11 @@ from repro.sim.actions import SendListen
 from repro.sim.legacy import LegacySimulator
 from repro.sim.models import LossyModel
 from repro.sim.reference import ReferenceSimulator
+from repro.sim.resolution import numpy_available
+
+# The numpy backend joins the sweep when numpy is installed; without it
+# the suite still passes (resolution="numpy" would just alias bitmask).
+RESOLUTIONS = ("bitmask", "list") + (("numpy",) if numpy_available() else ())
 
 FIVE_MODELS = {
     "LOCAL": LOCAL,
@@ -91,7 +96,7 @@ def _compare(
     """
     make = model_factory or (lambda: model)
     slow = ReferenceSimulator(graph, make(), seed=seed).run(protocol, inputs=inputs)
-    for resolution in ("bitmask", "list"):
+    for resolution in RESOLUTIONS:
         fast = Simulator(
             graph, make(), seed=seed, resolution=resolution
         ).run(protocol, inputs=inputs)
