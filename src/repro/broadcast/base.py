@@ -85,6 +85,7 @@ def run_broadcast_trials(
     record_trace: bool = False,
     resolution: str = "bitmask",
     lockstep: bool = False,
+    stepping: str = "phase",
     observer_factory: Optional[Callable[[int], Sequence[SlotObserver]]] = None,
 ) -> List[BroadcastOutcome]:
     """Run one broadcast cell across many seeds on the batched engine core.
@@ -107,6 +108,7 @@ def run_broadcast_trials(
         record_trace=record_trace,
         resolution=resolution,
         lockstep=lockstep,
+        stepping=stepping,
         observer_factory=observer_factory,
     )
     return [_verify(result, payload, graph.n) for result in results]

@@ -19,8 +19,8 @@ import math
 from typing import Any, Optional
 
 from repro.core.sr_comm import DecayParams, Role, sr_nocd
-from repro.sim.actions import Idle, Listen, Send
-from repro.sim.feedback import is_message
+from repro.sim.actions import Idle, Send
+from repro.sim.plan import ListenUntil
 from repro.sim.node import NodeCtx
 from repro.util import ceil_log2
 
@@ -90,6 +90,12 @@ def local_flood_protocol():
 
     Round r: every vertex informed before round r transmits once (then
     quits); uninformed vertices listen.  Time D+1 rounds of 1 slot.
+
+    Phase-compiled: an uninformed vertex's whole listening phase is one
+    ``ListenUntil`` plan (listen until the first non-empty LOCAL
+    feedback); it then transmits once in the next round — ``ctx.time``
+    tells it which round that is — and idles out the schedule.  Slot
+    pattern and results are byte-identical to the per-slot loop.
     """
 
     def protocol(ctx: NodeCtx):
@@ -98,19 +104,19 @@ def local_flood_protocol():
             ctx.inputs.get("payload") if ctx.inputs.get("source") else None
         )
         rounds = diameter + 1
-        sent = False
-        for r in range(rounds):
-            if payload is not None and not sent:
-                yield Send(payload)
-                sent = True
-                remaining = rounds - r - 1
-                if remaining:
-                    yield Idle(remaining)
-                break
-            if payload is None:
-                feedback = yield Listen()
-                if is_message(feedback):
-                    payload = feedback[0]
+        send_round = 0
+        if payload is None:
+            feedback = yield ListenUntil(rounds)
+            if feedback is None:
+                # Nothing arrived within the schedule.
+                return None
+            payload = feedback[0]
+            send_round = ctx.time  # the round right after the reception
+        if send_round < rounds:
+            yield Send(payload)
+            remaining = rounds - send_round - 1
+            if remaining:
+                yield Idle(remaining)
         return payload
 
     return protocol

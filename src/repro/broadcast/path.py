@@ -34,6 +34,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Set
 
 from repro.sim.actions import Idle, Listen, Send, SendListen
+from repro.sim.plan import Steps
 from repro.sim.node import NodeCtx
 from repro.util import ceil_log2, geometric
 
@@ -208,18 +209,31 @@ def path_broadcast_protocol(oriented: bool = True):
                     outgoing.append((inst.downstream, part))
                 if t in inst.listens:
                     listening = True
+            # Each event step is one generator entry: the idle gap and the
+            # slot's action travel together as a Steps plan (the feedback,
+            # if any, is the plan result) — the per-slot equivalent yielded
+            # Idle(gap) and the action separately.
             gap = (t - 1) - now  # engine slot for paper-time t is t-1
-            if gap > 0:
-                yield Idle(gap)
             feedback = None
             if outgoing and listening:
-                feedback = yield SendListen(("path", v, tuple(outgoing)))
+                act: Any = SendListen(("path", v, tuple(outgoing)))
             elif outgoing:
-                yield Send(("path", v, tuple(outgoing)))
+                act = Send(("path", v, tuple(outgoing)))
             elif listening:
-                feedback = yield Listen()
+                act = Listen()
             else:
-                yield Idle(1)
+                act = Idle(1)
+            if gap > 0:
+                if act.__class__ is Idle:
+                    yield Idle(gap + 1)
+                else:
+                    heard_fb = yield Steps((Idle(gap), act))
+                    if listening:
+                        feedback = heard_fb[0]
+            else:
+                feedback = yield act
+                if not listening:
+                    feedback = None
             now = t
 
             heard: Dict[int, Any] = {}

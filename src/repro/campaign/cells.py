@@ -41,8 +41,11 @@ __all__ = [
 # Cell options that steer *how* a cell executes rather than what it
 # measures.  They ride in the same per-row ``options`` dict as protocol
 # knobs (so campaign configs can set them per row) and are consumed by
-# run_cells(); protocol builders ignore them.
-EXECUTION_OPTION_KEYS = ("resolution", "lockstep", "contention_hist")
+# run_cells(); protocol builders ignore them.  ``stepping`` selects
+# phase-compiled vs per-slot protocol stepping (repro.sim.plan) — like
+# ``resolution`` and ``lockstep`` it cannot change measurements, only
+# wall-clock.
+EXECUTION_OPTION_KEYS = ("resolution", "lockstep", "contention_hist", "stepping")
 
 
 def execution_options(options: Optional[Dict]) -> Dict[str, object]:
@@ -154,6 +157,7 @@ def run_cells(
     extra_metrics: Optional[Callable[[BroadcastOutcome], Dict[str, float]]] = None,
     resolution: str = "bitmask",
     lockstep: bool = False,
+    stepping: str = "phase",
     contention_hist: bool = False,
 ) -> List[CellResult]:
     """Execute one (row, size) cell group across seeds on the batched core.
@@ -189,6 +193,7 @@ def run_cells(
         record_trace=record_trace,
         resolution=resolution,
         lockstep=lockstep,
+        stepping=stepping,
         observer_factory=observer_factory,
     )
     cells = []
@@ -230,6 +235,7 @@ def run_cell(
     extra_metrics: Optional[Callable[[BroadcastOutcome], Dict[str, float]]] = None,
     resolution: str = "bitmask",
     lockstep: bool = False,
+    stepping: str = "phase",
     contention_hist: bool = False,
 ) -> CellResult:
     """Execute one broadcast cell (a single-seed batch) and reduce it to
@@ -248,6 +254,7 @@ def run_cell(
         extra_metrics=extra_metrics,
         resolution=resolution,
         lockstep=lockstep,
+        stepping=stepping,
         contention_hist=contention_hist,
     )[0]
 

@@ -199,6 +199,7 @@ def _cmd_bench(args) -> int:
         min_legacy_speedup=args.min_legacy_speedup,
         min_ref_speedup=args.min_ref_speedup,
         min_numpy_speedup=args.min_numpy_speedup,
+        min_phase_speedup=args.min_phase_speedup,
     )
     for violation in violations:
         print(f"FAIL: {violation}")
@@ -306,6 +307,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="fail unless the numpy resolution backend beats the "
              "bitmask backend by this factor on the backend-gated "
              "workloads (requires numpy)",
+    )
+    p_bench.add_argument(
+        "--min-phase-speedup", type=float, default=None,
+        help="fail unless phase-compiled stepping beats the per-slot "
+             "path end-to-end by this factor on the phase-gated "
+             "workloads",
     )
     p_bench.set_defaults(func=_cmd_bench)
 

@@ -20,6 +20,18 @@ a node protocol.  **Fixed-frame contract**: for fixed parameters, every
 vertex — sender, receiver, or bystander (role IDLE) — consumes *exactly*
 ``frame_length`` slots, so concurrent invocations across the network stay
 slot-synchronized.  Early finishers pad with Idle.
+
+The hot frames are *phase-compiled* (:mod:`repro.sim.plan`): decay
+senders pre-draw their burst length and yield one ``Repeat(Send, k)``
+per phase, decay receivers yield a single padded ``ListenUntil`` for the
+whole frame, and the CD / deterministic interval schedules yield
+``Steps`` sequences — so a frame costs O(phases) generator entries
+instead of O(frame_length).  All rewirings preserve the per-slot rng
+draw order and slot-for-slot action sequence, so results are
+byte-identical to the per-slot path (``stepping="slot"`` pins this).
+Adaptive parts whose next slot depends on the previous feedback (probe
+slots, ack slots, the Lemma 8 controller) stay per-slot — the escape
+hatch plans are designed around.
 """
 
 from __future__ import annotations
@@ -31,6 +43,7 @@ from typing import Any, Optional
 from repro.sim.actions import Idle, Listen, Send
 from repro.sim.feedback import NOISE, SILENCE, is_message
 from repro.sim.node import NodeCtx
+from repro.sim.plan import ListenUntil, Repeat, Steps
 from repro.util import ceil_log2
 
 __all__ = [
@@ -123,32 +136,32 @@ def sr_nocd(
     stay silent.  Receivers listen to every slot until they hear a message
     passing ``accept`` (default: any message), then idle out the rest of
     the frame.  Returns the received message (receivers) or None.
+
+    Phase-compiled: the sender pre-draws each phase's geometric burst
+    length (same draws, same order as the per-slot loop) and yields one
+    ``Repeat(Send, length)`` burst per phase; the receiver's whole frame
+    is a single padded ``ListenUntil`` — listen until an accepted
+    message, idle out the rest — exactly the per-slot path's slot
+    pattern with O(1) generator entries.
     """
     slots, phases = params.slots_per_phase, params.phases
     if role is Role.IDLE:
         yield from _idle(params.frame_length)
         return None
     if role is Role.SENDER:
+        rand = ctx.rng.random
         for _ in range(phases):
             length = 1
-            while length < slots and ctx.rng.random() < 0.5:
+            while length < slots and rand() < 0.5:
                 length += 1
-            for _ in range(length):
+            if length == 1:
                 yield Send(message)
+            else:
+                yield Repeat(Send(message), length)
             yield from _idle(slots - length)
         return None
-    # Receiver.
-    received: Optional[Any] = None
-    for phase in range(phases):
-        if received is not None:
-            yield from _idle(slots * (phases - phase))
-            break
-        for offset in range(slots):
-            feedback = yield Listen()
-            if is_message(feedback) and (accept is None or accept(feedback)):
-                received = feedback
-                yield from _idle(slots - offset - 1)
-                break
+    # Receiver: one plan for the whole frame.
+    received = yield ListenUntil(slots * phases, accept=accept, pad=True)
     return received
 
 
@@ -301,15 +314,26 @@ def sr_cd(
     slots = params.slots_per_epoch
     if role is Role.SENDER:
         for _ in range(params.epochs):
+            # Phase-compiled epoch: the picks are fully determined by the
+            # (unchanged) rng draws, so the whole idle/send interval
+            # schedule goes out as one Steps plan.  The ack slot stays
+            # per-slot — its feedback decides the early exit.
             picks = [
                 i for i in range(slots) if ctx.rng.random() < 2.0 ** -(i + 1)
             ][:2]
+            acts = []
             cursor = 0
             for i in picks:
-                yield from _idle(i - cursor)
-                yield Send(message)
+                if i > cursor:
+                    acts.append(Idle(i - cursor))
+                acts.append(Send(message))
                 cursor = i + 1
-            yield from _idle(slots - cursor)
+            if slots > cursor:
+                acts.append(Idle(slots - cursor))
+            if len(acts) == 1:
+                yield acts[0]
+            else:
+                yield Steps(tuple(acts))
             spent += slots
             if params.ack:
                 feedback = yield Listen()
@@ -320,14 +344,25 @@ def sr_cd(
                     return None
         return None
 
-    # Receiver: one listening slot per epoch, controller-chosen.
+    # Receiver: one listening slot per epoch, controller-chosen.  The
+    # epoch's idle/listen/idle schedule is one Steps plan; the feedback
+    # comes back at the epoch boundary, which is exactly when the
+    # controller needs it (the per-slot path also only acted on it then).
     controller = _Controller(max_k=slots)
     received: Optional[Any] = None
     for _ in range(params.epochs):
         if received is None:
             k = controller.next_k()  # 1-based exponent = slot index k-1
-            yield from _idle(k - 1)
-            feedback = yield Listen()
+            acts = []
+            if k > 1:
+                acts.append(Idle(k - 1))
+            acts.append(Listen())
+            if slots > k:
+                acts.append(Idle(slots - k))
+            if len(acts) == 1:
+                feedback = yield acts[0]
+            else:
+                feedback = (yield Steps(tuple(acts)))[0]
             if is_message(feedback):
                 if accept is None or accept(feedback):
                     received = feedback
@@ -335,7 +370,6 @@ def sr_cd(
                 # not update the contention controller from it.
             else:
                 controller.observe(k, feedback)
-            yield from _idle(slots - k)
             spent += slots
             if params.ack:
                 if received is not None:
@@ -459,17 +493,33 @@ def sr_det_cd(ctx: NodeCtx, role: Role, value: Optional[int], space: int):
                 if cand != own_prefix:
                     events.append((cand, False))
 
+        # Phase-compiled round: the interval schedule is fixed once the
+        # events are known, so it goes out as one Steps plan; the listen
+        # outcomes come back as the plan result (they are only consumed
+        # at the round boundary below, like the per-slot path).
         occupied = {}
+        acts = []
+        listen_slots = []
         cursor = 0
         for slot, is_send in sorted(events):
-            yield from _idle(slot - cursor)
+            if slot > cursor:
+                acts.append(Idle(slot - cursor))
             if is_send:
-                yield Send(("det", slot))
+                acts.append(Send(("det", slot)))
             else:
-                feedback = yield Listen()
-                occupied[slot] = feedback is not SILENCE
+                acts.append(Listen())
+                listen_slots.append(slot)
             cursor = slot + 1
-        yield from _idle(round_slots - cursor)
+        if round_slots > cursor:
+            acts.append(Idle(round_slots - cursor))
+        if listen_slots:
+            heard = yield Steps(tuple(acts))
+            for slot, feedback in zip(listen_slots, heard):
+                occupied[slot] = feedback is not SILENCE
+        elif len(acts) == 1:
+            yield acts[0]
+        elif acts:
+            yield Steps(tuple(acts))
 
         if listening and not dead:
             occ0 = occupied.get(cand0, False) or own_prefix == cand0
@@ -513,26 +563,49 @@ def sr_det_cd_payload(
     learned = yield from sr_det_cd(
         ctx, role, value, id_space
     )
+    # Phase 2 is a fixed one-slot-per-ID schedule once ``learned`` is
+    # known: emit it as a single Steps plan and read the (at most one)
+    # listen outcome from the plan result.
     result = None
+    own_payload = False
+    listened = False
+    acts = []
     cursor = 0
     if role in (Role.RECEIVER, Role.BOTH) and learned is not None:
-        yield from _idle(learned - cursor)
+        if learned > cursor:
+            acts.append(Idle(learned - cursor))
         if sending and learned == value:
             # Own payload is the minimum; nothing to hear.
-            yield Send(("payload", uid, payload))
-            result = (uid, payload)
+            acts.append(Send(("payload", uid, payload)))
+            own_payload = True
         else:
-            feedback = yield Listen()
-            if is_message(feedback) and feedback[0] == "payload":
-                result = (feedback[1], feedback[2])
+            acts.append(Listen())
+            listened = True
         cursor = learned + 1
         if sending and learned != value:
-            yield from _idle(value - cursor)
-            yield Send(("payload", uid, payload))
+            if value > cursor:
+                acts.append(Idle(value - cursor))
+            acts.append(Send(("payload", uid, payload)))
             cursor = value + 1
     elif sending:
-        yield from _idle(value - cursor)
-        yield Send(("payload", uid, payload))
+        if value > cursor:
+            acts.append(Idle(value - cursor))
+        acts.append(Send(("payload", uid, payload)))
         cursor = value + 1
-    yield from _idle(id_space - cursor)
+    if id_space > cursor:
+        acts.append(Idle(id_space - cursor))
+    if acts:
+        if len(acts) == 1 and not listened:
+            yield acts[0]
+            heard = ()
+        else:
+            heard = yield Steps(tuple(acts))
+    else:
+        heard = ()
+    if own_payload:
+        result = (uid, payload)
+    elif listened:
+        feedback = heard[0]
+        if is_message(feedback) and feedback[0] == "payload":
+            result = (feedback[1], feedback[2])
     return result

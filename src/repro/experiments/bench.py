@@ -1,26 +1,40 @@
 """Engine microbenchmarks: slots/sec on fixed workloads.
 
-``repro bench`` runs each workload on up to five simulators —
+``repro bench`` runs each workload on up to six simulators —
 
-* ``engine`` — the current bitmask-resolution engine,
-* ``engine_numpy`` — the same engine on the vectorized numpy
+* ``engine`` — the current bitmask-resolution engine with phase-compiled
+  stepping (``stepping="phase"``: plan-emitting protocols step slots at
+  a time, :mod:`repro.sim.plan`),
+* ``engine_slot`` — the same engine on the per-slot oracle path: the
+  workload's per-slot protocol variant when one exists (``slot_build``),
+  else the same protocol expanded per slot (``stepping="slot"``) — the
+  PR-3 stepping baseline the phase ABI is measured against,
+* ``engine_numpy`` — the phase engine on the vectorized numpy
   resolution backend (present when numpy is installed),
-* ``engine_list_path`` — the same engine forced onto the legacy
+* ``engine_list_path`` — the phase engine forced onto the legacy
   per-neighbor list resolution (``resolution="list"``),
 * ``legacy_engine`` — the frozen pre-refactor engine
-  (:mod:`repro.sim.legacy`), the baseline the refactor is measured
-  against,
+  (:mod:`repro.sim.legacy`); it predates phase plans, so it runs the
+  per-slot protocol variant (or the plan-expanded wrapper,
+  :func:`~repro.sim.plan.as_slot_protocol`),
 * ``reference`` — the naive slot-by-slot oracle
   (:class:`~repro.sim.reference.ReferenceSimulator`),
 
 verifies they produce identical outputs/energy/duration, and writes the
 timings to ``BENCH_engine.json`` so the repo's perf trajectory is
-recorded run over run.  CI runs the quick variant and fails if the
-event-heap engine is not measurably faster than the reference oracle —
-the tripwire for silent O(n * slots) regressions.
+recorded run over run (CI additionally uploads the file as a per-run
+artifact, so the curve accumulates per PR).  CI runs the quick variant
+and fails if the event-heap engine is not measurably faster than the
+reference oracle — the tripwire for silent O(n * slots) regressions —
+and if phase stepping stops beating the per-slot path on the
+``phase_gate`` workloads (``--min-phase-speedup``).
 
-Two extra sections isolate the PR-3 vectorization work from the
-generator-stepping cost that dominates whole runs:
+Because wall-clock is noisy on shared runners, every tracked runner also
+reports ``entries_per_slot`` — generator entries (``gen.send`` calls)
+per simulated slot, the deterministic stepping-cost metric: a stepping
+regression moves it even when the timings wobble.
+
+Two extra sections isolate resolution and batching from stepping:
 
 * workloads flagged ``backend_bench`` re-play their recorded slot
   activity straight through each :mod:`repro.sim.resolution` backend
@@ -28,7 +42,8 @@ generator-stepping cost that dominates whole runs:
   that is where the numpy-vs-bitmask acceptance bar (and CI's
   ``--min-numpy-speedup`` gate) is measured;
 * a ``lockstep_trials`` section times a multi-seed cell on the serial
-  vs the lock-step batched executor and cross-checks their results.
+  vs the lock-step batched executor, each under per-slot and
+  phase-compiled stepping, and cross-checks their results.
 
 Speedups are reported as ``other_seconds / engine_seconds`` (higher is
 better for the engine).  ``slots/sec`` is simulated slots (the run's
@@ -50,11 +65,23 @@ from repro.campaign.cells import knowledge_for
 from repro.campaign.registry import GRAPH_FAMILIES, get_row
 from repro.graphs import clique, path_graph
 from repro.graphs.graph import Graph
-from repro.sim import LOCAL, NO_CD, Knowledge, Listen, Send, Simulator
+from repro.sim import (
+    LOCAL,
+    NO_CD,
+    Idle,
+    Knowledge,
+    Listen,
+    ListenUntil,
+    Repeat,
+    Send,
+    Simulator,
+)
+from repro.sim.feedback import is_message
 from repro.sim.batch import run_trials
 from repro.sim.legacy import LegacySimulator
 from repro.sim.models import MODELS, ChannelModel
 from repro.sim.observers import SlotObserver
+from repro.sim.plan import as_slot_protocol
 from repro.sim.reference import ReferenceSimulator
 from repro.sim.resolution import RESOLUTION_MODES, create_backend, numpy_available
 
@@ -88,11 +115,21 @@ class BenchWorkload:
     # — the numpy-vs-bitmask acceptance measurement, gated by
     # --min-numpy-speedup.
     backend_bench: bool = False
+    # Optional builder of an explicit per-slot protocol variant,
+    # byte-identical to build()'s (plan-emitting) protocol.  When given,
+    # the engine_slot and legacy runners use it directly (the honest
+    # pre-phase-ABI baseline); when None they fall back to plan
+    # expansion (stepping="slot" / as_slot_protocol).
+    slot_build: Optional[Callable[[], Callable]] = None
+    # Whether --min-phase-speedup gates this workload's end-to-end
+    # engine-vs-engine_slot ratio (the phase-stepping acceptance bar).
+    phase_gate: bool = False
 
 
 def _dense_protocol(slots: int):
     """Every node is active every slot (send w.p. 1/16, else listen):
-    the channel-resolution stress test."""
+    the channel-resolution stress test.  Per-slot variant — one
+    generator entry per slot."""
 
     def protocol(ctx):
         heard = 0
@@ -109,11 +146,99 @@ def _dense_protocol(slots: int):
     return protocol
 
 
+def _dense_protocol_phase(slots: int):
+    """Phase-compiled dense protocol, byte-identical to
+    :func:`_dense_protocol`: the whole schedule's Bernoulli decisions are
+    pre-drawn in one block (same draws, same order), consecutive listen
+    slots collapse into ``Repeat(Listen, k)`` plans, and heard counts are
+    recovered from the collected feedback tuples."""
+
+    def protocol(ctx):
+        heard = 0
+        decisions = ctx.rand_bernoulli_block(1.0 / 16.0, slots)
+        step = 0
+        while step < slots:
+            if decisions[step]:
+                yield Send(("m", ctx.index, step))
+                step += 1
+                continue
+            run = step + 1
+            while run < slots and not decisions[run]:
+                run += 1
+            if run - step == 1:
+                feedback = yield Listen()
+                if feedback is not None:
+                    heard += 1
+            else:
+                for feedback in (yield Repeat(Listen(), run - step)):
+                    if feedback is not None:
+                        heard += 1
+            step = run
+        return heard
+
+    return protocol
+
+
 def _dense_single_hop(n: int, slots: int):
     def build():
         graph = clique(n)
         knowledge = Knowledge(n=n, max_degree=n - 1, diameter=1)
-        return graph, NO_CD, _dense_protocol(slots), knowledge, {}
+        return graph, NO_CD, _dense_protocol_phase(slots), knowledge, {}
+
+    return build
+
+
+def _sr_frame_protocol(windows: int, phase: bool):
+    """The paper's hottest communication shape at scale: a decay-style
+    SR frame on a clique.  Two designated senders burst in lock-step (so
+    burst slots always collide and no listener is ever released); every
+    other node listens continuously for the whole schedule.  All nodes
+    are active nearly every slot — dense — but the activity is
+    *phase-structured*: per-window idle+burst for senders, one long
+    listen-until for receivers.  This is the workload where generator
+    stepping dominates end-to-end and the phase ABI must win
+    (``--min-phase-speedup``); the mixed per-slot dense workload above
+    stays the resolution-backend stress test.
+
+    ``phase=False`` builds the byte-identical per-slot variant (the
+    protocol is deterministic — no rng — so equivalence is structural).
+    """
+    W, B = 32, 4  # window length, burst length
+    total = windows * W
+
+    def protocol(ctx):
+        if ctx.index < 2:
+            send_act = Send(("m", ctx.index))
+            for _ in range(windows):
+                yield Idle(W - B)
+                if phase:
+                    yield Repeat(send_act, B)
+                else:
+                    for _ in range(B):
+                        yield send_act
+            return None
+        if phase:
+            return (yield ListenUntil(total, pad=True))
+        got = None
+        listened = 0
+        while listened < total:
+            feedback = yield Listen()
+            listened += 1
+            if is_message(feedback):
+                got = feedback
+                break
+        if listened < total:
+            yield Idle(total - listened)
+        return got
+
+    return protocol
+
+
+def _sr_frame_cell(n: int, windows: int):
+    def build():
+        graph = clique(n)
+        knowledge = Knowledge(n=n, max_degree=n - 1, diameter=1)
+        return graph, NO_CD, _sr_frame_protocol(windows, True), knowledge, {}
 
     return build
 
@@ -143,8 +268,14 @@ def default_workloads(quick: bool = False) -> List[BenchWorkload]:
     """The standing benchmark set.
 
     * ``dense_single_hop_n512`` — every device active every slot on a
-      clique: resolution cost dominates (the bitmask fast path's home
-      turf).
+      clique, mixed send/listen per slot: resolution cost dominates (the
+      backend gate's home turf; phase plans help only modestly here —
+      Amdahl — which the recorded ``speedup_phase_vs_slot`` documents).
+    * ``dense_sr_frame_n512`` — the decay SR-frame shape at n=512: 510
+      continuous listeners + lock-step colliding burst senders.  Dense,
+      but phase-structured — generator stepping dominates, so this
+      workload carries the phase-ABI acceptance bar
+      (``--min-phase-speedup``).
     * ``table1_clustering_row`` — the Table 1 No-CD clustering row
       (Theorem 11), sleep-heavy with realistic activity patterns: the
       per-slot engine overhead test.
@@ -160,13 +291,26 @@ def default_workloads(quick: bool = False) -> List[BenchWorkload]:
             # The dense workload keeps its full n=512 clique even in
             # quick mode: the numpy-vs-bitmask backend bar is defined at
             # n=512, and shrinking n would soften the vector advantage
-            # the CI gate is meant to protect.  Fewer slots keep it fast.
+            # the CI gate is meant to protect.  16 slots keep per-run
+            # setup (node contexts, rng seeding) from swamping the
+            # per-slot stepping signal the phase gate measures.
             BenchWorkload(
                 "dense_single_hop_n512",
-                "clique n=512, No-CD, 6 all-active slots (quick variant)",
-                _dense_single_hop(512, 6),
+                "clique n=512, No-CD, 16 all-active slots (quick variant)",
+                _dense_single_hop(512, 16),
                 reps=3,
                 backend_bench=True,
+                slot_build=lambda: _dense_protocol(16),
+            ),
+            BenchWorkload(
+                "dense_sr_frame_n512",
+                "decay SR frame, clique n=512, 510 listeners + colliding "
+                "bursts, 10 windows (quick variant)",
+                _sr_frame_cell(512, 10),
+                reps=3,
+                legacy_gate=False,
+                slot_build=lambda: _sr_frame_protocol(10, False),
+                phase_gate=True,
             ),
             BenchWorkload(
                 "table1_clustering_row",
@@ -188,6 +332,16 @@ def default_workloads(quick: bool = False) -> List[BenchWorkload]:
             "clique n=512, No-CD, 24 all-active slots",
             _dense_single_hop(512, 24),
             backend_bench=True,
+            slot_build=lambda: _dense_protocol(24),
+        ),
+        BenchWorkload(
+            "dense_sr_frame_n512",
+            "decay SR frame, clique n=512, 510 listeners + colliding "
+            "bursts, 12 windows",
+            _sr_frame_cell(512, 12),
+            legacy_gate=False,
+            slot_build=lambda: _sr_frame_protocol(12, False),
+            phase_gate=True,
         ),
         BenchWorkload(
             "table1_clustering_row",
@@ -216,19 +370,50 @@ def _time_best(make_runner: Callable[[], Any], protocol, inputs, reps: int):
     return best, result
 
 
-def _runners(graph, model, knowledge, time_limit) -> Dict[str, Callable[[], Any]]:
+def _runners(
+    graph, model, knowledge, time_limit, protocol, slot_protocol
+) -> Dict[str, Tuple[Callable[[], Any], Callable]]:
+    """name -> (make_runner, protocol) pairs.
+
+    ``slot_protocol`` is the per-slot-equivalent protocol used by the
+    runners without native plan support (the frozen legacy engine) and,
+    when it is an explicit variant rather than the expander wrapper, by
+    ``engine_slot`` — so the phase-vs-slot ratio compares against the
+    honest pre-phase-ABI stepping cost.
+    """
     common = dict(seed=0, knowledge=knowledge, time_limit=time_limit)
+    if slot_protocol is None:
+        # No explicit per-slot variant: expand plans per slot.
+        slot_protocol = as_slot_protocol(protocol)
+        engine_slot = (
+            lambda: Simulator(graph, model, stepping="slot", **common),
+            protocol,
+        )
+    else:
+        engine_slot = (
+            lambda: Simulator(graph, model, **common),
+            slot_protocol,
+        )
     runners = {
-        "engine": lambda: Simulator(graph, model, **common),
-        "engine_list_path": lambda: Simulator(
-            graph, model, resolution="list", **common
+        "engine": (lambda: Simulator(graph, model, **common), protocol),
+        "engine_slot": engine_slot,
+        "engine_list_path": (
+            lambda: Simulator(graph, model, resolution="list", **common),
+            protocol,
         ),
-        "legacy_engine": lambda: LegacySimulator(graph, model, **common),
-        "reference": lambda: ReferenceSimulator(graph, model, **common),
+        "legacy_engine": (
+            lambda: LegacySimulator(graph, model, **common),
+            slot_protocol,
+        ),
+        "reference": (
+            lambda: ReferenceSimulator(graph, model, **common),
+            protocol,
+        ),
     }
     if numpy_available():
-        runners["engine_numpy"] = lambda: Simulator(
-            graph, model, resolution="numpy", **common
+        runners["engine_numpy"] = (
+            lambda: Simulator(graph, model, resolution="numpy", **common),
+            protocol,
         )
     return runners
 
@@ -315,23 +500,41 @@ def _backend_replay(
 
 
 def _lockstep_section(quick: bool) -> Dict:
-    """Serial vs lock-step batched trials on one multi-seed dense cell."""
+    """Serial vs lock-step batched trials on one multi-seed dense cell,
+    each under per-slot and phase-compiled stepping.
+
+    This is where PR 3's "lock-step is wall-clock break-even" caveat is
+    re-measured now that phase plans make stepping cheap.  The four
+    variants keep the curve recorded in ``BENCH_engine.json`` run over
+    run; the measured answer so far: stepping was not the only cancel —
+    per-trial driver bookkeeping and setup keep lock-step near
+    break-even on quick cells (see :mod:`repro.sim.lockstep`).
+    """
     n, slots, seeds = (256, 8, list(range(8))) if quick else (
         512, 16, list(range(8))
     )
     graph = clique(n)
     knowledge = Knowledge(n=n, max_degree=n - 1, diameter=1)
-    protocol = _dense_protocol(slots)
-    variants: Dict[str, Dict] = {
-        "serial_bitmask": dict(resolution="bitmask", lockstep=False),
-        "serial_numpy": dict(resolution="numpy", lockstep=False),
-        "lockstep_numpy": dict(resolution="numpy", lockstep=True),
+    slot_protocol = _dense_protocol(slots)
+    phase_protocol = _dense_protocol_phase(slots)
+    batched_res = "numpy" if numpy_available() else "bitmask"
+    variants: Dict[str, Tuple[Callable, Dict]] = {
+        "serial_slot": (
+            slot_protocol, dict(resolution="bitmask", lockstep=False)
+        ),
+        "serial_phase": (
+            phase_protocol, dict(resolution="bitmask", lockstep=False)
+        ),
+        "lockstep_slot": (
+            slot_protocol, dict(resolution=batched_res, lockstep=True)
+        ),
+        "lockstep_phase": (
+            phase_protocol, dict(resolution=batched_res, lockstep=True)
+        ),
     }
-    if not numpy_available():
-        variants = {"serial_bitmask": variants["serial_bitmask"]}
     seconds = {}
     results = {}
-    for name, opts in variants.items():
+    for name, (protocol, opts) in variants.items():
         best = float("inf")
         outcome = None
         for _ in range(3):
@@ -342,26 +545,39 @@ def _lockstep_section(quick: bool) -> Dict:
             best = min(best, time.perf_counter() - start)
         seconds[name] = best
         results[name] = outcome
-    baseline = results["serial_bitmask"]
+    baseline = results["serial_slot"]
     equivalent = all(
         [r.outputs for r in other] == [r.outputs for r in baseline]
         and [r.duration for r in other] == [r.duration for r in baseline]
+        and [[e.total for e in r.energy] for r in other]
+        == [[e.total for e in r.energy] for r in baseline]
         for other in results.values()
     )
     entry: Dict[str, Any] = {
         "description": (
             f"dense clique n={n}, No-CD, {slots} slots x {len(seeds)} seeds"
+            f" (lock-step resolution: {batched_res})"
         ),
         "seconds": {k: round(v, 6) for k, v in seconds.items()},
         "equivalent": equivalent,
+        # Headline: the batched executor with phase stepping vs the PR-3
+        # serial per-slot path.
+        "speedup_lockstep_phase_vs_serial_slot": round(
+            seconds["serial_slot"] / seconds["lockstep_phase"], 3
+        ),
+        # Stepping win isolated under each executor.
+        "speedup_phase_vs_slot_serial": round(
+            seconds["serial_slot"] / seconds["serial_phase"], 3
+        ),
+        "speedup_phase_vs_slot_lockstep": round(
+            seconds["lockstep_slot"] / seconds["lockstep_phase"], 3
+        ),
+        # Batching win isolated under phase stepping (the PR-3 question,
+        # re-asked now that stepping is cheap).
+        "speedup_lockstep_vs_serial_phase": round(
+            seconds["serial_phase"] / seconds["lockstep_phase"], 3
+        ),
     }
-    if "lockstep_numpy" in seconds:
-        entry["speedup_lockstep_vs_serial_bitmask"] = round(
-            seconds["serial_bitmask"] / seconds["lockstep_numpy"], 3
-        )
-        entry["speedup_lockstep_vs_serial_numpy"] = round(
-            seconds["serial_numpy"] / seconds["lockstep_numpy"], 3
-        )
     return entry
 
 
@@ -380,13 +596,15 @@ def run_engine_benchmarks(
     }
     for workload in workloads:
         graph, model, protocol, knowledge, inputs = workload.build()
+        slot_protocol = workload.slot_build() if workload.slot_build else None
         timings: Dict[str, float] = {}
         results = {}
-        for name, make_runner in _runners(
-            graph, model, knowledge, workload.time_limit
+        for name, (make_runner, runner_protocol) in _runners(
+            graph, model, knowledge, workload.time_limit,
+            protocol, slot_protocol,
         ).items():
             timings[name], results[name] = _time_best(
-                make_runner, protocol, inputs, workload.reps
+                make_runner, runner_protocol, inputs, workload.reps
             )
         baseline = results["engine"]
         equivalent = all(
@@ -407,13 +625,25 @@ def run_engine_benchmarks(
                 k: round(slots / v, 1) if v > 0 else float("inf")
                 for k, v in timings.items()
             },
+            # Generator entries per simulated slot: the deterministic
+            # stepping-cost metric (0-entry runners — the frozen legacy
+            # engine — are omitted).
+            "entries_per_slot": {
+                k: round(r.gen_entries / slots, 2) if slots else 0.0
+                for k, r in results.items()
+                if r.gen_entries
+            },
             "speedup_vs_legacy": round(timings["legacy_engine"] / engine_seconds, 3),
             "speedup_vs_list_path": round(
                 timings["engine_list_path"] / engine_seconds, 3
             ),
             "speedup_vs_reference": round(timings["reference"] / engine_seconds, 3),
+            "speedup_phase_vs_slot": round(
+                timings["engine_slot"] / engine_seconds, 3
+            ),
             "equivalent": equivalent,
             "legacy_gate": workload.legacy_gate,
+            "phase_gate": workload.phase_gate,
         }
         if "engine_numpy" in timings:
             # Whole-run ratio: generator stepping (backend-independent)
@@ -441,6 +671,13 @@ def run_engine_benchmarks(
         )
         if report["workloads"]
     }
+    phase_ratios = [
+        entry["speedup_phase_vs_slot"]
+        for entry in report["workloads"].values()
+        if entry.get("phase_gate")
+    ]
+    if phase_ratios:
+        report["summary"]["min_phase_vs_slot"] = min(phase_ratios)
     backend_ratios = [
         entry["resolution_backends"]["speedup_numpy_vs_bitmask"]
         for entry in report["workloads"].values()
@@ -456,6 +693,7 @@ def check_thresholds(
     min_legacy_speedup: Optional[float] = None,
     min_ref_speedup: Optional[float] = None,
     min_numpy_speedup: Optional[float] = None,
+    min_phase_speedup: Optional[float] = None,
 ) -> List[str]:
     """Return human-readable violations (empty = all thresholds met).
 
@@ -463,6 +701,8 @@ def check_thresholds(
     ratio on every ``backend_bench`` workload; asking for it without
     numpy installed is itself a violation (the CI perf job installs the
     ``fast`` extra precisely so this gate is meaningful).
+    ``min_phase_speedup`` gates the end-to-end phase-vs-per-slot
+    stepping ratio on every ``phase_gate`` workload.
     """
     violations = []
     if min_numpy_speedup is not None and not report.get("numpy_available"):
@@ -510,6 +750,16 @@ def check_thresholds(
                 f"{name}: speedup_vs_reference {entry['speedup_vs_reference']}x "
                 f"< required {min_ref_speedup}x"
             )
+        if (
+            min_phase_speedup is not None
+            and entry.get("phase_gate")
+            and entry["speedup_phase_vs_slot"] < min_phase_speedup
+        ):
+            violations.append(
+                f"{name}: speedup_phase_vs_slot "
+                f"{entry['speedup_phase_vs_slot']}x "
+                f"< required {min_phase_speedup}x"
+            )
     return violations
 
 
@@ -524,16 +774,26 @@ def format_report(report: Dict) -> str:
     for name, entry in report["workloads"].items():
         lines.append(f"  {name}: {entry['description']}")
         lines.append(
-            "    engine {engine:>12.1f} slots/s | legacy x{legacy:.2f} | "
-            "list-path x{list_path:.2f} | reference x{ref:.2f} | "
-            "equivalent={eq}".format(
+            "    engine {engine:>12.1f} slots/s | phase-vs-slot x{phase:.2f} | "
+            "legacy x{legacy:.2f} | list-path x{list_path:.2f} | "
+            "reference x{ref:.2f} | equivalent={eq}".format(
                 engine=entry["slots_per_sec"]["engine"],
+                phase=entry["speedup_phase_vs_slot"],
                 legacy=entry["speedup_vs_legacy"],
                 list_path=entry["speedup_vs_list_path"],
                 ref=entry["speedup_vs_reference"],
                 eq=entry["equivalent"],
             )
         )
+        entries = entry.get("entries_per_slot")
+        if entries:
+            lines.append(
+                "    gen entries/slot: "
+                + " | ".join(
+                    f"{runner} {value:.2f}"
+                    for runner, value in sorted(entries.items())
+                )
+            )
         if "runtime_numpy_vs_bitmask" in entry:
             lines.append(
                 f"    numpy whole-run x{entry['runtime_numpy_vs_bitmask']:.2f}"
@@ -555,12 +815,16 @@ def format_report(report: Dict) -> str:
     lockstep = report.get("lockstep_trials")
     if lockstep is not None:
         lines.append(f"  lockstep_trials: {lockstep['description']}")
-        if "speedup_lockstep_vs_serial_bitmask" in lockstep:
+        if "speedup_lockstep_phase_vs_serial_slot" in lockstep:
             lines.append(
-                "    lock-step numpy x{a:.2f} vs serial bitmask | "
-                "x{b:.2f} vs serial numpy | equivalent={eq}".format(
-                    a=lockstep["speedup_lockstep_vs_serial_bitmask"],
-                    b=lockstep["speedup_lockstep_vs_serial_numpy"],
+                "    lock-step+phase x{a:.2f} vs serial per-slot | "
+                "phase-vs-slot serial x{b:.2f}, lock-step x{c:.2f} | "
+                "lock-step-vs-serial (phase) x{d:.2f} | "
+                "equivalent={eq}".format(
+                    a=lockstep["speedup_lockstep_phase_vs_serial_slot"],
+                    b=lockstep["speedup_phase_vs_slot_serial"],
+                    c=lockstep["speedup_phase_vs_slot_lockstep"],
+                    d=lockstep["speedup_lockstep_vs_serial_phase"],
                     eq=lockstep["equivalent"],
                 )
             )

@@ -5,10 +5,20 @@ from repro.sim.batch import run_trials
 from repro.sim.energy import EnergyMeter, EnergyReport
 from repro.sim.engine import (
     RESOLUTION_MODES,
+    STEPPING_MODES,
     ProtocolError,
     Simulator,
     SimResult,
     SimulationTimeout,
+)
+from repro.sim.plan import (
+    ListenUntil,
+    Plan,
+    Repeat,
+    SendProb,
+    Steps,
+    as_slot_protocol,
+    expand_plans,
 )
 from repro.sim.feedback import BEEP, NOISE, SILENCE, is_message
 from repro.sim.models import (
@@ -42,10 +52,18 @@ __all__ = [
     "EnergyReport",
     "ProtocolError",
     "RESOLUTION_MODES",
+    "STEPPING_MODES",
     "Simulator",
     "SimResult",
     "SimulationTimeout",
     "run_trials",
+    "Plan",
+    "Repeat",
+    "SendProb",
+    "ListenUntil",
+    "Steps",
+    "expand_plans",
+    "as_slot_protocol",
     "SlotObserver",
     "EnergyObserver",
     "TraceObserver",

@@ -70,6 +70,7 @@ def run_trials(
     time_limit: int = 50_000_000,
     record_trace: bool = False,
     resolution: str = "bitmask",
+    stepping: str = "phase",
     meter_energy: bool = True,
     observers: Sequence[SlotObserver] = (),
     observer_factory: Optional[Callable[[int], Sequence[SlotObserver]]] = None,
@@ -98,6 +99,9 @@ def run_trials(
             (:func:`repro.sim.lockstep.run_trials_lockstep`) so the
             resolution backend can resolve all trials' receptions per
             step in one batched call.  Byte-identical results.
+        stepping: ``"phase"`` (default) executes yielded phase plans
+            slots-at-a-time; ``"slot"`` expands them per slot — the
+            byte-identical oracle path (:mod:`repro.sim.plan`).
         Remaining arguments match :class:`~repro.sim.engine.Simulator`.
 
     Returns:
@@ -144,6 +148,7 @@ def run_trials(
             time_limit=time_limit,
             record_trace=record_trace,
             resolution=resolution,
+            stepping=stepping,
             meter_energy=meter_energy,
             observer_factory=observer_factory,
             model_factory=model_factory,
@@ -157,6 +162,7 @@ def run_trials(
         uids=uids,
         record_trace=record_trace,
         resolution=resolution,
+        stepping=stepping,
         meter_energy=meter_energy,
         observers=observers,
     )

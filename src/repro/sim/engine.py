@@ -22,6 +22,14 @@ neighbor transmitted; per-transmission models such as
 every backend.  The differential tests drive all backends against the
 reference oracle.
 
+Protocols may also yield multi-slot *phase plans* (:mod:`repro.sim.plan`:
+``Repeat``, ``SendProb``, ``ListenUntil``, ``Steps``).  The engine caches
+each node's active plan in a compact state record and steps it with plain
+list/dict operations, re-entering the generator only at feedback-relevant
+boundaries — a k-slot phase costs O(1) ``gen.send`` calls instead of k.
+``stepping="slot"`` instead expands every plan back into per-slot yields
+(:func:`repro.sim.plan.expand_plans`), the byte-identical oracle path.
+
 Energy metering and trace recording live in :mod:`repro.sim.observers`
 hooks, keeping the slot loop free of instrumentation branches — tracing
 costs zero when disabled.
@@ -39,6 +47,19 @@ from repro.sim.actions import Idle, Listen, Send, SendListen
 from repro.sim.energy import EnergyReport
 from repro.sim.models import ChannelModel
 from repro.sim.node import Knowledge, NodeCtx, validate_input_keys
+from repro.sim.plan import (
+    OP_LISTEN,
+    OP_SEND,
+    OP_STEPS,
+    OP_UNTIL,
+    Plan,
+    ProtocolError,
+    expand_plans,
+    plan_feedback,
+    plan_resume,
+    start_plan,
+)
+from repro.sim.feedback import BEEP, NOISE, SILENCE
 from repro.sim.resolution import RESOLUTION_MODES, create_backend
 from repro.sim.observers import (
     EnergyObserver,
@@ -54,6 +75,7 @@ __all__ = [
     "SimulationTimeout",
     "ProtocolError",
     "RESOLUTION_MODES",
+    "STEPPING_MODES",
 ]
 
 Protocol = Generator[Any, Any, Any]
@@ -61,13 +83,13 @@ ProtocolFactory = Callable[[NodeCtx], Protocol]
 
 _RESUME = object()  # heap payload marker: wake a sleeping generator
 
+#: ``"phase"`` executes yielded plans natively (slots-at-a-time);
+#: ``"slot"`` expands them into per-slot yields — the oracle path.
+STEPPING_MODES = ("phase", "slot")
+
 
 class SimulationTimeout(RuntimeError):
     """The run exceeded its slot budget without all protocols terminating."""
-
-
-class ProtocolError(RuntimeError):
-    """A protocol yielded an illegal action for the active channel model."""
 
 
 @dataclass
@@ -82,6 +104,10 @@ class SimResult:
         duration: number of slots until the last node finished
             (the paper's time complexity for the run).
         trace: event trace if tracing was enabled, else None.
+        gen_entries: how many times the run entered a protocol generator
+            (``next``/``send`` calls, including the final StopIteration
+            ones).  The stepping-cost metric phase plans minimize; 0 for
+            runners that do not track it (the frozen legacy engine).
     """
 
     outputs: List[Any]
@@ -90,6 +116,7 @@ class SimResult:
     duration: int
     trace: Optional[Trace] = None
     seed: int = 0
+    gen_entries: int = 0
 
     @property
     def max_energy(self) -> int:
@@ -116,6 +143,11 @@ class Simulator:
             not installed); ``"list"`` the legacy per-neighbor scan
             (kept as a semantic cross-check and as the pre-refactor
             baseline for the engine benchmarks).
+        stepping: ``"phase"`` (default) executes yielded phase plans
+            natively, slots at a time; ``"slot"`` expands every plan
+            back into per-slot yields through
+            :func:`repro.sim.plan.expand_plans` — byte-identical results,
+            kept as the differential-testing oracle for the phase path.
         meter_energy: when False, energy accounting is skipped and the
             result carries all-zero meters (throughput benchmarking).
         observers: extra :class:`~repro.sim.observers.SlotObserver` hooks
@@ -150,6 +182,7 @@ class Simulator:
         uids: Optional[Sequence[int]] = None,
         record_trace: bool = False,
         resolution: str = "bitmask",
+        stepping: str = "phase",
         meter_energy: bool = True,
         observers: Sequence[SlotObserver] = (),
     ) -> None:
@@ -162,6 +195,11 @@ class Simulator:
         # bitmask backend (with a warning) when numpy is unavailable.
         self.backend = create_backend(resolution, graph)
         self.resolution = resolution
+        if stepping not in STEPPING_MODES:
+            raise ValueError(
+                f"stepping must be one of {STEPPING_MODES}, got {stepping!r}"
+            )
+        self.stepping = stepping
         self.meter_energy = meter_energy
         self.extra_observers = list(observers)
         if knowledge is None:
@@ -224,17 +262,22 @@ class Simulator:
         # executes at exactly the next processed slot, so those actions are
         # classified straight into the next slot's sender/listener sets
         # ("the bucket") and never touch the heap.  The heap holds only
-        # Idle wake-ups — (wake_slot, vertex, _RESUME) timers.
+        # Idle wake-ups — (wake_slot, vertex, _RESUME) timers — whether the
+        # idle came from a yielded Idle or from inside an active plan
+        # (``plans[v]`` decides which on wake-up).
         n = graph.n
         gens: List[Protocol] = [None] * n  # type: ignore[list-item]
         ctxs: List[NodeCtx] = [None] * n  # type: ignore[list-item]
+        plans: List[Optional[list]] = [None] * n
         outputs: List[Any] = [None] * n
         finish_slot = [-1] * n
+        entries = 0
 
         heap: List = []
         heappush, heappop = heapq.heappush, heapq.heappop
         full_duplex = model.full_duplex
         model_name = model.name
+        slot_stepping = self.stepping == "slot"
 
         bucket_slot = 0
         bucket_senders: Dict[int, Any] = {}
@@ -252,28 +295,38 @@ class Simulator:
             )
             ctxs[v] = ctx
             gen = protocol_factory(ctx)
+            if slot_stepping:
+                gen = expand_plans(gen, ctx.rng)
             gens[v] = gen
+            entries += 1
             try:
                 action = next(gen)
             except StopIteration as stop:
                 outputs[v] = stop.value
                 continue
             remaining += 1
-            cls = action.__class__
-            if cls is Idle or isinstance(action, Idle):
-                heappush(heap, (action.duration, v, _RESUME))
-            elif cls is Send or isinstance(action, Send):
-                bucket_senders[v] = action.message
-            elif cls is Listen or isinstance(action, Listen):
-                bucket_listeners.append(v)
-            elif cls is SendListen or isinstance(action, SendListen):
-                if not full_duplex:
+            while True:
+                cls = action.__class__
+                if cls is Idle or isinstance(action, Idle):
+                    heappush(heap, (action.duration, v, _RESUME))
+                elif cls is Send or isinstance(action, Send):
+                    bucket_senders[v] = action.message
+                elif cls is Listen or isinstance(action, Listen):
+                    bucket_listeners.append(v)
+                elif cls is SendListen or isinstance(action, SendListen):
+                    if not full_duplex:
+                        raise ProtocolError(
+                            f"SendListen is illegal in the {model_name} model"
+                        )
+                    bucket_duplexers[v] = action.message
+                elif isinstance(action, Plan):
+                    plans[v], action = start_plan(action, ctx.rng)
+                    continue
+                else:
                     raise ProtocolError(
-                        f"SendListen is illegal in the {model_name} model"
+                        f"protocol yielded non-action {action!r}"
                     )
-                bucket_duplexers[v] = action.message
-            else:
-                raise ProtocolError(f"protocol yielded non-action {action!r}")
+                break
 
         # Hot-loop locals: resolved once, not per slot.  The backend
         # specializes a per-slot resolver for this model (silence cache,
@@ -299,35 +352,50 @@ class Simulator:
                     f"({remaining} protocols still running)"
                 )
 
-            # Wake every sleeper due at this slot; a resumed generator may
-            # immediately act, joining the slot it woke in.
+            # Wake every sleeper due at this slot; a resumed generator (or
+            # plan) may immediately act, joining the slot it woke in.
             while heap and heap[0][0] == slot:
                 _, v, _ = heappop(heap)
-                ctxs[v].time = slot
-                try:
-                    action = gens[v].send(None)
-                except StopIteration as stop:
-                    outputs[v] = stop.value
-                    finish_slot[v] = slot - 1
-                    remaining -= 1
-                    if duration < slot:
-                        duration = slot
-                    continue
-                cls = action.__class__
-                if cls is Idle or isinstance(action, Idle):
-                    heappush(heap, (slot + action.duration, v, _RESUME))
-                elif cls is Send or isinstance(action, Send):
-                    senders[v] = action.message
-                elif cls is Listen or isinstance(action, Listen):
-                    listeners.append(v)
-                elif cls is SendListen or isinstance(action, SendListen):
-                    if not full_duplex:
+                ps = plans[v]
+                result = None
+                if ps is not None:
+                    action, result = plan_resume(ps)
+                    if action is None:
+                        plans[v] = None
+                if ps is None or action is None:
+                    ctxs[v].time = slot
+                    entries += 1
+                    try:
+                        action = gens[v].send(result)
+                    except StopIteration as stop:
+                        outputs[v] = stop.value
+                        finish_slot[v] = slot - 1
+                        remaining -= 1
+                        if duration < slot:
+                            duration = slot
+                        continue
+                while True:
+                    cls = action.__class__
+                    if cls is Idle or isinstance(action, Idle):
+                        heappush(heap, (slot + action.duration, v, _RESUME))
+                    elif cls is Send or isinstance(action, Send):
+                        senders[v] = action.message
+                    elif cls is Listen or isinstance(action, Listen):
+                        listeners.append(v)
+                    elif cls is SendListen or isinstance(action, SendListen):
+                        if not full_duplex:
+                            raise ProtocolError(
+                                f"SendListen is illegal in the {model_name} model"
+                            )
+                        duplexers[v] = action.message
+                    elif isinstance(action, Plan):
+                        plans[v], action = start_plan(action, ctxs[v].rng)
+                        continue
+                    else:
                         raise ProtocolError(
-                            f"SendListen is illegal in the {model_name} model"
+                            f"protocol yielded non-action {action!r}"
                         )
-                    duplexers[v] = action.message
-                else:
-                    raise ProtocolError(f"protocol yielded non-action {action!r}")
+                    break
 
             if not (senders or listeners or duplexers):
                 continue
@@ -357,34 +425,125 @@ class Simulator:
 
             # Advance every actor; their next action starts at slot+1 and,
             # unless it sleeps, is classified straight into the bucket.
+            # Nodes inside an active plan are stepped with plain list/dict
+            # operations (the inline fast paths below) and only re-enter
+            # their generator at plan boundaries — that is the whole point
+            # of phase plans, so this block must stay call-free on the
+            # within-run continuations.
             next_slot = slot + 1
             bucket_slot = next_slot
             if duration < next_slot:
                 duration = next_slot
             for v in receivers if not senders else list(senders) + receivers:
-                ctxs[v].time = next_slot
-                try:
-                    action = gens[v].send(feedbacks[v])
-                except StopIteration as stop:
-                    outputs[v] = stop.value
-                    finish_slot[v] = slot
-                    remaining -= 1
-                    continue
-                cls = action.__class__
-                if cls is Idle or isinstance(action, Idle):
-                    heappush(heap, (next_slot + action.duration, v, _RESUME))
-                elif cls is Send or isinstance(action, Send):
-                    bucket_senders[v] = action.message
-                elif cls is Listen or isinstance(action, Listen):
-                    bucket_listeners.append(v)
-                elif cls is SendListen or isinstance(action, SendListen):
-                    if not full_duplex:
-                        raise ProtocolError(
-                            f"SendListen is illegal in the {model_name} model"
-                        )
-                    bucket_duplexers[v] = action.message
+                ps = plans[v]
+                if ps is not None:
+                    op = ps[0]
+                    if op == OP_SEND:  # mid send-run
+                        rem = ps[1]
+                        if rem > 1:
+                            ps[1] = rem - 1
+                            bucket_senders[v] = ps[2]
+                            continue
+                        action, result = plan_feedback(ps, None)
+                    elif op == OP_LISTEN:  # mid listen-run
+                        ps[3].append(feedbacks[v])
+                        rem = ps[1]
+                        if rem > 1:
+                            ps[1] = rem - 1
+                            bucket_listeners.append(v)
+                            continue
+                        action, result = plan_resume(ps)
+                    elif op == OP_UNTIL:
+                        fb = feedbacks[v]
+                        if (
+                            fb is None
+                            or fb is SILENCE
+                            or fb is NOISE
+                            or fb is BEEP
+                            or (fb.__class__ is tuple and not fb)
+                        ):
+                            # Definite non-message: keep listening.
+                            rem = ps[1]
+                            if rem > 1:
+                                ps[1] = rem - 1
+                                bucket_listeners.append(v)
+                                continue
+                        action, result = plan_feedback(ps, fb)
+                    elif op == OP_STEPS:
+                        acts = ps[2]
+                        i = ps[1]
+                        pcls = acts[i - 1].__class__
+                        if pcls is Listen or pcls is SendListen:
+                            ps[3].append(feedbacks[v])
+                        if i < len(acts):
+                            act = acts[i]
+                            ps[1] = i + 1
+                            acls = act.__class__
+                            if acls is Send:
+                                bucket_senders[v] = act.message
+                                continue
+                            if acls is Listen:
+                                bucket_listeners.append(v)
+                                continue
+                            if acls is Idle:
+                                heappush(
+                                    heap,
+                                    (next_slot + act.duration, v, _RESUME),
+                                )
+                                continue
+                            if not full_duplex:
+                                raise ProtocolError(
+                                    f"SendListen is illegal in the "
+                                    f"{model_name} model"
+                                )
+                            bucket_duplexers[v] = act.message
+                            continue
+                        action, result = plan_resume(ps)
+                    else:  # duplex runs and other cold opcodes
+                        action, result = plan_feedback(ps, feedbacks[v])
+                    if action is None:
+                        plans[v] = None
+                        ctxs[v].time = next_slot
+                        entries += 1
+                        try:
+                            action = gens[v].send(result)
+                        except StopIteration as stop:
+                            outputs[v] = stop.value
+                            finish_slot[v] = slot
+                            remaining -= 1
+                            continue
                 else:
-                    raise ProtocolError(f"protocol yielded non-action {action!r}")
+                    ctxs[v].time = next_slot
+                    entries += 1
+                    try:
+                        action = gens[v].send(feedbacks[v])
+                    except StopIteration as stop:
+                        outputs[v] = stop.value
+                        finish_slot[v] = slot
+                        remaining -= 1
+                        continue
+                while True:
+                    cls = action.__class__
+                    if cls is Idle or isinstance(action, Idle):
+                        heappush(heap, (next_slot + action.duration, v, _RESUME))
+                    elif cls is Send or isinstance(action, Send):
+                        bucket_senders[v] = action.message
+                    elif cls is Listen or isinstance(action, Listen):
+                        bucket_listeners.append(v)
+                    elif cls is SendListen or isinstance(action, SendListen):
+                        if not full_duplex:
+                            raise ProtocolError(
+                                f"SendListen is illegal in the {model_name} model"
+                            )
+                        bucket_duplexers[v] = action.message
+                    elif isinstance(action, Plan):
+                        plans[v], action = start_plan(action, ctxs[v].rng)
+                        continue
+                    else:
+                        raise ProtocolError(
+                            f"protocol yielded non-action {action!r}"
+                        )
+                    break
 
         return SimResult(
             outputs=outputs,
@@ -393,4 +552,5 @@ class Simulator:
             duration=duration,
             trace=trace,
             seed=run_seed,
+            gen_entries=entries,
         )

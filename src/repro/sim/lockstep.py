@@ -21,9 +21,20 @@ differential suite (tests/test_lockstep.py) pins that.
 
 The per-trial state machine below mirrors :meth:`repro.sim.engine.
 Simulator.run` exactly — same bucket/heap scheduling, same wake
-semantics, same duration bookkeeping.  Any semantic change to the engine
-loop must be made in both places; the equivalence tests will catch a
-drift.
+semantics, same phase-plan caching, same duration bookkeeping.  Any
+semantic change to the engine loop must be made in both places; the
+equivalence tests will catch a drift.
+
+Wall-clock status, re-measured with phase plans (:mod:`repro.sim.plan`):
+generator stepping is no longer the dominating cost — plan-emitting
+protocols collapse it for serial *and* lock-step execution alike — but
+lock-step remains roughly break-even at paper sizes: with stepping cheap,
+per-trial driver bookkeeping (collect/apply swaps, live-list scans) and
+per-seed setup are what cancel the batched-resolution savings.  The
+``lockstep_trials`` section of ``BENCH_engine.json`` records the four-way
+serial/lock-step x per-slot/phase curve run over run (see
+``benchmarks/README.md``); revisit if the per-trial bookkeeping is ever
+vectorized across trials.
 """
 
 from __future__ import annotations
@@ -35,12 +46,14 @@ from typing import Any, Callable, Dict, List, Optional, Sequence
 from repro.graphs.graph import Graph
 from repro.sim.actions import Idle, Listen, Send, SendListen
 from repro.sim.engine import (
+    STEPPING_MODES,
     ProtocolError,
     ProtocolFactory,
     SimResult,
     SimulationTimeout,
     _RESUME,
 )
+from repro.sim.feedback import BEEP, NOISE, SILENCE
 from repro.sim.models import ChannelModel
 from repro.sim.node import Knowledge, NodeCtx, validate_input_keys
 from repro.sim.observers import (
@@ -48,6 +61,17 @@ from repro.sim.observers import (
     SlotObserver,
     TraceObserver,
     _ZeroEnergyObserver,
+)
+from repro.sim.plan import (
+    OP_LISTEN,
+    OP_SEND,
+    OP_STEPS,
+    OP_UNTIL,
+    Plan,
+    expand_plans,
+    plan_feedback,
+    plan_resume,
+    start_plan,
 )
 from repro.sim.resolution import create_backend
 from repro.sim.trace import Trace
@@ -60,7 +84,8 @@ class _LockstepTrial:
 
     __slots__ = (
         "graph", "model", "seed", "time_limit", "count_based",
-        "gens", "ctxs", "outputs", "finish_slot", "remaining", "duration",
+        "gens", "ctxs", "plans", "outputs", "finish_slot", "remaining",
+        "duration", "entries",
         "heap", "bucket_slot", "bucket_senders", "bucket_listeners",
         "bucket_duplexers", "observers", "energy", "trace",
         "slot", "senders", "listeners", "duplexers",
@@ -81,6 +106,7 @@ class _LockstepTrial:
         meter_energy: bool,
         record_trace: bool,
         extra_observers: Sequence[SlotObserver],
+        stepping: str = "phase",
     ) -> None:
         self.graph = graph
         self.model = model
@@ -103,8 +129,10 @@ class _LockstepTrial:
         n = graph.n
         self.gens = gens = [None] * n
         self.ctxs = ctxs = [None] * n
+        self.plans = plans = [None] * n
         self.outputs = outputs = [None] * n
         self.finish_slot = [-1] * n
+        self.entries = 0
         self.heap = heap = []
         self.bucket_slot = 0
         self.bucket_senders: Dict[int, Any] = {}
@@ -112,6 +140,7 @@ class _LockstepTrial:
         self.bucket_duplexers: Dict[int, Any] = {}
         self.duration = 0
         full_duplex = model.full_duplex
+        slot_stepping = stepping == "slot"
 
         remaining = 0
         for v in range(n):
@@ -124,27 +153,37 @@ class _LockstepTrial:
             )
             ctxs[v] = ctx
             gen = protocol_factory(ctx)
+            if slot_stepping:
+                gen = expand_plans(gen, ctx.rng)
             gens[v] = gen
+            self.entries += 1
             try:
                 action = next(gen)
             except StopIteration as stop:
                 outputs[v] = stop.value
                 continue
             remaining += 1
-            if isinstance(action, Idle):
-                heapq.heappush(heap, (action.duration, v, _RESUME))
-            elif isinstance(action, Send):
-                self.bucket_senders[v] = action.message
-            elif isinstance(action, Listen):
-                self.bucket_listeners.append(v)
-            elif isinstance(action, SendListen):
-                if not full_duplex:
+            while True:
+                if isinstance(action, Idle):
+                    heapq.heappush(heap, (action.duration, v, _RESUME))
+                elif isinstance(action, Send):
+                    self.bucket_senders[v] = action.message
+                elif isinstance(action, Listen):
+                    self.bucket_listeners.append(v)
+                elif isinstance(action, SendListen):
+                    if not full_duplex:
+                        raise ProtocolError(
+                            f"SendListen is illegal in the {model.name} model"
+                        )
+                    self.bucket_duplexers[v] = action.message
+                elif isinstance(action, Plan):
+                    plans[v], action = start_plan(action, ctx.rng)
+                    continue
+                else:
                     raise ProtocolError(
-                        f"SendListen is illegal in the {model.name} model"
+                        f"protocol yielded non-action {action!r}"
                     )
-                self.bucket_duplexers[v] = action.message
-            else:
-                raise ProtocolError(f"protocol yielded non-action {action!r}")
+                break
         self.remaining = remaining
 
     def collect(self) -> bool:
@@ -157,6 +196,7 @@ class _LockstepTrial:
         heap = self.heap
         heappush, heappop = heapq.heappush, heapq.heappop
         gens, ctxs, outputs = self.gens, self.ctxs, self.outputs
+        plans = self.plans
         finish_slot = self.finish_slot
         full_duplex = self.model.full_duplex
         model_name = self.model.name
@@ -180,39 +220,52 @@ class _LockstepTrial:
                 )
 
             # Wake every sleeper due at this slot; a resumed generator
-            # may immediately act, joining the slot it woke in.  The
-            # bucket references were swapped out above, so wake-joiners
-            # go into the local senders/listeners — exactly like the
-            # engine loop.
+            # (or plan) may immediately act, joining the slot it woke
+            # in.  The bucket references were swapped out above, so
+            # wake-joiners go into the local senders/listeners — exactly
+            # like the engine loop.
             while heap and heap[0][0] == slot:
                 _, v, _ = heappop(heap)
-                ctxs[v].time = slot
-                try:
-                    action = gens[v].send(None)
-                except StopIteration as stop:
-                    outputs[v] = stop.value
-                    finish_slot[v] = slot - 1
-                    self.remaining -= 1
-                    if self.duration < slot:
-                        self.duration = slot
-                    continue
-                cls = action.__class__
-                if cls is Idle or isinstance(action, Idle):
-                    heappush(heap, (slot + action.duration, v, _RESUME))
-                elif cls is Send or isinstance(action, Send):
-                    senders[v] = action.message
-                elif cls is Listen or isinstance(action, Listen):
-                    listeners.append(v)
-                elif cls is SendListen or isinstance(action, SendListen):
-                    if not full_duplex:
+                ps = plans[v]
+                result = None
+                if ps is not None:
+                    action, result = plan_resume(ps)
+                    if action is None:
+                        plans[v] = None
+                if ps is None or action is None:
+                    ctxs[v].time = slot
+                    self.entries += 1
+                    try:
+                        action = gens[v].send(result)
+                    except StopIteration as stop:
+                        outputs[v] = stop.value
+                        finish_slot[v] = slot - 1
+                        self.remaining -= 1
+                        if self.duration < slot:
+                            self.duration = slot
+                        continue
+                while True:
+                    cls = action.__class__
+                    if cls is Idle or isinstance(action, Idle):
+                        heappush(heap, (slot + action.duration, v, _RESUME))
+                    elif cls is Send or isinstance(action, Send):
+                        senders[v] = action.message
+                    elif cls is Listen or isinstance(action, Listen):
+                        listeners.append(v)
+                    elif cls is SendListen or isinstance(action, SendListen):
+                        if not full_duplex:
+                            raise ProtocolError(
+                                f"SendListen is illegal in the {model_name} model"
+                            )
+                        duplexers[v] = action.message
+                    elif isinstance(action, Plan):
+                        plans[v], action = start_plan(action, ctxs[v].rng)
+                        continue
+                    else:
                         raise ProtocolError(
-                            f"SendListen is illegal in the {model_name} model"
+                            f"protocol yielded non-action {action!r}"
                         )
-                    duplexers[v] = action.message
-                else:
-                    raise ProtocolError(
-                        f"protocol yielded non-action {action!r}"
-                    )
+                    break
 
             if not (senders or listeners or duplexers):
                 continue
@@ -256,6 +309,7 @@ class _LockstepTrial:
             self.duration = next_slot
         receivers = self.receivers
         gens, ctxs, outputs = self.gens, self.ctxs, self.outputs
+        plans = self.plans
         finish_slot = self.finish_slot
         heap = self.heap
         heappush = heapq.heappush
@@ -263,30 +317,117 @@ class _LockstepTrial:
         bucket_listeners = self.bucket_listeners
         bucket_duplexers = self.bucket_duplexers
         full_duplex = self.model.full_duplex
+        model_name = self.model.name
         for v in list(senders) + receivers if senders else receivers:
-            ctxs[v].time = next_slot
-            try:
-                action = gens[v].send(feedbacks[v])
-            except StopIteration as stop:
-                outputs[v] = stop.value
-                finish_slot[v] = slot
-                self.remaining -= 1
-                continue
-            cls = action.__class__
-            if cls is Idle or isinstance(action, Idle):
-                heappush(heap, (next_slot + action.duration, v, _RESUME))
-            elif cls is Send or isinstance(action, Send):
-                bucket_senders[v] = action.message
-            elif cls is Listen or isinstance(action, Listen):
-                bucket_listeners.append(v)
-            elif cls is SendListen or isinstance(action, SendListen):
-                if not full_duplex:
-                    raise ProtocolError(
-                        f"SendListen is illegal in the {self.model.name} model"
-                    )
-                bucket_duplexers[v] = action.message
+            # Mirror of the engine's advance loop, inline plan fast
+            # paths included — see Simulator.run for the commentary.
+            ps = plans[v]
+            if ps is not None:
+                op = ps[0]
+                if op == OP_SEND:
+                    rem = ps[1]
+                    if rem > 1:
+                        ps[1] = rem - 1
+                        bucket_senders[v] = ps[2]
+                        continue
+                    action, result = plan_feedback(ps, None)
+                elif op == OP_LISTEN:
+                    ps[3].append(feedbacks[v])
+                    rem = ps[1]
+                    if rem > 1:
+                        ps[1] = rem - 1
+                        bucket_listeners.append(v)
+                        continue
+                    action, result = plan_resume(ps)
+                elif op == OP_UNTIL:
+                    fb = feedbacks[v]
+                    if (
+                        fb is None
+                        or fb is SILENCE
+                        or fb is NOISE
+                        or fb is BEEP
+                        or (fb.__class__ is tuple and not fb)
+                    ):
+                        rem = ps[1]
+                        if rem > 1:
+                            ps[1] = rem - 1
+                            bucket_listeners.append(v)
+                            continue
+                    action, result = plan_feedback(ps, fb)
+                elif op == OP_STEPS:
+                    acts = ps[2]
+                    i = ps[1]
+                    pcls = acts[i - 1].__class__
+                    if pcls is Listen or pcls is SendListen:
+                        ps[3].append(feedbacks[v])
+                    if i < len(acts):
+                        act = acts[i]
+                        ps[1] = i + 1
+                        acls = act.__class__
+                        if acls is Send:
+                            bucket_senders[v] = act.message
+                            continue
+                        if acls is Listen:
+                            bucket_listeners.append(v)
+                            continue
+                        if acls is Idle:
+                            heappush(
+                                heap, (next_slot + act.duration, v, _RESUME)
+                            )
+                            continue
+                        if not full_duplex:
+                            raise ProtocolError(
+                                f"SendListen is illegal in the "
+                                f"{model_name} model"
+                            )
+                        bucket_duplexers[v] = act.message
+                        continue
+                    action, result = plan_resume(ps)
+                else:
+                    action, result = plan_feedback(ps, feedbacks[v])
+                if action is None:
+                    plans[v] = None
+                    ctxs[v].time = next_slot
+                    self.entries += 1
+                    try:
+                        action = gens[v].send(result)
+                    except StopIteration as stop:
+                        outputs[v] = stop.value
+                        finish_slot[v] = slot
+                        self.remaining -= 1
+                        continue
             else:
-                raise ProtocolError(f"protocol yielded non-action {action!r}")
+                ctxs[v].time = next_slot
+                self.entries += 1
+                try:
+                    action = gens[v].send(feedbacks[v])
+                except StopIteration as stop:
+                    outputs[v] = stop.value
+                    finish_slot[v] = slot
+                    self.remaining -= 1
+                    continue
+            while True:
+                cls = action.__class__
+                if cls is Idle or isinstance(action, Idle):
+                    heappush(heap, (next_slot + action.duration, v, _RESUME))
+                elif cls is Send or isinstance(action, Send):
+                    bucket_senders[v] = action.message
+                elif cls is Listen or isinstance(action, Listen):
+                    bucket_listeners.append(v)
+                elif cls is SendListen or isinstance(action, SendListen):
+                    if not full_duplex:
+                        raise ProtocolError(
+                            f"SendListen is illegal in the {model_name} model"
+                        )
+                    bucket_duplexers[v] = action.message
+                elif isinstance(action, Plan):
+                    plans[v], action = start_plan(action, ctxs[v].rng)
+                    continue
+                else:
+                    raise ProtocolError(
+                        f"protocol yielded non-action {action!r}"
+                    )
+                break
 
     def result(self) -> SimResult:
         return SimResult(
@@ -296,6 +437,7 @@ class _LockstepTrial:
             duration=self.duration,
             trace=self.trace,
             seed=self.seed,
+            gen_entries=self.entries,
         )
 
 
@@ -311,6 +453,7 @@ def run_trials_lockstep(
     time_limit: int = 50_000_000,
     record_trace: bool = False,
     resolution: str = "bitmask",
+    stepping: str = "phase",
     meter_energy: bool = True,
     observer_factory: Optional[Callable[[int], Sequence[SlotObserver]]] = None,
     model_factory: Optional[Callable[[int], ChannelModel]] = None,
@@ -324,6 +467,10 @@ def run_trials_lockstep(
     trials interleave, so sharing one observer instance across seeds
     would scramble its per-run state.
     """
+    if stepping not in STEPPING_MODES:
+        raise ValueError(
+            f"stepping must be one of {STEPPING_MODES}, got {stepping!r}"
+        )
     if knowledge is None:
         knowledge = Knowledge(
             n=graph.n, max_degree=max(graph.max_degree, 1), diameter=None
@@ -354,6 +501,7 @@ def run_trials_lockstep(
             extra_observers=(
                 tuple(observer_factory(seed)) if observer_factory else ()
             ),
+            stepping=stepping,
         ))
 
     if shared_model:

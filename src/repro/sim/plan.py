@@ -1,0 +1,557 @@
+"""Phase plans: slots-at-a-time protocol stepping.
+
+After the PR-3 resolution backends, whole-run profiles are dominated by
+generator stepping (``gen.send``), not channel resolution: every slot of
+every active device costs one full generator resume through the
+protocol's ``yield from`` chain.  The paper's protocols are overwhelmingly
+*phase-structured* — fixed-length Send bursts (decay), "listen until you
+hear something, then sleep out the frame" receivers, deterministic
+interval schedules — so most of those resumes re-derive a decision the
+protocol already made at the phase boundary.
+
+A *phase plan* lets a protocol yield one object covering many slots:
+
+* :class:`Repeat` — the same ``Send``/``Listen``/``SendListen`` action
+  for ``count`` consecutive slots (``Repeat(Idle(d), k)`` normalizes to
+  one idle block);
+* :class:`SendProb` — "transmit with probability p, else idle, for
+  ``rounds`` slots", with all Bernoulli decisions drawn in bulk from the
+  node's rng at plan start (one ``rng.random()`` per round, in round
+  order — exactly the stream a per-slot loop would consume);
+* :class:`ListenUntil` — listen up to ``slots`` slots, stopping at the
+  first feedback that :func:`~repro.sim.feedback.is_message` and passes
+  ``accept``; with ``pad=True`` the remaining slots are idled out so the
+  plan always occupies exactly ``slots`` slots (the SR fixed-frame
+  contract);
+* :class:`Steps` — an arbitrary fixed sequence of per-slot actions
+  (the heterogeneous escape hatch for interval schedules à la Lemma 24).
+
+The engine (:mod:`repro.sim.engine`) and the lock-step driver
+(:mod:`repro.sim.lockstep`) cache each node's active plan in a compact
+mutable state record and advance it with plain list/dict operations,
+re-entering the generator only at feedback-relevant boundaries: a k-slot
+phase costs O(1) generator entries instead of k.  Yielding plain per-slot
+actions remains fully supported (and is the right choice for adaptive
+protocols such as the single-hop controllers, whose every slot depends on
+the previous feedback).
+
+**Resume values** (what ``yield <plan>`` evaluates to):
+
+=============== =====================================================
+``Repeat(Send)``   ``None``
+``Repeat(Listen)`` tuple of the ``count`` feedbacks, in slot order
+``Repeat(SendListen)`` tuple of the ``count`` feedbacks
+``SendProb``       ``None``
+``ListenUntil``    the matched feedback, or ``None`` if none matched
+``Steps``          tuple of feedbacks of the listening slots
+                   (``Listen``/``SendListen``), in slot order
+=============== =====================================================
+
+**Oracle**: :func:`expand_plans` interprets any plan-yielding protocol
+back into per-slot primitive yields, byte-identically (same slots, same
+rng consumption).  ``Simulator(stepping="slot")`` runs every protocol
+through it, and the reference simulator always does — so the per-slot
+path remains the differential-testing oracle for the phase-compiled
+path.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional, Tuple
+
+from repro.sim.actions import Idle, Listen, Send, SendListen
+from repro.sim.feedback import is_message
+
+__all__ = [
+    "Plan",
+    "Repeat",
+    "SendProb",
+    "ListenUntil",
+    "Steps",
+    "ProtocolError",
+    "expand_plans",
+    "as_slot_protocol",
+]
+
+
+class ProtocolError(RuntimeError):
+    """A protocol yielded an illegal action for the active channel model.
+
+    (Defined here so the plan compiler can raise it without importing the
+    engine; :mod:`repro.sim.engine` re-exports it under its historical
+    name.)
+    """
+
+
+# The plan classes are deliberately plain __slots__ classes, not
+# dataclasses: protocols construct one per phase on the hot path, and a
+# frozen-dataclass __init__ (object.__setattr__ per field) costs several
+# times a plain attribute store.  Treat instances as immutable anyway.
+
+
+class Plan:
+    """Marker base class for multi-slot phase plans."""
+
+    __slots__ = ()
+
+
+class Repeat(Plan):
+    """Perform ``action`` for ``count`` consecutive slots.
+
+    ``action`` must be a primitive per-slot action.  Repeating a ``Send``
+    resumes with ``None``; repeating ``Listen``/``SendListen`` resumes
+    with the tuple of all ``count`` feedbacks.
+    """
+
+    __slots__ = ("action", "count")
+
+    def __init__(self, action: Any, count: int) -> None:
+        self.action = action
+        self.count = count
+
+    def __repr__(self) -> str:
+        return f"Repeat({self.action!r}, {self.count!r})"
+
+    def __eq__(self, other: Any) -> bool:
+        return (
+            other.__class__ is Repeat
+            and other.action == self.action
+            and other.count == self.count
+        )
+
+    __hash__ = None  # type: ignore[assignment]
+
+
+class SendProb(Plan):
+    """Transmit ``message`` with probability ``p`` (else idle) for
+    ``rounds`` slots.
+
+    The Bernoulli decisions are drawn in bulk when the plan starts —
+    one ``rng.random() < p`` per round, in round order, from the node's
+    private rng — so the stream consumption is identical to a per-slot
+    ``if ctx.rng.random() < p`` loop over the same rounds.
+    """
+
+    __slots__ = ("message", "p", "rounds")
+
+    def __init__(self, message: Any, p: float, rounds: int) -> None:
+        self.message = message
+        self.p = p
+        self.rounds = rounds
+
+    def __repr__(self) -> str:
+        return f"SendProb({self.message!r}, {self.p!r}, {self.rounds!r})"
+
+    def __eq__(self, other: Any) -> bool:
+        return (
+            other.__class__ is SendProb
+            and other.message == self.message
+            and other.p == self.p
+            and other.rounds == self.rounds
+        )
+
+    __hash__ = None  # type: ignore[assignment]
+
+
+class ListenUntil(Plan):
+    """Listen for up to ``slots`` slots, stopping at the first feedback
+    that is a message (:func:`~repro.sim.feedback.is_message`) and passes
+    ``accept`` (when given).
+
+    Resumes with the matched feedback, or ``None`` when all ``slots``
+    slots passed without a match.  With ``pad=True`` the remaining slots
+    after a match are idled out, so the plan occupies exactly ``slots``
+    slots either way — the SR-communication fixed-frame contract.
+    """
+
+    __slots__ = ("slots", "accept", "pad")
+
+    def __init__(
+        self,
+        slots: int,
+        accept: Optional[Callable[[Any], bool]] = None,
+        pad: bool = False,
+    ) -> None:
+        self.slots = slots
+        self.accept = accept
+        self.pad = pad
+
+    def __repr__(self) -> str:
+        return (
+            f"ListenUntil({self.slots!r}, accept={self.accept!r}, "
+            f"pad={self.pad!r})"
+        )
+
+    def __eq__(self, other: Any) -> bool:
+        return (
+            other.__class__ is ListenUntil
+            and other.slots == self.slots
+            and other.accept == self.accept
+            and other.pad == self.pad
+        )
+
+    __hash__ = None  # type: ignore[assignment]
+
+
+class Steps(Plan):
+    """Perform a fixed sequence of per-slot actions, one per slot.
+
+    ``actions`` may mix ``Send``/``Listen``/``SendListen``/``Idle``.
+    Resumes with the tuple of feedbacks received by the listening
+    actions (``Listen``/``SendListen``), in slot order.
+    """
+
+    __slots__ = ("actions",)
+
+    def __init__(self, actions: Tuple[Any, ...]) -> None:
+        self.actions = actions
+
+    def __repr__(self) -> str:
+        return f"Steps({self.actions!r})"
+
+    def __eq__(self, other: Any) -> bool:
+        return other.__class__ is Steps and other.actions == self.actions
+
+    __hash__ = None  # type: ignore[assignment]
+
+
+# --- compiled plan state ---------------------------------------------------
+#
+# A started plan is a 9-slot mutable list (no attribute lookups in the
+# engines' hot loops):
+#
+#   ps[0] op       active opcode (see OP_*): what the node is doing *now*
+#   ps[1] rem      remaining slots in the active run (incl. the slot being
+#                  performed), or the *next* action index for OP_STEPS
+#   ps[2] payload  message (send/duplex runs), accept (OP_UNTIL),
+#                  actions tuple (OP_STEPS)
+#   ps[3] acc      collected listen feedbacks
+#   ps[4] segs     compiled segment tuple
+#   ps[5] si       index of the next segment to load
+#   ps[6] mode     result mode (RESULT_*)
+#   ps[7] value    ListenUntil matched feedback
+#   ps[8] pad      ListenUntil pad flag
+#
+# Segments: (OP_SEND, count, message) | (OP_LISTEN, count)
+#         | (OP_DUPLEX, count, message) | (OP_IDLE, count)
+#         | (OP_UNTIL, count, accept, pad) | (OP_STEPS, actions)
+#
+# The engines inline the within-run continuations (send run, listen run,
+# unmatched listen-until, steps) and fall back to plan_feedback /
+# plan_resume at segment boundaries, so the semantics live here once.
+
+OP_PENDING = 0  # nothing active: the next emission loads segs[si]
+OP_SEND = 1
+OP_LISTEN = 2
+OP_DUPLEX = 3
+OP_UNTIL = 4
+OP_STEPS = 5
+OP_IDLE = 6
+
+RESULT_NONE = 0
+RESULT_COLLECT = 1
+RESULT_UNTIL = 2
+
+_LISTEN = Listen()  # shared: Listen carries no per-slot state
+
+_PRIMITIVES = (Send, Listen, SendListen, Idle)
+
+
+_EMPTY_SEGS = ()
+
+
+def start_plan(plan: Plan, rng):
+    """Start ``plan``: returns ``(ps, first_action)`` — the fresh plan
+    state and the primitive action for the plan's first slot.
+
+    Raises :class:`ProtocolError` on malformed plans.  This is the only
+    place plan randomness is drawn (:class:`SendProb`), so the engine and
+    the :func:`expand_plans` oracle consume identical rng streams.  The
+    single-segment plans (``Repeat``, ``ListenUntil``, ``Steps``) are
+    constructed without touching the segment machinery at all — one list
+    allocation, first action emitted for free (``Repeat`` re-emits the
+    protocol's own action object) — because protocols start one plan per
+    phase on the hot path.
+    """
+    cls = plan.__class__
+    if cls is ListenUntil:
+        slots = plan.slots
+        if slots.__class__ is not int or slots < 1:
+            raise ProtocolError(
+                f"ListenUntil slots must be >= 1, got {slots!r}"
+            )
+        return (
+            [OP_UNTIL, slots, plan.accept, None, _EMPTY_SEGS, 0,
+             RESULT_UNTIL, None, plan.pad],
+            _LISTEN,
+        )
+    if cls is Repeat:
+        count = plan.count
+        if count.__class__ is not int or count < 1:
+            raise ProtocolError(f"Repeat count must be >= 1, got {count!r}")
+        action = plan.action
+        acls = action.__class__
+        if acls is Send:
+            return (
+                [OP_SEND, count, action.message, None, _EMPTY_SEGS, 0,
+                 RESULT_NONE, None, False],
+                action,
+            )
+        if acls is Listen:
+            return (
+                [OP_LISTEN, count, None, [], _EMPTY_SEGS, 0,
+                 RESULT_COLLECT, None, False],
+                action,
+            )
+        if acls is SendListen:
+            return (
+                [OP_DUPLEX, count, action.message, [], _EMPTY_SEGS, 0,
+                 RESULT_COLLECT, None, False],
+                action,
+            )
+        if acls is Idle:
+            total = count * action.duration
+            return (
+                [OP_PENDING, 0, None, None, _EMPTY_SEGS, 0,
+                 RESULT_NONE, None, False],
+                action if total == action.duration else Idle(total),
+            )
+        if isinstance(action, _PRIMITIVES):
+            # Action subclass: normalize and retry on the exact class.
+            if isinstance(action, Send):
+                base: Any = Send(action.message)
+            elif isinstance(action, Listen):
+                base = _LISTEN
+            elif isinstance(action, SendListen):
+                base = SendListen(action.message)
+            else:
+                base = Idle(action.duration)
+            return start_plan(Repeat(base, count), rng)
+        raise ProtocolError(f"Repeat of non-action {action!r}")
+    if cls is Steps or isinstance(plan, Steps):
+        actions = tuple(plan.actions)
+        if not actions:
+            raise ProtocolError("Steps needs at least one action")
+        normalize = False
+        for action in actions:
+            acls = action.__class__
+            if (
+                acls is not Send
+                and acls is not Listen
+                and acls is not SendListen
+                and acls is not Idle
+            ):
+                if not isinstance(action, _PRIMITIVES):
+                    raise ProtocolError(
+                        f"Steps may only contain per-slot actions, "
+                        f"got {action!r}"
+                    )
+                normalize = True
+        if normalize:
+            # Action subclasses: rebuild on the exact base classes so the
+            # engines' exact-class fast paths dispatch them correctly.
+            actions = tuple(
+                Send(a.message) if isinstance(a, Send)
+                else _LISTEN if isinstance(a, Listen)
+                else SendListen(a.message) if isinstance(a, SendListen)
+                else Idle(a.duration)
+                for a in actions
+            )
+        return (
+            [OP_STEPS, 1, actions, [], _EMPTY_SEGS, 0,
+             RESULT_COLLECT, None, False],
+            actions[0],
+        )
+    if cls is SendProb or isinstance(plan, SendProb):
+        rounds = plan.rounds
+        if rounds.__class__ is not int or rounds < 1:
+            raise ProtocolError(
+                f"SendProb rounds must be >= 1, got {rounds!r}"
+            )
+        # Bulk Bernoulli block: one draw per round, in round order (the
+        # audited pre-draw order; NodeCtx.rand_bernoulli_block matches).
+        p = plan.p
+        random = rng.random
+        decisions = [random() < p for _ in range(rounds)]
+        segs = []
+        message = plan.message
+        i = 0
+        while i < rounds:
+            j = i + 1
+            if decisions[i]:
+                while j < rounds and decisions[j]:
+                    j += 1
+                segs.append((OP_SEND, j - i, message))
+            else:
+                while j < rounds and not decisions[j]:
+                    j += 1
+                segs.append((OP_IDLE, j - i))
+            i = j
+        ps = [OP_PENDING, 0, None, None, tuple(segs), 0,
+              RESULT_NONE, None, False]
+        action, _ = plan_resume(ps)
+        return ps, action
+    if isinstance(plan, ListenUntil):
+        return start_plan(ListenUntil(plan.slots, plan.accept, plan.pad), rng)
+    if isinstance(plan, Repeat):
+        return start_plan(Repeat(plan.action, plan.count), rng)
+    raise ProtocolError(f"unsupported plan {plan!r}")
+
+
+def plan_resume(ps: list):
+    """Emit the plan's next per-slot action.
+
+    Returns ``(action, None)`` with a primitive action for the next slot,
+    or ``(None, result)`` when the plan has finished.  Called at idle
+    wake-ups and after :func:`plan_feedback` consumed a segment's last
+    slot.
+    """
+    op = ps[0]
+    if op == OP_STEPS:
+        acts = ps[2]
+        i = ps[1]
+        if i < len(acts):
+            ps[1] = i + 1
+            return acts[i], None
+        ps[0] = OP_PENDING
+    segs = ps[4]
+    si = ps[5]
+    if si < len(segs):
+        seg = segs[si]
+        ps[5] = si + 1
+        sop = seg[0]
+        if sop == OP_SEND:
+            ps[0] = OP_SEND
+            ps[1] = seg[1]
+            ps[2] = seg[2]
+            return Send(seg[2]), None
+        if sop == OP_LISTEN:
+            ps[0] = OP_LISTEN
+            ps[1] = seg[1]
+            return _LISTEN, None
+        if sop == OP_IDLE:
+            ps[0] = OP_PENDING
+            return Idle(seg[1]), None
+        if sop == OP_UNTIL:
+            ps[0] = OP_UNTIL
+            ps[1] = seg[1]
+            ps[2] = seg[2]
+            ps[8] = seg[3]
+            return _LISTEN, None
+        if sop == OP_DUPLEX:
+            ps[0] = OP_DUPLEX
+            ps[1] = seg[1]
+            ps[2] = seg[2]
+            return SendListen(seg[2]), None
+        # OP_STEPS segment
+        acts = seg[1]
+        ps[0] = OP_STEPS
+        ps[1] = 1
+        ps[2] = acts
+        return acts[0], None
+    mode = ps[6]
+    if mode == RESULT_COLLECT:
+        return None, tuple(ps[3])
+    if mode == RESULT_UNTIL:
+        return None, ps[7]
+    return None, None
+
+
+def plan_feedback(ps: list, feedback):
+    """Consume the feedback of the slot the plan just performed and emit
+    the next action.  Same return convention as :func:`plan_resume`.
+
+    This is the complete referee for every opcode; the engines inline
+    only the hot within-run continuations and delegate the rest here.
+    """
+    op = ps[0]
+    if op == OP_SEND:
+        rem = ps[1]
+        if rem > 1:
+            ps[1] = rem - 1
+            return Send(ps[2]), None
+        return plan_resume(ps)
+    if op == OP_LISTEN:
+        ps[3].append(feedback)
+        rem = ps[1]
+        if rem > 1:
+            ps[1] = rem - 1
+            return _LISTEN, None
+        return plan_resume(ps)
+    if op == OP_UNTIL:
+        accept = ps[2]
+        if is_message(feedback) and (accept is None or accept(feedback)):
+            ps[7] = feedback
+            left = ps[1] - 1
+            ps[0] = OP_PENDING
+            ps[5] = len(ps[4])  # an UNTIL segment is always the last one
+            if ps[8] and left > 0:
+                return Idle(left), None
+            return plan_resume(ps)
+        rem = ps[1]
+        if rem > 1:
+            ps[1] = rem - 1
+            return _LISTEN, None
+        return plan_resume(ps)
+    if op == OP_STEPS:
+        acts = ps[2]
+        i = ps[1]
+        prev = acts[i - 1]
+        if isinstance(prev, (Listen, SendListen)):
+            ps[3].append(feedback)
+        if i < len(acts):
+            ps[1] = i + 1
+            return acts[i], None
+        ps[0] = OP_PENDING
+        return plan_resume(ps)
+    if op == OP_DUPLEX:
+        ps[3].append(feedback)
+        rem = ps[1]
+        if rem > 1:
+            ps[1] = rem - 1
+            return SendListen(ps[2]), None
+        return plan_resume(ps)
+    # OP_PENDING: an idle just elapsed; nothing to consume.
+    return plan_resume(ps)
+
+
+# --- per-slot oracle -------------------------------------------------------
+
+
+def expand_plans(gen, rng):
+    """Interpret a (possibly plan-yielding) protocol generator per slot.
+
+    A driver generator that yields only primitive per-slot actions,
+    compiling each yielded plan with the same :func:`start_plan` the
+    engine uses (so :class:`SendProb` randomness is drawn at the same
+    point of the same stream) and walking it one slot at a time.  By
+    construction this is byte-identical to the engine's phase-compiled
+    execution: same slots, same energy, same rng consumption — the
+    differential-testing oracle for ``stepping="phase"``.
+    """
+    try:
+        action = next(gen)
+        while True:
+            if isinstance(action, Plan):
+                ps, act = start_plan(action, rng)
+                result = None
+                while act is not None:
+                    fb = yield act
+                    act, result = plan_feedback(ps, fb)
+                action = gen.send(result)
+            else:
+                fb = yield action
+                action = gen.send(fb)
+    except StopIteration as stop:
+        return stop.value
+
+
+def as_slot_protocol(protocol_factory):
+    """Wrap a protocol factory so every node runs through
+    :func:`expand_plans` — for drivers without native plan support
+    (e.g. the frozen legacy engine in the benchmarks)."""
+
+    def factory(ctx):
+        return expand_plans(protocol_factory(ctx), ctx.rng)
+
+    return factory

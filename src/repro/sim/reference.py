@@ -6,6 +6,11 @@ differential-testing oracle for :class:`repro.sim.engine.Simulator`: both
 must produce identical outputs, energy meters, and durations on any
 protocol (tests/test_reference_equivalence.py drives them with random
 protocols).  Keep the semantics here boring and obviously right.
+
+Phase plans (:mod:`repro.sim.plan`) are supported by always running
+every protocol through :func:`~repro.sim.plan.expand_plans`, which
+interprets plans back into per-slot primitive yields — so the oracle
+never needs (or has) a slots-at-a-time fast path of its own.
 """
 
 from __future__ import annotations
@@ -19,6 +24,7 @@ from repro.sim.energy import EnergyMeter
 from repro.sim.engine import ProtocolError, SimResult, SimulationTimeout
 from repro.sim.models import ChannelModel
 from repro.sim.node import Knowledge, NodeCtx, validate_input_keys
+from repro.sim.plan import expand_plans
 
 __all__ = ["ReferenceSimulator"]
 
@@ -33,9 +39,11 @@ class _Node:
         self.finish_slot = -1
         self.action = None
         self.idle_left = 0
+        self.entries = 0
 
     def advance(self, feedback, now: int) -> None:
         self.ctx.time = now
+        self.entries += 1
         try:
             self.action = self.gen.send(feedback)
         except StopIteration as stop:
@@ -79,8 +87,9 @@ class ReferenceSimulator:
                 rng=random.Random(master.getrandbits(64)),
                 inputs=dict(inputs.get(v, ())),
             )
-            node = _Node(protocol_factory(ctx), ctx)
+            node = _Node(expand_plans(protocol_factory(ctx), ctx.rng), ctx)
             nodes.append(node)
+            node.entries += 1
             try:
                 node.action = next(node.gen)
             except StopIteration as stop:
@@ -150,4 +159,5 @@ class ReferenceSimulator:
             duration=duration,
             trace=None,
             seed=self.seed,
+            gen_entries=sum(node.entries for node in nodes),
         )

@@ -41,7 +41,8 @@ class TestBenchHarness:
         assert entry["n"] == 5
         assert entry["slots"] == 3
         expected_runners = {
-            "engine", "engine_list_path", "legacy_engine", "reference",
+            "engine", "engine_slot", "engine_list_path", "legacy_engine",
+            "reference",
         }
         from repro.sim.resolution import numpy_available
 
@@ -51,6 +52,14 @@ class TestBenchHarness:
         for value in entry["seconds"].values():
             assert value >= 0
         assert "speedup_vs_legacy" in entry
+        assert "speedup_phase_vs_slot" in entry
+        # The tiny per-slot workload enters its generator once per slot
+        # per node (+ the init and final entries) on every tracked runner.
+        assert entry["entries_per_slot"]["engine"] > 0
+        assert (
+            entry["entries_per_slot"]["engine"]
+            == entry["entries_per_slot"]["reference"]
+        )
         assert "min_speedup_vs_reference" in report["summary"]
 
     def test_backend_replay_and_numpy_gate(self):
@@ -109,6 +118,11 @@ class TestBenchHarness:
         report["workloads"]["tiny"]["legacy_gate"] = False
         assert check_thresholds(report, min_legacy_speedup=1e9) == []
         assert len(check_thresholds(report, min_ref_speedup=1e9)) == 1
+        # The phase bar applies only to phase_gate workloads.
+        assert check_thresholds(report, min_phase_speedup=1e9) == []
+        report["workloads"]["tiny"]["phase_gate"] = True
+        violations = check_thresholds(report, min_phase_speedup=1e9)
+        assert len(violations) == 1 and "phase_vs_slot" in violations[0]
 
     def test_equivalence_failure_is_a_violation(self):
         report = run_engine_benchmarks(workloads=[_tiny_workload()])

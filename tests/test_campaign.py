@@ -260,7 +260,7 @@ class TestRunner:
         })
         plain_store, fast_store = _store(tmp_path / "a"), _store(tmp_path / "b")
         run_campaign(base({}), plain_store, jobs=1)
-        options = {"lockstep": True}
+        options = {"lockstep": True, "stepping": "slot"}
         if numpy_available():
             options["resolution"] = "numpy"
         run_campaign(base(options), fast_store, jobs=1)

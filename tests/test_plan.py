@@ -1,0 +1,562 @@
+"""Phase plans (repro.sim.plan): vocabulary, determinism, differential.
+
+Covers the slots-at-a-time stepping ABI:
+
+* unit semantics of every plan primitive (resume values, padding,
+  early exit, validation errors);
+* the bulk-randomness contract: ``NodeCtx.rand_bernoulli_block`` and
+  ``SendProb`` consume exactly the stream a per-slot loop would (draw
+  order pinned);
+* the differential matrix: a protocol exercising every primitive (plus
+  per-slot escape hatches) must be byte-identical across
+  ``stepping="phase"`` / ``stepping="slot"`` / the reference oracle,
+  for all 5 paper models x lossy x every resolution backend x
+  serial / lock-step execution;
+* the rewired paper protocols (decay SR frames, LOCAL flooding) pinned
+  phase-vs-slot;
+* generator-entry accounting (``SimResult.gen_entries``), the stepping
+  metric ``repro bench`` reports.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.graphs import clique, path_graph, random_gnp, star_graph
+from repro.sim import (
+    BEEPING,
+    CD,
+    CD_FD,
+    CD_STAR,
+    LOCAL,
+    NO_CD,
+    Idle,
+    Knowledge,
+    Listen,
+    ListenUntil,
+    ProtocolError,
+    Repeat,
+    Send,
+    SendListen,
+    SendProb,
+    SILENCE,
+    Simulator,
+    Steps,
+    numpy_available,
+    run_trials,
+)
+from repro.sim.models import LossyModel
+from repro.sim.node import NodeCtx
+from repro.sim.plan import expand_plans, start_plan
+from repro.sim.reference import ReferenceSimulator
+
+FIVE_MODELS = {
+    "LOCAL": LOCAL,
+    "CD": CD,
+    "No-CD": NO_CD,
+    "CD*": CD_STAR,
+    "BEEP": BEEPING,
+}
+
+RESOLUTIONS = ("bitmask", "list") + (("numpy",) if numpy_available() else ())
+
+
+def _assert_same(fast, slow):
+    assert fast.outputs == slow.outputs
+    assert [e.total for e in fast.energy] == [e.total for e in slow.energy]
+    assert [e.sends for e in fast.energy] == [e.sends for e in slow.energy]
+    assert [e.listens for e in fast.energy] == [e.listens for e in slow.energy]
+    assert fast.finish_slot == slow.finish_slot
+    assert fast.duration == slow.duration
+
+
+# ---------------------------------------------------------------------------
+# Unit semantics
+# ---------------------------------------------------------------------------
+
+
+class TestPlanSemantics:
+    def _run(self, proto, n=2, model=NO_CD, seed=1, **kwargs):
+        return Simulator(path_graph(n), model, seed=seed, **kwargs).run(proto)
+
+    def test_repeat_send_resumes_none(self):
+        seen = {}
+
+        def proto(ctx):
+            if ctx.index == 0:
+                seen["resume"] = yield Repeat(Send("m"), 3)
+                return "done"
+            fbs = yield Repeat(Listen(), 3)
+            return fbs
+
+        result = self._run(proto)
+        assert seen["resume"] is None
+        assert result.outputs[1] == ("m", "m", "m")
+        assert result.energy[0].sends == 3
+        assert result.energy[1].listens == 3
+
+    def test_listen_until_early_exit_and_pad(self):
+        def proto(ctx):
+            if ctx.index == 0:
+                yield Idle(2)
+                yield Send("hello")
+                return None
+            fb = yield ListenUntil(10, pad=True)
+            return (fb, ctx.time)
+
+        result = self._run(proto)
+        fb, resume_time = result.outputs[1]
+        assert fb == "hello"
+        # Heard at slot 2, padded through slot 9, resumed at slot 10.
+        assert resume_time == 10
+        assert result.energy[1].listens == 3
+        assert result.duration == 10
+
+    def test_listen_until_no_pad_resumes_immediately(self):
+        def proto(ctx):
+            if ctx.index == 0:
+                yield Idle(2)
+                yield Send("hello")
+                return None
+            fb = yield ListenUntil(10)
+            return (fb, ctx.time)
+
+        result = self._run(proto)
+        assert result.outputs[1] == ("hello", 3)
+        assert result.energy[1].listens == 3
+
+    def test_listen_until_accept_filter(self):
+        def proto(ctx):
+            if ctx.index == 0:
+                yield Send(("skip",))
+                yield Send(("take",))
+                return None
+            fb = yield ListenUntil(4, accept=lambda m: m[0] == "take")
+            return fb
+
+        result = self._run(proto)
+        assert result.outputs[1] == ("take",)
+        assert result.energy[1].listens == 2
+
+    def test_listen_until_exhausted_returns_none(self):
+        def proto(ctx):
+            if ctx.index == 0:
+                yield Idle(5)
+                return None
+            return (yield ListenUntil(5))
+
+        result = self._run(proto)
+        assert result.outputs[1] is None
+        assert result.energy[1].listens == 5
+
+    def test_send_prob_draw_order_matches_per_slot_loop(self):
+        # The engine draws SendProb decisions exactly like a per-slot
+        # `rng.random() < p` loop: pin against a manual replay.
+        def proto(ctx):
+            yield SendProb("m", 0.5, 12)
+            return ctx.rng.random()  # stream position after the plan
+
+        result = self._run(proto, n=1)
+        rng = random.Random(random.Random(1).getrandbits(64))
+        expected_sends = sum(rng.random() < 0.5 for _ in range(12))
+        assert result.energy[0].sends == expected_sends
+        assert result.outputs[0] == rng.random()
+
+    def test_steps_collects_listening_feedbacks(self):
+        def proto(ctx):
+            if ctx.index == 0:
+                yield Steps((Send("a"), Idle(1), Send("b")))
+                return None
+            fbs = yield Steps((Listen(), Idle(1), Listen()))
+            return fbs
+
+        result = self._run(proto)
+        assert result.outputs[1] == ("a", "b")
+        assert result.energy[1].listens == 2
+
+    def test_repeat_sendlisten_full_duplex(self):
+        def proto(ctx):
+            fbs = yield Repeat(SendListen(("d", ctx.index)), 2)
+            return fbs
+
+        result = Simulator(path_graph(2), CD_FD, seed=0).run(proto)
+        assert result.outputs[0] == (("d", 1), ("d", 1))
+        assert result.outputs[1] == (("d", 0), ("d", 0))
+
+    def test_repeat_sendlisten_illegal_half_duplex(self):
+        def proto(ctx):
+            yield Repeat(SendListen("d"), 2)
+
+        with pytest.raises(ProtocolError, match="SendListen is illegal"):
+            self._run(proto)
+
+    def test_repeat_idle_normalizes(self):
+        def proto(ctx):
+            if ctx.index == 0:
+                yield Repeat(Idle(3), 2)
+                yield Send("late")
+                return None
+            return (yield ListenUntil(8))
+
+        result = self._run(proto)
+        assert result.outputs[1] == "late"
+        assert result.energy[0].sends == 1
+        assert result.energy[0].total == 1  # idling is free
+
+    def test_validation_errors(self):
+        for bad in (
+            Repeat(Send("m"), 0),
+            Repeat("junk", 2),
+            ListenUntil(0),
+            SendProb("m", 0.5, 0),
+            Steps(()),
+            Steps((Send("m"), "junk")),
+            Steps((Repeat(Send("m"), 2),)),  # no nested plans
+        ):
+            def proto(ctx, bad=bad):
+                yield bad
+
+            with pytest.raises(ProtocolError):
+                self._run(proto)
+
+    def test_non_action_still_rejected(self):
+        def proto(ctx):
+            yield 42
+
+        with pytest.raises(ProtocolError, match="non-action"):
+            self._run(proto)
+
+    def test_steps_mid_plan_sendlisten_illegal_half_duplex(self):
+        # Regression: the duplex check must fire even when the
+        # SendListen is not the first Steps action (the inline fast
+        # path, not the classifier, dispatches it).
+        def proto(ctx):
+            yield Steps((Send("m"), SendListen("d")))
+
+        with pytest.raises(ProtocolError, match="SendListen is illegal"):
+            self._run(proto)
+        with pytest.raises(ProtocolError, match="SendListen is illegal"):
+            self._run(proto, stepping="slot")
+        # Same contract under the lock-step driver.
+        with pytest.raises(ProtocolError, match="SendListen is illegal"):
+            run_trials(path_graph(2), NO_CD, proto, (0,), lockstep=True)
+
+    def test_steps_normalizes_action_subclasses(self):
+        # Regression: subclasses of the primitive actions are accepted
+        # (isinstance validation) and must behave identically under the
+        # phase engines' exact-class fast paths.
+        class MyListen(Listen):
+            pass
+
+        class MySend(Send):
+            pass
+
+        def proto(ctx):
+            if ctx.index == 0:
+                yield Steps((Idle(1), MySend("a")))
+                return None
+            fbs = yield Steps((Listen(), MyListen()))
+            return fbs
+
+        runs = {
+            stepping: self._run(proto, stepping=stepping)
+            for stepping in ("phase", "slot")
+        }
+        assert runs["phase"].outputs[1] == (SILENCE, "a")
+        _assert_same(runs["phase"], runs["slot"])
+
+
+class TestBernoulliBlock:
+    def test_draw_order_pinned(self):
+        ctx = NodeCtx(
+            index=0, uid=1, knowledge=Knowledge(n=1, max_degree=1),
+            rng=random.Random(1234),
+        )
+        block = ctx.rand_bernoulli_block(0.3, 50)
+        mirror = random.Random(1234)
+        expected = [mirror.random() < 0.3 for _ in range(50)]
+        assert block == expected
+        # The stream continues where a per-slot loop would have left it.
+        assert ctx.rng.random() == mirror.random()
+
+    def test_exact_sequence_is_stable(self):
+        # Regression pin: the audited draw order must never change (it
+        # is what keeps pre-drawing protocols byte-identical to their
+        # per-slot forms).
+        ctx = NodeCtx(
+            index=0, uid=1, knowledge=Knowledge(n=1, max_degree=1),
+            rng=random.Random(7),
+        )
+        block = ctx.rand_bernoulli_block(0.5, 12)
+        assert block == [
+            True, True, False, True, False, True, True, False, True,
+            True, True, True,
+        ]
+
+    def test_rejects_negative(self):
+        ctx = NodeCtx(
+            index=0, uid=1, knowledge=Knowledge(n=1, max_degree=1),
+            rng=random.Random(0),
+        )
+        with pytest.raises(ValueError):
+            ctx.rand_bernoulli_block(0.5, -1)
+
+    def test_sendprob_uses_same_stream(self):
+        # start_plan(SendProb) and rand_bernoulli_block agree draw for
+        # draw, so protocols may pre-draw and hand decisions to either.
+        rng_a, rng_b = random.Random(99), random.Random(99)
+        ps, first = start_plan(SendProb("m", 0.25, 30), rng_a)
+        ctx = NodeCtx(
+            index=0, uid=1, knowledge=Knowledge(n=1, max_degree=1),
+            rng=rng_b,
+        )
+        ctx.rand_bernoulli_block(0.25, 30)
+        assert rng_a.random() == rng_b.random()
+
+
+# ---------------------------------------------------------------------------
+# Differential matrix
+# ---------------------------------------------------------------------------
+
+
+def _plan_protocol(steps: int, duplex: bool):
+    """Exercises every plan primitive plus per-slot escape hatches, with
+    feedback- and randomness-driven divergence between nodes."""
+
+    def protocol(ctx):
+        heard = 0
+        for step in range(steps):
+            roll = ctx.rng.random()
+            if roll < 0.12:
+                yield Send(("m", ctx.index, step, heard))
+            elif roll < 0.24:
+                yield Repeat(Send(("r", ctx.index, step)), 1 + ctx.rng.randrange(3))
+            elif roll < 0.36:
+                fbs = yield Repeat(Listen(), 1 + ctx.rng.randrange(4))
+                heard += sum(
+                    1 for f in fbs
+                    if f not in (None, ()) and not isinstance(f, str)
+                )
+            elif roll < 0.48:
+                fb = yield ListenUntil(
+                    1 + ctx.rng.randrange(5),
+                    pad=bool(ctx.rng.randrange(2)),
+                )
+                if fb is not None:
+                    heard += 1
+            elif roll < 0.58:
+                yield SendProb(("p", ctx.index), 0.4, 1 + ctx.rng.randrange(5))
+            elif roll < 0.70:
+                acts = []
+                for _ in range(1 + ctx.rng.randrange(4)):
+                    sub = ctx.rng.random()
+                    if sub < 0.3:
+                        acts.append(Send(("s", ctx.index)))
+                    elif sub < 0.6:
+                        acts.append(Listen())
+                    elif sub < 0.8:
+                        acts.append(Idle(1 + ctx.rng.randrange(3)))
+                    elif duplex:
+                        acts.append(SendListen(("d", ctx.index)))
+                    else:
+                        acts.append(Listen())
+                fbs = yield Steps(tuple(acts))
+                heard += sum(
+                    1 for f in fbs
+                    if f not in (None, ()) and not isinstance(f, str)
+                )
+            elif roll < 0.78 and duplex:
+                fbs = yield Repeat(SendListen(("x", ctx.index)), 1 + ctx.rng.randrange(2))
+                heard += sum(1 for f in fbs if f)
+            elif roll < 0.88:
+                feedback = yield Listen()  # per-slot escape hatch
+                if feedback not in (None, ()) and not isinstance(feedback, str):
+                    heard += 1
+            else:
+                yield Idle(1 + ctx.rng.randrange(4))
+        return (ctx.index, heard)
+
+    return protocol
+
+
+class TestPhaseSlotReferenceEquivalence:
+    """Phase-compiled vs per-slot-expanded vs reference oracle."""
+
+    @pytest.mark.parametrize("model_name", sorted(FIVE_MODELS))
+    @pytest.mark.parametrize("resolution", RESOLUTIONS)
+    def test_models_by_resolution(self, model_name, resolution):
+        model = FIVE_MODELS[model_name]
+        graph = random_gnp(9, 0.5, random.Random(5))
+        protocol = _plan_protocol(12, duplex=False)
+        for seed in (0, 3):
+            slow = ReferenceSimulator(graph, model, seed=seed).run(protocol)
+            for stepping in ("phase", "slot"):
+                fast = Simulator(
+                    graph, model, seed=seed,
+                    resolution=resolution, stepping=stepping,
+                ).run(protocol)
+                _assert_same(fast, slow)
+
+    def test_full_duplex_clique(self):
+        graph = clique(5)
+        protocol = _plan_protocol(10, duplex=True)
+        for seed in (0, 1):
+            slow = ReferenceSimulator(graph, CD_FD, seed=seed).run(protocol)
+            for stepping in ("phase", "slot"):
+                fast = Simulator(
+                    graph, CD_FD, seed=seed, stepping=stepping
+                ).run(protocol)
+                _assert_same(fast, slow)
+
+    @pytest.mark.parametrize("resolution", RESOLUTIONS)
+    def test_lossy_model(self, resolution):
+        # Stateful per-transmission model: plans must preserve the
+        # ascending-vertex reception order the oracle uses.
+        graph = star_graph(6)
+        protocol = _plan_protocol(10, duplex=False)
+        for seed in (0, 2):
+            slow = ReferenceSimulator(
+                graph, LossyModel(NO_CD, 0.3, seed=77), seed=seed
+            ).run(protocol)
+            for stepping in ("phase", "slot"):
+                fast = Simulator(
+                    graph, LossyModel(NO_CD, 0.3, seed=77), seed=seed,
+                    resolution=resolution, stepping=stepping,
+                ).run(protocol)
+                _assert_same(fast, slow)
+
+    @pytest.mark.parametrize("model_name", sorted(FIVE_MODELS))
+    @pytest.mark.parametrize("resolution", RESOLUTIONS)
+    def test_lockstep_matches_serial(self, model_name, resolution):
+        model = FIVE_MODELS[model_name]
+        graph = random_gnp(8, 0.5, random.Random(11))
+        protocol = _plan_protocol(10, duplex=False)
+        seeds = (0, 1, 5)
+        serial = run_trials(graph, model, protocol, seeds)
+        for stepping in ("phase", "slot"):
+            lockstep = run_trials(
+                graph, model, protocol, seeds,
+                lockstep=True, resolution=resolution, stepping=stepping,
+            )
+            for a, b in zip(serial, lockstep):
+                _assert_same(b, a)
+                assert b.seed == a.seed
+
+    def test_stepping_validation(self):
+        with pytest.raises(ValueError, match="stepping"):
+            Simulator(path_graph(2), NO_CD, stepping="warp")
+        with pytest.raises(ValueError, match="stepping"):
+            run_trials(
+                path_graph(2), NO_CD, _plan_protocol(2, False), (0,),
+                lockstep=True, stepping="warp",
+            )
+
+
+# ---------------------------------------------------------------------------
+# Rewired paper protocols: phase path vs per-slot oracle
+# ---------------------------------------------------------------------------
+
+
+class TestRewiredProtocols:
+    def _compare(self, graph, model, protocol, inputs=None, knowledge=None):
+        runs = {}
+        for stepping in ("phase", "slot"):
+            runs[stepping] = Simulator(
+                graph, model, seed=3, stepping=stepping, knowledge=knowledge,
+            ).run(protocol, inputs=inputs)
+        _assert_same(runs["phase"], runs["slot"])
+        return runs
+
+    def test_decay_broadcast(self):
+        from repro.broadcast.base import source_inputs
+        from repro.broadcast.flooding import decay_broadcast_protocol
+
+        graph = random_gnp(12, 0.35, random.Random(2))
+        runs = self._compare(
+            graph, NO_CD, decay_broadcast_protocol(), source_inputs(0, "m"),
+        )
+        assert runs["phase"].outputs == ["m"] * graph.n
+        # The stepping metric: phase-compiled frames re-enter their
+        # generators far less often than the per-slot oracle.
+        assert runs["phase"].gen_entries < runs["slot"].gen_entries / 1.4
+
+    def test_local_flood(self):
+        from repro.broadcast.base import source_inputs
+        from repro.broadcast.flooding import local_flood_protocol
+
+        graph = path_graph(7)
+        runs = self._compare(
+            graph, LOCAL, local_flood_protocol(), source_inputs(0, "m"),
+            knowledge=Knowledge(n=7, max_degree=2, diameter=6),
+        )
+        assert runs["phase"].outputs == ["m"] * 7
+
+    def test_sr_frames_on_star(self):
+        from repro.core.sr_comm import DecayParams, Role, sr_nocd
+
+        n = 9
+        graph = star_graph(n)
+        params = DecayParams.for_graph(n - 1, 0.05)
+        roles = {0: Role.RECEIVER}
+        roles.update({v: Role.SENDER for v in range(1, n)})
+
+        def proto(ctx):
+            result = yield from sr_nocd(
+                ctx, roles[ctx.index], f"m{ctx.index}", params
+            )
+            return result
+
+        self._compare(graph, NO_CD, proto)
+
+    def test_gen_entries_plain_protocols_unchanged(self):
+        # A plan-free protocol costs the same entries under both modes.
+        def proto(ctx):
+            for step in range(5):
+                if (ctx.index + step) % 2:
+                    yield Send("x")
+                else:
+                    yield Listen()
+            return ctx.index
+
+        graph = clique(4)
+        runs = {
+            stepping: Simulator(
+                graph, NO_CD, seed=0, stepping=stepping
+            ).run(proto)
+            for stepping in ("phase", "slot")
+        }
+        _assert_same(runs["phase"], runs["slot"])
+        # 4 nodes x (5 per-action entries + 1 final StopIteration).
+        assert runs["phase"].gen_entries == 4 * 6
+        assert runs["slot"].gen_entries == 4 * 6
+
+
+class TestExpandPlans:
+    def test_passthrough_for_plain_generators(self):
+        def gen():
+            fb = yield Send("a")
+            assert fb is None
+            fb = yield Listen()
+            return ("done", fb)
+
+        driver = expand_plans(gen(), random.Random(0))
+        assert next(driver) == Send("a")
+        assert driver.send(None) == Listen()
+        with pytest.raises(StopIteration) as stop:
+            driver.send(SILENCE)
+        assert stop.value.value == ("done", SILENCE)
+
+    def test_expands_repeat(self):
+        def gen():
+            fbs = yield Repeat(Listen(), 3)
+            return fbs
+
+        driver = expand_plans(gen(), random.Random(0))
+        assert next(driver) == Listen()
+        assert driver.send("a") == Listen()
+        assert driver.send("b") == Listen()
+        with pytest.raises(StopIteration) as stop:
+            driver.send("c")
+        assert stop.value.value == ("a", "b", "c")
