@@ -18,17 +18,20 @@ from repro.broadcast import run_broadcast
 from repro.broadcast.path import path_broadcast_protocol
 from repro.experiments import render_path_timeline
 from repro.graphs import path_graph
-from repro.sim import LOCAL, Knowledge
+from repro.sim import LOCAL, ExecutionConfig, Knowledge
 
 
 def main() -> None:
-    # Small chain with a rendered timeline.
+    # Small chain with a rendered timeline.  Execution knobs (tracing,
+    # resolution backend, stepping mode, ...) travel in one validated
+    # ExecutionConfig instead of per-call kwargs.
     n = 24
     graph = path_graph(n)
     knowledge = Knowledge(n=n, max_degree=2, diameter=n - 1)
     outcome = run_broadcast(
         graph, LOCAL, path_broadcast_protocol(oriented=True),
-        knowledge=knowledge, seed=5, record_trace=True,
+        knowledge=knowledge, seed=5,
+        exec_config=ExecutionConfig(record_trace=True),
     )
     print(
         f"chain of {n} relays: delivered={outcome.delivered} in "

@@ -37,7 +37,7 @@ setup(
     license="MIT",
     package_dir={"": "src"},
     packages=find_packages("src"),
-    python_requires=">=3.8",
+    python_requires=">=3.9",
     install_requires=[],
     extras_require={
         "test": ["pytest", "hypothesis"],

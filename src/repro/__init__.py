@@ -36,6 +36,7 @@ from repro.sim import (
     NO_CD,
     NOISE,
     SILENCE,
+    ExecutionConfig,
     Idle,
     Knowledge,
     Listen,
@@ -69,6 +70,7 @@ __all__ = [
     "NO_CD",
     "NOISE",
     "SILENCE",
+    "ExecutionConfig",
     "Idle",
     "Knowledge",
     "Listen",

@@ -14,10 +14,10 @@ from typing import Any, Callable, List, Optional, Sequence
 
 from repro.graphs.graph import Graph
 from repro.sim.batch import run_trials
+from repro.sim.config import UNSET, ExecutionConfig, resolve_exec_config
 from repro.sim.engine import SimResult
 from repro.sim.models import ChannelModel
 from repro.sim.node import Knowledge, NodeCtx
-from repro.sim.observers import SlotObserver
 
 __all__ = [
     "BroadcastOutcome",
@@ -72,6 +72,11 @@ def _verify(result: SimResult, payload: Any, n: int) -> BroadcastOutcome:
     )
 
 
+#: Broadcast runs idle across long per-hop backoffs, so their default
+#: slot budget is deeper than the bare engine's.
+BROADCAST_TIME_LIMIT = 200_000_000
+
+
 def run_broadcast_trials(
     graph: Graph,
     model: ChannelModel,
@@ -79,23 +84,41 @@ def run_broadcast_trials(
     seeds: Sequence[int],
     source: int = 0,
     payload: Any = "m",
+    # Keyword-only from here: exec_config displaced the old positional
+    # slots, so a stale positional call fails loudly instead of binding
+    # to the wrong parameter.
+    *,
     knowledge: Optional[Knowledge] = None,
     uids: Optional[Sequence[int]] = None,
-    time_limit: int = 200_000_000,
-    record_trace: bool = False,
-    resolution: str = "bitmask",
-    lockstep: bool = False,
-    stepping: str = "phase",
-    observer_factory: Optional[Callable[[int], Sequence[SlotObserver]]] = None,
+    exec_config: Optional[ExecutionConfig] = None,
+    time_limit: Any = UNSET,
+    record_trace: Any = UNSET,
+    resolution: Any = UNSET,
+    lockstep: Any = UNSET,
+    stepping: Any = UNSET,
+    observer_factory: Any = UNSET,
 ) -> List[BroadcastOutcome]:
     """Run one broadcast cell across many seeds on the batched engine core.
 
     Graph preprocessing, knowledge, and uid setup happen once; each trial
     is one seeded run (see :func:`repro.sim.batch.run_trials`, including
-    the ``resolution`` backend switch, lock-step batching, and per-seed
-    ``observer_factory``).  Returns one verified
-    :class:`BroadcastOutcome` per seed, in order.
+    the ``exec_config`` resolution-backend switch, lock-step batching,
+    and per-seed ``observer_factory`` hook).  The per-knob keyword
+    arguments are the deprecated forms of the matching config fields.
+    Returns one verified :class:`BroadcastOutcome` per seed, in order.
     """
+    config = resolve_exec_config(
+        exec_config,
+        dict(
+            time_limit=time_limit,
+            record_trace=record_trace,
+            resolution=resolution,
+            lockstep=lockstep,
+            stepping=stepping,
+            observer_factory=observer_factory,
+        ),
+        where="run_broadcast_trials",
+    )
     results = run_trials(
         graph,
         model,
@@ -104,12 +127,9 @@ def run_broadcast_trials(
         inputs=source_inputs(source, payload),
         knowledge=knowledge,
         uids=uids,
-        time_limit=time_limit,
-        record_trace=record_trace,
-        resolution=resolution,
-        lockstep=lockstep,
-        stepping=stepping,
-        observer_factory=observer_factory,
+        exec_config=config.replace(
+            time_limit=config.resolved_time_limit(BROADCAST_TIME_LIMIT)
+        ),
     )
     return [_verify(result, payload, graph.n) for result in results]
 
@@ -121,12 +141,19 @@ def run_broadcast(
     source: int = 0,
     payload: Any = "m",
     seed: int = 0,
+    *,
     knowledge: Optional[Knowledge] = None,
     uids: Optional[Sequence[int]] = None,
-    time_limit: int = 200_000_000,
-    record_trace: bool = False,
+    exec_config: Optional[ExecutionConfig] = None,
+    time_limit: Any = UNSET,
+    record_trace: Any = UNSET,
 ) -> BroadcastOutcome:
     """Run one broadcast protocol and verify delivery."""
+    config = resolve_exec_config(
+        exec_config,
+        dict(time_limit=time_limit, record_trace=record_trace),
+        where="run_broadcast",
+    )
     return run_broadcast_trials(
         graph,
         model,
@@ -136,6 +163,5 @@ def run_broadcast(
         payload=payload,
         knowledge=knowledge,
         uids=uids,
-        time_limit=time_limit,
-        record_trace=record_trace,
+        exec_config=config,
     )[0]

@@ -17,11 +17,12 @@ from __future__ import annotations
 import random
 import statistics
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from repro.broadcast.base import BroadcastOutcome, run_broadcast_trials
 from repro.graphs.graph import Graph
 from repro.graphs.properties import diameter as graph_diameter
+from repro.sim.config import UNSET, ExecutionConfig, resolve_exec_config
 from repro.sim.models import ChannelModel
 from repro.sim.node import Knowledge
 from repro.sim.observers import ContentionHistogramObserver
@@ -41,20 +42,25 @@ __all__ = [
 # Cell options that steer *how* a cell executes rather than what it
 # measures.  They ride in the same per-row ``options`` dict as protocol
 # knobs (so campaign configs can set them per row) and are consumed by
-# run_cells(); protocol builders ignore them.  ``stepping`` selects
-# phase-compiled vs per-slot protocol stepping (repro.sim.plan) — like
-# ``resolution`` and ``lockstep`` it cannot change measurements, only
-# wall-clock.
-EXECUTION_OPTION_KEYS = ("resolution", "lockstep", "contention_hist", "stepping")
+# run_cells(); protocol builders ignore them.  The set is derived from
+# the :class:`~repro.sim.config.ExecutionConfig` schema (fields flagged
+# ``cell_option``) — there is no second hand-maintained list to keep in
+# sync: a new knob added to the config shows up here, in campaign spec
+# validation, and in the shared CLI group at once.
+EXECUTION_OPTION_KEYS = ExecutionConfig.option_keys()
 
 
 def execution_options(options: Optional[Dict]) -> Dict[str, object]:
-    """Extract the execution-steering subset of a cell options dict."""
+    """Extract the execution-steering subset of a cell options dict.
+
+    A thin alias of the :class:`~repro.sim.config.ExecutionConfig`
+    schema door: values are validated and explicit defaults are dropped
+    (the minimal, content-hash-stable shape), so this can never return
+    an option set the engine would later reject.
+    """
     if not options:
         return {}
-    return {
-        key: options[key] for key in EXECUTION_OPTION_KEYS if key in options
-    }
+    return ExecutionConfig.from_options(options).cell_options()
 
 
 @dataclass
@@ -153,36 +159,55 @@ def run_cells(
     source: int = 0,
     knowledge: Optional[Knowledge] = None,
     id_space_from_n: bool = False,
-    record_trace: bool = False,
     extra_metrics: Optional[Callable[[BroadcastOutcome], Dict[str, float]]] = None,
-    resolution: str = "bitmask",
-    lockstep: bool = False,
-    stepping: str = "phase",
-    contention_hist: bool = False,
+    exec_config: Optional[ExecutionConfig] = None,
+    record_trace: Any = UNSET,
+    resolution: Any = UNSET,
+    lockstep: Any = UNSET,
+    stepping: Any = UNSET,
+    contention_hist: Any = UNSET,
 ) -> List[CellResult]:
     """Execute one (row, size) cell group across seeds on the batched core.
 
     All trials share one prepared engine
     (:func:`repro.broadcast.base.run_broadcast_trials`), so graph
-    preprocessing and knowledge are paid once per size, not per seed;
-    ``lockstep=True`` additionally advances the seeds in lock-step slot
-    batches and ``resolution`` selects the reception backend — both are
-    execution details, measurements are byte-identical.
-
-    ``contention_hist=True`` attaches a per-trial
-    :class:`~repro.sim.observers.ContentionHistogramObserver` and folds
-    its summary into each cell's ``extras`` under ``ch_*`` keys.
-    Returns one :class:`CellResult` per seed, in ``seeds`` order.
+    preprocessing and knowledge are paid once per size, not per seed.
+    ``exec_config`` steers how the batch executes — every field of
+    :class:`~repro.sim.config.ExecutionConfig` is honored here, and
+    this is the layer that consumes ``contention_hist``: it attaches a
+    per-trial :class:`~repro.sim.observers.ContentionHistogramObserver`
+    (stacked on top of any user ``observer_factory``) and folds its
+    summary into each cell's ``extras`` under ``ch_*`` keys.  The
+    per-knob keyword arguments are the deprecated forms of the matching
+    config fields.  Returns one :class:`CellResult` per seed, in
+    ``seeds`` order.
     """
+    config = resolve_exec_config(
+        exec_config,
+        dict(
+            record_trace=record_trace,
+            resolution=resolution,
+            lockstep=lockstep,
+            stepping=stepping,
+            contention_hist=contention_hist,
+        ),
+        where="run_cells",
+    )
     if knowledge is None:
         knowledge = knowledge_for(graph, id_space_from_n=id_space_from_n)
-    observer_factory = None
     histograms: Dict[int, ContentionHistogramObserver] = {}
-    if contention_hist:
+    if config.contention_hist:
+        user_factory = config.observer_factory
+
         def observer_factory(seed):
             observer = ContentionHistogramObserver(graph)
             histograms[seed] = observer
-            return (observer,)
+            extra = tuple(user_factory(seed)) if user_factory else ()
+            return (observer,) + extra
+
+        config = config.replace(
+            contention_hist=False, observer_factory=observer_factory
+        )
     outcomes = run_broadcast_trials(
         graph,
         model,
@@ -190,16 +215,12 @@ def run_cells(
         seeds,
         source=source,
         knowledge=knowledge,
-        record_trace=record_trace,
-        resolution=resolution,
-        lockstep=lockstep,
-        stepping=stepping,
-        observer_factory=observer_factory,
+        exec_config=config,
     )
     cells = []
     for seed, outcome in zip(seeds, outcomes):
         extras = dict(extra_metrics(outcome)) if extra_metrics is not None else {}
-        if contention_hist:
+        if histograms:
             extras.update({
                 f"ch_{key}": value
                 for key, value in histograms[seed].summary().items()
@@ -231,15 +252,27 @@ def run_cell(
     source: int = 0,
     knowledge: Optional[Knowledge] = None,
     id_space_from_n: bool = False,
-    record_trace: bool = False,
     extra_metrics: Optional[Callable[[BroadcastOutcome], Dict[str, float]]] = None,
-    resolution: str = "bitmask",
-    lockstep: bool = False,
-    stepping: str = "phase",
-    contention_hist: bool = False,
+    exec_config: Optional[ExecutionConfig] = None,
+    record_trace: Any = UNSET,
+    resolution: Any = UNSET,
+    lockstep: Any = UNSET,
+    stepping: Any = UNSET,
+    contention_hist: Any = UNSET,
 ) -> CellResult:
     """Execute one broadcast cell (a single-seed batch) and reduce it to
     storable numbers — the unit the sharded campaign runner executes."""
+    config = resolve_exec_config(
+        exec_config,
+        dict(
+            record_trace=record_trace,
+            resolution=resolution,
+            lockstep=lockstep,
+            stepping=stepping,
+            contention_hist=contention_hist,
+        ),
+        where="run_cell",
+    )
     return run_cells(
         graph,
         model,
@@ -250,12 +283,8 @@ def run_cell(
         source=source,
         knowledge=knowledge,
         id_space_from_n=id_space_from_n,
-        record_trace=record_trace,
         extra_metrics=extra_metrics,
-        resolution=resolution,
-        lockstep=lockstep,
-        stepping=stepping,
-        contention_hist=contention_hist,
+        exec_config=config,
     )[0]
 
 

@@ -39,9 +39,14 @@ from repro.broadcast.local_sim import local_sim_broadcast_protocol
 from repro.broadcast.path import path_broadcast_protocol
 from repro.campaign.cells import (
     CellResult,
-    execution_options,
     run_cell,
     run_cells,
+)
+from repro.sim.config import (
+    ExecutionConfig,
+    ExecutionConfigError,
+    normalize_execution_options,
+    validate_execution_options,
 )
 from repro.graphs import (
     cycle_graph,
@@ -61,6 +66,7 @@ __all__ = [
     "get_row",
     "register_row",
     "resolve_bounds",
+    "check_row_supports_options",
     "execute_cell",
     "execute_cell_block",
 ]
@@ -125,6 +131,12 @@ class RowDefinition:
     # Escape hatch for rows that are not a single run_broadcast call
     # (e.g. the beta ablation measures partition statistics directly).
     custom_cell: Optional[Callable[[str, int, int, Dict], CellResult]] = None
+    # Execution options this row cannot honor (typically because a
+    # custom_cell runs on a bare Simulator).  Campaign validation
+    # rejects configs — and CLI-injected flags — that set them, before
+    # any cell runs; they would otherwise fail every cell mid-run under
+    # a content-hash identity that can never be satisfied.
+    unsupported_exec_options: Tuple[str, ...] = ()
 
 
 def resolve_bounds(definition: RowDefinition, options: Dict) -> Dict:
@@ -150,6 +162,28 @@ def get_row(name: str) -> RowDefinition:
         ) from None
 
 
+def check_row_supports_options(row: str, options: Optional[Dict]) -> None:
+    """Raise :class:`ExecutionConfigError` if ``row`` cannot honor an
+    execution option actually demanded by ``options``.
+
+    The one honorability door shared by campaign spec validation and
+    the worker entry points.  Checked on the *normalized* options: an
+    option explicitly set to its default aliases an omitted one and
+    therefore demands nothing of the row.
+    """
+    definition = get_row(row)
+    unsupported = sorted(
+        set(normalize_execution_options(dict(options or {})))
+        & set(definition.unsupported_exec_options)
+    )
+    if unsupported:
+        raise ExecutionConfigError(
+            f"row {row!r} cannot honor execution option(s) {unsupported} "
+            f"(it runs a bespoke cell with no layer to consume them); "
+            f"drop the option or the row"
+        )
+
+
 def execute_cell(row: str, size: int, seed: int, options: Dict) -> CellResult:
     """Run one (row, size, seed) cell — the single-seed worker entry
     point (a one-seed block)."""
@@ -164,17 +198,28 @@ def execute_cell_block(
     The whole block shares one prepared engine via
     :func:`repro.campaign.cells.run_cells`, so a sharded campaign worker
     amortizes graph construction and engine setup exactly like the
-    serial sweep.  Execution-steering options (``resolution``,
-    ``lockstep``, ``contention_hist`` — see
-    :data:`repro.campaign.cells.EXECUTION_OPTION_KEYS`) are honored;
-    rows with a ``custom_cell`` run seed by seed, as before.
+    serial sweep.  Execution-steering options (the
+    :meth:`~repro.sim.config.ExecutionConfig.option_keys` subset of the
+    cell's ``options`` dict — ``resolution``, ``stepping``,
+    ``lockstep``, ``contention_hist``) become the block's
+    :class:`~repro.sim.config.ExecutionConfig`; rows with a
+    ``custom_cell`` run seed by seed, as before.
     """
     definition = get_row(row)
+    # Same door policy as CampaignSpec validation: reserved execution
+    # fields (record_trace, time_limit, hooks) in an options dict are
+    # rejected, never silently dropped — this also covers direct
+    # execute_cell/execute_cell_block callers that bypass a spec.
+    validate_execution_options(options)
+    check_row_supports_options(row, options)
     if definition.custom_cell is not None:
         return [
             definition.custom_cell(row, size, seed, options) for seed in seeds
         ]
     graph = GRAPH_FAMILIES[definition.graph_family](size)
+    config = ExecutionConfig.from_options(options)
+    if definition.record_trace:
+        config = config.replace(record_trace=True)
     return run_cells(
         graph,
         MODELS[definition.model],
@@ -183,9 +228,8 @@ def execute_cell_block(
         size=size,
         seeds=tuple(seeds),
         id_space_from_n=definition.id_space_from_n,
-        record_trace=definition.record_trace,
         extra_metrics=definition.extra_metrics,
-        **execution_options(options),
+        exec_config=config,
     )
 
 
@@ -472,7 +516,14 @@ register_row(RowDefinition(
 
 
 def _beta_cell(row: str, size: int, seed: int, options: Dict) -> CellResult:
-    """Partition(beta) statistics on a cycle — not a broadcast run."""
+    """Partition(beta) statistics on a cycle — not a broadcast run.
+
+    Execution options are honored where the bare engine can
+    (``resolution``/``stepping``); batch-level ones (``lockstep``,
+    ``contention_hist``) make the cell *fail loudly* — they are part of
+    the cell's content-hash identity, so silently ignoring them would
+    store unmarked default-execution results under a different key.
+    """
     from repro.core.partition import (
         PartitionParams,
         partition_once,
@@ -492,7 +543,11 @@ def _beta_cell(row: str, size: int, seed: int, options: Dict) -> CellResult:
         out = yield from partition_once(ctx, scheme, params)
         return out
 
-    result = Simulator(graph, NO_CD, seed=seed).run(proto)
+    # Simulator itself rejects lockstep/contention_hist configs.
+    result = Simulator(
+        graph, NO_CD, seed=seed,
+        exec_config=ExecutionConfig.from_options(options),
+    ).run(proto)
     clusters = [c for c, _, _ in result.outputs]
     cut = sum(1 for u, v in graph.edges if clusters[u] != clusters[v])
     n_clusters = len(partition_result_clusters(result.outputs)[0])
@@ -526,4 +581,7 @@ register_row(RowDefinition(
     default_seeds=(0, 1, 2),
     custom_cell=_beta_cell,
     columns=("n", "beta", "edge_cut_rate", "lemma14_bound", "clusters"),
+    # The partition runs on a bare Simulator: batch-level options have
+    # no layer to consume them here (see _beta_cell).
+    unsupported_exec_options=("lockstep", "contention_hist"),
 ))

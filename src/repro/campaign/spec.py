@@ -36,11 +36,23 @@ import json
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
+from repro.sim.config import normalize_execution_options
+
 __all__ = ["JobSpec", "RowPlan", "CampaignSpec", "job_key"]
 
 # Bump when the meaning of a job's stored payload changes incompatibly
 # (e.g. a row's recorded extras change); part of the content hash so
 # stale store entries never alias new runs.
+#
+# Deliberately NOT bumped for the PR-5 execution-option normalization:
+# bumping would re-key every existing store.  One narrow migration note
+# instead: a pre-PR-5 store built from a config that *explicitly* set an
+# execution option to its default (e.g. {"resolution": "bitmask"}) was
+# keyed with that option embedded; such cells now normalize to the
+# option-free key and will recompute once (the old records stay in the
+# append-only store, simply unreferenced).  Configs that never spelled
+# out default options — including every config in this repo — resume
+# unchanged.
 SPEC_VERSION = 2
 
 
@@ -237,6 +249,21 @@ class CampaignSpec:
             # Coerce axes to int at parse time: job keys are content
             # hashes, so 8.0 vs 8 would silently split cache identities
             # between the parent and the worker's round-tripped payload.
+            #
+            # Execution options are validated here — an invalid mode
+            # (e.g. "stepping": "phse") fails at config load with the
+            # allowed values, before any cell runs — and normalized to
+            # their minimal shape: an option explicitly set to its
+            # default hashes identically to an omitted one, so such a
+            # config aliases the same stored cells.
+            try:
+                options = normalize_execution_options(
+                    dict(entry.get("options") or {})
+                )
+            except ValueError as exc:
+                raise ValueError(
+                    f"row {entry['row']!r} has a bad execution option: {exc}"
+                ) from None
             rows.append(
                 RowPlan(
                     row=entry["row"],
@@ -248,7 +275,7 @@ class CampaignSpec:
                         tuple(int(s) for s in entry["seeds"])
                         if "seeds" in entry else None
                     ),
-                    options=dict(entry.get("options") or {}),
+                    options=options,
                 )
             )
         return cls(
@@ -299,7 +326,13 @@ class CampaignSpec:
     def job_blocks(self) -> Iterator[JobSpec]:
         """Expand the matrix to seed-block jobs — one per (row, size) —
         in deterministic order.  The sharded runner dispatches these so
-        workers batch a whole cell group on one prepared engine."""
+        workers batch a whole cell group on one prepared engine.
+
+        Options are normalized *here*, at the identity-computation
+        layer (not only at the ``from_dict`` door), so a
+        programmatically built spec with an execution option explicitly
+        set to its default still hashes — and resumes — identically to
+        the option-free spec."""
         from repro.campaign.registry import get_row
 
         for plan in self.rows:
@@ -307,7 +340,9 @@ class CampaignSpec:
             sizes, seeds = self.resolve_sizes_seeds(
                 plan, definition.default_sizes, definition.default_seeds
             )
-            options = tuple(sorted(plan.options.items()))
+            options = tuple(sorted(
+                normalize_execution_options(plan.options).items()
+            ))
             for size in sizes:
                 yield JobSpec(
                     row=plan.row, size=int(size),
@@ -322,7 +357,9 @@ class CampaignSpec:
             yield from block.cells()
 
     def validate(self) -> None:
-        """Raise ``ValueError`` on unknown rows (before any work starts)."""
+        """Raise ``ValueError`` on unknown rows or invalid execution
+        options (before any work starts) — a typo'd mode fails here with
+        the allowed values, not mid-run inside the engine."""
         from repro.campaign.registry import ROW_REGISTRY
 
         unknown = sorted(
@@ -333,3 +370,21 @@ class CampaignSpec:
                 f"unknown campaign rows {unknown}; "
                 f"available: {sorted(ROW_REGISTRY)}"
             )
+        from repro.sim.config import validate_execution_options
+
+        for plan in self.rows:
+            try:
+                validate_execution_options(plan.options)
+            except ValueError as exc:
+                raise ValueError(
+                    f"row {plan.row!r} has a bad execution option: {exc}"
+                ) from None
+            # Row-specific honorability: a custom-cell row that cannot
+            # consume an option must refuse the campaign up front —
+            # otherwise every one of its cells would fail mid-run under
+            # an identity that can never be satisfied.  (The raised
+            # ExecutionConfigError is a ValueError, so existing config-
+            # error handling catches it.)
+            from repro.campaign.registry import check_row_supports_options
+
+            check_row_supports_options(plan.row, plan.options)

@@ -17,6 +17,16 @@ Commands:
   [--min-ref-speedup X]`` — run the engine microbenchmarks, write
   ``BENCH_engine.json``, and optionally fail if the engine is not fast
   enough (the CI perf-smoke tripwire).
+
+The ``figure1``, ``table1``, ``ablations``, ``campaign``, and ``bench``
+subcommands share one execution-options group (``--resolution``,
+``--stepping``, ``--lockstep``/``--no-lockstep``,
+``--contention-hist``/``--no-contention-hist``), generated from the
+:class:`repro.sim.config.ExecutionConfig` field schema.  Precedence is
+CLI > cell options > defaults; on campaigns the flags become part of
+each cell's content-hash identity (pass the same flags to
+``status``/``report``), except that explicit default values normalize
+away and alias the flag-free cells.
 """
 
 from __future__ import annotations
@@ -26,6 +36,14 @@ import inspect
 import os
 import sys
 from typing import List, Optional
+
+from repro.sim.config import (
+    ExecutionConfigError,
+    add_execution_args,
+    config_from_args,
+    execution_overrides,
+    normalize_execution_options,
+)
 
 __all__ = ["main"]
 
@@ -48,7 +66,11 @@ _TABLE1_ROWS = {
 def _cmd_figure1(args) -> int:
     from repro.experiments import figure1
 
-    print(figure1(n=args.n, seed=args.seed))
+    # Every flag the subcommand exposes is honorable (unusable ones are
+    # excluded from its parser), so runtime errors keep their tracebacks.
+    print(figure1(
+        n=args.n, seed=args.seed, exec_config=config_from_args(args)
+    ))
     return 0
 
 
@@ -56,22 +78,24 @@ def _row_overrides(
     fn,
     seeds: Optional[int],
     sizes_scale: Optional[float],
-    contention_hist: bool = False,
+    exec_options: Optional[dict] = None,
 ):
     """kwargs rescaling a Table 1 runner's default workload.
 
     ``--seeds N`` replaces the seed tuple with ``range(N)``;
     ``--sizes-scale F`` multiplies the row's default sizes (the lower
     bound rows call them ``ks``) by F, clamped to >= 2;
-    ``--contention-hist`` turns on the channel-load observer for rows
-    that accept options (the registry-backed sweeps).
+    ``exec_options`` (the shared execution flags — ``--resolution``,
+    ``--stepping``, ``--lockstep``, ``--contention-hist``) ride into
+    the row's ``options`` dict for rows that accept options (the
+    registry-backed sweeps).
     """
     parameters = inspect.signature(fn).parameters
     kwargs = {}
     if seeds is not None and "seeds" in parameters:
         kwargs["seeds"] = tuple(range(seeds))
-    if contention_hist and "options" in parameters:
-        kwargs["options"] = {"contention_hist": True}
+    if exec_options and "options" in parameters:
+        kwargs["options"] = dict(exec_options)
     if sizes_scale is not None:
         for name in ("sizes", "ks"):
             default = getattr(parameters.get(name), "default", None)
@@ -100,11 +124,34 @@ def _cmd_table1(args) -> int:
     if args.sizes_scale is not None and args.sizes_scale <= 0:
         print("--sizes-scale must be > 0")
         return 2
+    exec_options = execution_overrides(args)
+    if exec_options:
+        # Pre-flight: reject a flag some selected row cannot honor
+        # before ANY row runs (the bespoke lower-bound runners publish
+        # a cheap validator; registry rows honor the full option set).
+        for row in rows:
+            fn = getattr(experiments, _TABLE1_ROWS[row])
+            validator = getattr(fn, "validate_exec_options", None)
+            if validator is None:
+                continue
+            try:
+                validator(exec_options)
+            except ExecutionConfigError as exc:
+                print(f"row {row!r}: {exc}")
+                return 2
     for row in rows:
         fn = getattr(experiments, _TABLE1_ROWS[row])
-        _, table = fn(**_row_overrides(
-            fn, args.seeds, args.sizes_scale, args.contention_hist
-        ))
+        try:
+            _, table = fn(**_row_overrides(
+                fn, args.seeds, args.sizes_scale, exec_options
+            ))
+        except ExecutionConfigError as exc:
+            # e.g. --contention-hist on a bespoke lower-bound row: the
+            # layer that cannot honor the option refuses loudly.  Only
+            # *configuration* errors get the one-line treatment; genuine
+            # runtime ValueErrors keep their tracebacks.
+            print(f"row {row!r}: {exc}")
+            return 2
         print(table)
         print()
     return 0
@@ -121,13 +168,17 @@ def _campaign_store(args):
 
     try:
         spec = CampaignSpec.from_json_file(args.config)
-        if getattr(args, "contention_hist", False):
-            # The analytics ride-along is part of a cell's identity (it
-            # changes the stored extras), so it is injected into every
-            # row's options — pass the flag to status/report too when
-            # inspecting a campaign that ran with it.
+        overrides = execution_overrides(args)
+        if overrides:
+            # CLI beats cell options beats defaults.  Execution options
+            # are part of a cell's content-hash identity, so pass the
+            # same flags to status/report when inspecting a campaign
+            # that ran with them; normalization keeps explicit defaults
+            # aliased to the flag-free identity.
             for plan in spec.rows:
-                plan.options = {**plan.options, "contention_hist": True}
+                plan.options = normalize_execution_options(
+                    {**plan.options, **overrides}
+                )
         spec.validate()
     except FileNotFoundError:
         raise _ConfigError(f"config not found: {args.config}")
@@ -187,10 +238,20 @@ def _cmd_bench(args) -> int:
         check_thresholds,
         format_report,
         run_engine_benchmarks,
+        validate_bench_config,
         write_results,
     )
 
-    report = run_engine_benchmarks(quick=args.quick)
+    exec_config = config_from_args(args)
+    try:
+        # Validate flags up front: a bad config fails in milliseconds
+        # with a clean message, and runtime errors from the (long)
+        # benchmark itself keep their tracebacks.
+        validate_bench_config(exec_config)
+    except ExecutionConfigError as exc:
+        print(exc)
+        return 2
+    report = run_engine_benchmarks(quick=args.quick, exec_config=exec_config)
     write_results(report, args.out)
     print(format_report(report))
     print(f"wrote {args.out}")
@@ -207,11 +268,13 @@ def _cmd_bench(args) -> int:
 
 
 def _cmd_ablations(args) -> int:
-    del args
     from repro.experiments import ablate_beta, ablate_probe, ablate_ps
 
+    # Unusable flags are excluded from this subcommand's parser, so
+    # whatever arrives here is honorable by every ablation.
+    exec_config = config_from_args(args)
     for fn in (ablate_probe, ablate_ps, ablate_beta):
-        _, table = fn()
+        _, table = fn(exec_config=exec_config)
         print(table)
         print()
     return 0
@@ -254,9 +317,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    # Single-run subcommands get only the flags they can honor:
+    # contention_hist needs the cells layer's extras channel, and the
+    # beta ablation runs on a bare (serial) Simulator.
     p_fig = sub.add_parser("figure1", help="render the Figure 1 timeline")
     p_fig.add_argument("--n", type=int, default=32)
     p_fig.add_argument("--seed", type=int, default=0)
+    add_execution_args(p_fig, exclude=("contention_hist",))
     p_fig.set_defaults(func=_cmd_figure1)
 
     p_tab = sub.add_parser("table1", help="run Table 1 row experiments")
@@ -271,14 +338,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--sizes-scale", type=float, default=None,
         help="multiply each row's default sizes by this factor (min 2)",
     )
-    p_tab.add_argument(
-        "--contention-hist", action="store_true",
-        help="record per-slot channel load / collision analytics as "
-             "ch_* extras (registry-backed rows)",
-    )
+    add_execution_args(p_tab)
     p_tab.set_defaults(func=_cmd_table1)
 
     p_abl = sub.add_parser("ablations", help="run the ablations")
+    add_execution_args(p_abl, exclude=("contention_hist", "lockstep"))
     p_abl.set_defaults(func=_cmd_ablations)
 
     p_bench = sub.add_parser(
@@ -314,6 +378,11 @@ def build_parser() -> argparse.ArgumentParser:
              "path end-to-end by this factor on the phase-gated "
              "workloads",
     )
+    # The shared flags re-center the bench matrix: the primary "engine"
+    # runner uses this base config and the comparison runners derive
+    # from it.  Batch-only fields are excluded (run_engine_benchmarks
+    # also rejects them when set programmatically).
+    add_execution_args(p_bench, exclude=("contention_hist", "lockstep"))
     p_bench.set_defaults(func=_cmd_bench)
 
     p_demo = sub.add_parser("demo", help="decay vs Algorithm 1 on a chain")
@@ -330,12 +399,11 @@ def build_parser() -> argparse.ArgumentParser:
             "--out", default=None,
             help="results directory (default: campaigns/<name>)",
         )
-        sub_parser.add_argument(
-            "--contention-hist", action="store_true",
-            help="add per-slot channel-load analytics to every cell "
-                 "(changes cell identity; use the same flag for "
-                 "status/report)",
-        )
+        # Execution flags are injected into every row's options (CLI >
+        # cell options > defaults).  They are part of each cell's
+        # content-hash identity, so use the same flags for
+        # status/report as for run.
+        add_execution_args(sub_parser)
 
     p_run = camp_sub.add_parser("run", help="execute pending campaign cells")
     add_campaign_common(p_run)

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import random
 import statistics
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.broadcast import (
     ClusterBroadcastParams,
@@ -29,13 +29,17 @@ from repro.core.partition import (
 )
 from repro.core.schemes import SRScheme
 from repro.graphs import cycle_graph, random_gnp
-from repro.sim import CD, NO_CD, Knowledge, Simulator
+from repro.sim import CD, NO_CD, ExecutionConfig, Knowledge, Simulator
 from repro.graphs.properties import diameter as graph_diameter
 
 __all__ = ["ablate_probe", "ablate_ps", "ablate_beta"]
 
 
-def ablate_probe(n: int = 12, seeds: Sequence[int] = (0, 1, 2)) -> Tuple[Dict, str]:
+def ablate_probe(
+    n: int = 12,
+    seeds: Sequence[int] = (0, 1, 2),
+    exec_config: Optional[ExecutionConfig] = None,
+) -> Tuple[Dict, str]:
     """CD clustering broadcast with and without Remark 9 probes."""
     graph = random_gnp(n, 0.3, random.Random(n))
     knowledge = Knowledge(
@@ -54,7 +58,7 @@ def ablate_probe(n: int = 12, seeds: Sequence[int] = (0, 1, 2)) -> Tuple[Dict, s
         for seed in seeds:
             outcome = run_broadcast(
                 graph, CD, cluster_broadcast_protocol(params),
-                knowledge=knowledge, seed=seed,
+                knowledge=knowledge, seed=seed, exec_config=exec_config,
             )
             energy.append(outcome.max_energy)
         results["probe" if probe else "no-probe"] = statistics.median(energy)
@@ -66,7 +70,11 @@ def ablate_probe(n: int = 12, seeds: Sequence[int] = (0, 1, 2)) -> Tuple[Dict, s
     return results, text
 
 
-def ablate_ps(n: int = 12, seeds: Sequence[int] = (0, 1)) -> Tuple[Dict, str]:
+def ablate_ps(
+    n: int = 12,
+    seeds: Sequence[int] = (0, 1),
+    exec_config: Optional[ExecutionConfig] = None,
+) -> Tuple[Dict, str]:
     """(p, s) tradeoff: Theorem 11 vs Theorem 12 parameterizations in CD."""
     graph = random_gnp(n, 0.3, random.Random(n))
     knowledge = Knowledge(
@@ -82,7 +90,7 @@ def ablate_ps(n: int = 12, seeds: Sequence[int] = (0, 1)) -> Tuple[Dict, str]:
         for seed in seeds:
             outcome = run_broadcast(
                 graph, CD, cluster_broadcast_protocol(params),
-                knowledge=knowledge, seed=seed,
+                knowledge=knowledge, seed=seed, exec_config=exec_config,
             )
             energies.append(outcome.max_energy)
             times.append(outcome.duration)
@@ -104,8 +112,13 @@ def ablate_ps(n: int = 12, seeds: Sequence[int] = (0, 1)) -> Tuple[Dict, str]:
 def ablate_beta(
     n: int = 40, betas: Sequence[float] = (0.15, 0.3, 0.6),
     seeds: Sequence[int] = (0, 1, 2),
+    exec_config: Optional[ExecutionConfig] = None,
 ) -> Tuple[List[Dict], str]:
-    """Partition(beta): edge-cut fraction and cluster count vs beta."""
+    """Partition(beta): edge-cut fraction and cluster count vs beta.
+
+    The partition runs on a bare :class:`Simulator`, so batch-level
+    ``exec_config`` fields (``lockstep``, ``contention_hist``) are
+    rejected by the engine."""
     graph = cycle_graph(n)
     scheme = SRScheme("No-CD", 2, failure=0.02)
     rows = []
@@ -118,7 +131,9 @@ def ablate_beta(
 
         cut_rates, counts = [], []
         for seed in seeds:
-            outputs = Simulator(graph, NO_CD, seed=seed).run(proto).outputs
+            outputs = Simulator(
+                graph, NO_CD, seed=seed, exec_config=exec_config
+            ).run(proto).outputs
             clusters = [c for c, _, _ in outputs]
             cut = sum(
                 1 for u, v in graph.edges if clusters[u] != clusters[v]

@@ -68,6 +68,7 @@ from repro.graphs.graph import Graph
 from repro.sim import (
     LOCAL,
     NO_CD,
+    ExecutionConfig,
     Idle,
     Knowledge,
     Listen,
@@ -76,6 +77,7 @@ from repro.sim import (
     Send,
     Simulator,
 )
+from repro.sim.config import ExecutionConfigError
 from repro.sim.feedback import is_message
 from repro.sim.batch import run_trials
 from repro.sim.legacy import LegacySimulator
@@ -88,6 +90,7 @@ from repro.sim.resolution import RESOLUTION_MODES, create_backend, numpy_availab
 __all__ = [
     "BenchWorkload",
     "default_workloads",
+    "validate_bench_config",
     "run_engine_benchmarks",
     "check_thresholds",
     "write_results",
@@ -371,7 +374,8 @@ def _time_best(make_runner: Callable[[], Any], protocol, inputs, reps: int):
 
 
 def _runners(
-    graph, model, knowledge, time_limit, protocol, slot_protocol
+    graph, model, knowledge, time_limit, protocol, slot_protocol,
+    base_config: ExecutionConfig,
 ) -> Dict[str, Tuple[Callable[[], Any], Callable]]:
     """name -> (make_runner, protocol) pairs.
 
@@ -380,40 +384,55 @@ def _runners(
     when it is an explicit variant rather than the expander wrapper, by
     ``engine_slot`` — so the phase-vs-slot ratio compares against the
     honest pre-phase-ABI stepping cost.
+
+    ``base_config`` centers the matrix: the primary ``engine`` runner
+    uses it verbatim and every comparison runner derives from it via
+    :meth:`~repro.sim.config.ExecutionConfig.replace` — so one config
+    edit (or one CLI flag) re-centers the whole comparison.
     """
-    common = dict(seed=0, knowledge=knowledge, time_limit=time_limit)
+    base = base_config.replace(
+        time_limit=base_config.resolved_time_limit(time_limit)
+    )
+    common = dict(seed=0, knowledge=knowledge)
+
+    def sim(config: ExecutionConfig) -> Callable[[], Simulator]:
+        return lambda: Simulator(graph, model, exec_config=config, **common)
+
+    runners = {"engine": (sim(base), protocol)}
+    # A comparison runner is skipped when re-centering makes it
+    # config-identical to the primary engine (same condition that
+    # suppresses its ratio key): timing the same configuration twice
+    # would only burn reps.
     if slot_protocol is None:
         # No explicit per-slot variant: expand plans per slot.
         slot_protocol = as_slot_protocol(protocol)
-        engine_slot = (
-            lambda: Simulator(graph, model, stepping="slot", **common),
-            protocol,
-        )
+        if base.stepping != "slot":
+            runners["engine_slot"] = (
+                sim(base.replace(stepping="slot")), protocol
+            )
     else:
-        engine_slot = (
-            lambda: Simulator(graph, model, **common),
-            slot_protocol,
+        # An explicit per-slot protocol differs from the plan-emitting
+        # one even under identical configs: always worth timing.
+        runners["engine_slot"] = (sim(base), slot_protocol)
+    if base.resolution != "list":
+        runners["engine_list_path"] = (
+            sim(base.replace(resolution="list")), protocol
         )
-    runners = {
-        "engine": (lambda: Simulator(graph, model, **common), protocol),
-        "engine_slot": engine_slot,
-        "engine_list_path": (
-            lambda: Simulator(graph, model, resolution="list", **common),
-            protocol,
+    runners["legacy_engine"] = (
+        lambda: LegacySimulator(
+            graph, model, time_limit=base.time_limit, **common
         ),
-        "legacy_engine": (
-            lambda: LegacySimulator(graph, model, **common),
-            slot_protocol,
+        slot_protocol,
+    )
+    runners["reference"] = (
+        lambda: ReferenceSimulator(
+            graph, model, time_limit=base.time_limit, **common
         ),
-        "reference": (
-            lambda: ReferenceSimulator(graph, model, **common),
-            protocol,
-        ),
-    }
-    if numpy_available():
+        protocol,
+    )
+    if numpy_available() and base.resolution != "numpy":
         runners["engine_numpy"] = (
-            lambda: Simulator(graph, model, resolution="numpy", **common),
-            protocol,
+            sim(base.replace(resolution="numpy")), protocol
         )
     return runners
 
@@ -452,7 +471,8 @@ def _backend_replay(
     recorder = _SlotRecorder()
     Simulator(
         graph, model, seed=0, knowledge=knowledge,
-        time_limit=time_limit, observers=(recorder,),
+        observers=(recorder,),
+        exec_config=ExecutionConfig(time_limit=time_limit),
     ).run(protocol, inputs=inputs)
     slots = recorder.slots
     if not slots:  # e.g. a protocol that only idles: nothing to replay
@@ -518,29 +538,32 @@ def _lockstep_section(quick: bool) -> Dict:
     slot_protocol = _dense_protocol(slots)
     phase_protocol = _dense_protocol_phase(slots)
     batched_res = "numpy" if numpy_available() else "bitmask"
-    variants: Dict[str, Tuple[Callable, Dict]] = {
+    variants: Dict[str, Tuple[Callable, ExecutionConfig]] = {
         "serial_slot": (
-            slot_protocol, dict(resolution="bitmask", lockstep=False)
+            slot_protocol, ExecutionConfig(resolution="bitmask")
         ),
         "serial_phase": (
-            phase_protocol, dict(resolution="bitmask", lockstep=False)
+            phase_protocol, ExecutionConfig(resolution="bitmask")
         ),
         "lockstep_slot": (
-            slot_protocol, dict(resolution=batched_res, lockstep=True)
+            slot_protocol,
+            ExecutionConfig(resolution=batched_res, lockstep=True),
         ),
         "lockstep_phase": (
-            phase_protocol, dict(resolution=batched_res, lockstep=True)
+            phase_protocol,
+            ExecutionConfig(resolution=batched_res, lockstep=True),
         ),
     }
     seconds = {}
     results = {}
-    for name, (protocol, opts) in variants.items():
+    for name, (protocol, config) in variants.items():
         best = float("inf")
         outcome = None
         for _ in range(3):
             start = time.perf_counter()
             outcome = run_trials(
-                graph, NO_CD, protocol, seeds, knowledge=knowledge, **opts
+                graph, NO_CD, protocol, seeds, knowledge=knowledge,
+                exec_config=config,
             )
             best = min(best, time.perf_counter() - start)
         seconds[name] = best
@@ -556,8 +579,16 @@ def _lockstep_section(quick: bool) -> Dict:
     entry: Dict[str, Any] = {
         "description": (
             f"dense clique n={n}, No-CD, {slots} slots x {len(seeds)} seeds"
-            f" (lock-step resolution: {batched_res})"
+            f" (lock-step resolution: {batched_res}; fixed configs — the "
+            f"bench's re-centering flags do not apply here)"
         ),
+        # The four variants are deliberately pinned (the section's value
+        # is its run-over-run comparability), so their actual configs
+        # are recorded rather than inherited from the bench base.
+        "configs": {
+            name: config.to_dict(include_defaults=True)
+            for name, (_, config) in variants.items()
+        },
         "seconds": {k: round(v, 6) for k, v in seconds.items()},
         "equivalent": equivalent,
         # Headline: the batched executor with phase stepping vs the PR-3
@@ -581,17 +612,60 @@ def _lockstep_section(quick: bool) -> Dict:
     return entry
 
 
+def validate_bench_config(config: ExecutionConfig) -> None:
+    """Reject config fields the benchmark matrix cannot honor.
+
+    Called by :func:`run_engine_benchmarks` and, separately, by the CLI
+    *before* the run starts — so a bad flag fails in milliseconds with a
+    clean message instead of being caught (together with unrelated
+    runtime errors) around a minutes-long benchmark.
+    """
+    for bad_field, why in (
+        ("lockstep", "the lockstep_trials section measures it explicitly"),
+        ("contention_hist", "bench results carry no extras channel"),
+        ("observer_factory", "bench times bare runs"),
+        ("model_factory", "bench workloads fix their channel model"),
+        ("record_trace", "tracing would slow only the engine runners, "
+                         "skewing every speedup ratio"),
+    ):
+        if getattr(config, bad_field):
+            raise ExecutionConfigError(
+                f"bench cannot honor exec_config.{bad_field} ({why})"
+            )
+    if not config.meter_energy:
+        raise ExecutionConfigError(
+            "bench cannot honor exec_config.meter_energy=False: the "
+            "legacy/reference runners always meter, so the equivalence "
+            "check would fail by construction"
+        )
+
+
 def run_engine_benchmarks(
     quick: bool = False,
     workloads: Optional[Sequence[BenchWorkload]] = None,
+    exec_config: Optional[ExecutionConfig] = None,
 ) -> Dict:
-    """Time every workload on every runner; verify equivalence; report."""
+    """Time every workload on every runner; verify equivalence; report.
+
+    ``exec_config`` re-centers the runner matrix: the primary ``engine``
+    runner uses it and the comparison runners derive from it (see
+    :func:`_runners`).  Per-run fields only — batch-level fields
+    (``lockstep``, ``contention_hist``, the per-seed hooks) and
+    ``meter_energy=False`` (which would break the cross-runner energy
+    equivalence check) are rejected.
+    """
+    base_config = exec_config or ExecutionConfig()
+    validate_bench_config(base_config)
     if workloads is None:
         workloads = default_workloads(quick=quick)
     report: Dict[str, Any] = {
         "generated_by": "repro bench",
         "quick": bool(quick),
         "python": platform.python_version(),
+        # Applies to the workload runner matrix only; the
+        # lockstep_trials section runs a fixed four-way comparison and
+        # records its own per-variant configs.
+        "workload_exec_config": base_config.to_dict(include_defaults=True),
         "workloads": {},
     }
     for workload in workloads:
@@ -601,7 +675,7 @@ def run_engine_benchmarks(
         results = {}
         for name, (make_runner, runner_protocol) in _runners(
             graph, model, knowledge, workload.time_limit,
-            protocol, slot_protocol,
+            protocol, slot_protocol, base_config,
         ).items():
             timings[name], results[name] = _time_best(
                 make_runner, runner_protocol, inputs, workload.reps
@@ -634,18 +708,25 @@ def run_engine_benchmarks(
                 if r.gen_entries
             },
             "speedup_vs_legacy": round(timings["legacy_engine"] / engine_seconds, 3),
-            "speedup_vs_list_path": round(
-                timings["engine_list_path"] / engine_seconds, 3
-            ),
             "speedup_vs_reference": round(timings["reference"] / engine_seconds, 3),
-            "speedup_phase_vs_slot": round(
-                timings["engine_slot"] / engine_seconds, 3
-            ),
             "equivalent": equivalent,
             "legacy_gate": workload.legacy_gate,
             "phase_gate": workload.phase_gate,
         }
-        if "engine_numpy" in timings:
+        # The fixed-axis ratio keys name their baseline ("vs list path",
+        # "numpy vs bitmask", "phase vs slot"), so they are only emitted
+        # when the re-centerable base config actually sits on the named
+        # baseline — otherwise the key would record a same-config timing
+        # under a wrong-by-name label.
+        if base_config.resolution != "list":
+            entry["speedup_vs_list_path"] = round(
+                timings["engine_list_path"] / engine_seconds, 3
+            )
+        if base_config.stepping == "phase":
+            entry["speedup_phase_vs_slot"] = round(
+                timings["engine_slot"] / engine_seconds, 3
+            )
+        if "engine_numpy" in timings and base_config.resolution == "bitmask":
             # Whole-run ratio: generator stepping (backend-independent)
             # is included, so this understates the backend-level gap —
             # see resolution_backends for the isolated measurement.
@@ -660,21 +741,23 @@ def run_engine_benchmarks(
         report["workloads"][workload.name] = entry
     report["numpy_available"] = numpy_available()
     report["lockstep_trials"] = _lockstep_section(quick)
-    report["summary"] = {
-        f"min_{key}": min(
+    summary: Dict[str, float] = {}
+    for key in (
+        "speedup_vs_legacy",
+        "speedup_vs_list_path",
+        "speedup_vs_reference",
+    ):
+        values = [
             entry[key] for entry in report["workloads"].values()
-        )
-        for key in (
-            "speedup_vs_legacy",
-            "speedup_vs_list_path",
-            "speedup_vs_reference",
-        )
-        if report["workloads"]
-    }
+            if key in entry
+        ]
+        if values:
+            summary[f"min_{key}"] = min(values)
+    report["summary"] = summary
     phase_ratios = [
         entry["speedup_phase_vs_slot"]
         for entry in report["workloads"].values()
-        if entry.get("phase_gate")
+        if entry.get("phase_gate") and "speedup_phase_vs_slot" in entry
     ]
     if phase_ratios:
         report["summary"]["min_phase_vs_slot"] = min(phase_ratios)
@@ -750,16 +833,19 @@ def check_thresholds(
                 f"{name}: speedup_vs_reference {entry['speedup_vs_reference']}x "
                 f"< required {min_ref_speedup}x"
             )
-        if (
-            min_phase_speedup is not None
-            and entry.get("phase_gate")
-            and entry["speedup_phase_vs_slot"] < min_phase_speedup
-        ):
-            violations.append(
-                f"{name}: speedup_phase_vs_slot "
-                f"{entry['speedup_phase_vs_slot']}x "
-                f"< required {min_phase_speedup}x"
-            )
+        if min_phase_speedup is not None and entry.get("phase_gate"):
+            phase_ratio = entry.get("speedup_phase_vs_slot")
+            if phase_ratio is None:
+                violations.append(
+                    f"{name}: min-phase-speedup requested but the phase-vs-"
+                    f"slot ratio was not measured (exec_config re-centered "
+                    f"the bench off stepping='phase')"
+                )
+            elif phase_ratio < min_phase_speedup:
+                violations.append(
+                    f"{name}: speedup_phase_vs_slot {phase_ratio}x "
+                    f"< required {min_phase_speedup}x"
+                )
     return violations
 
 
@@ -771,16 +857,21 @@ def write_results(report: Dict, path: str) -> None:
 
 def format_report(report: Dict) -> str:
     lines = ["engine microbenchmarks (slots/sec; speedups are vs the engine)"]
+
+    def fmt_ratio(entry, key):
+        value = entry.get(key)
+        return f"x{value:.2f}" if value is not None else "n/a"
+
     for name, entry in report["workloads"].items():
         lines.append(f"  {name}: {entry['description']}")
         lines.append(
-            "    engine {engine:>12.1f} slots/s | phase-vs-slot x{phase:.2f} | "
-            "legacy x{legacy:.2f} | list-path x{list_path:.2f} | "
+            "    engine {engine:>12.1f} slots/s | phase-vs-slot {phase} | "
+            "legacy x{legacy:.2f} | list-path {list_path} | "
             "reference x{ref:.2f} | equivalent={eq}".format(
                 engine=entry["slots_per_sec"]["engine"],
-                phase=entry["speedup_phase_vs_slot"],
+                phase=fmt_ratio(entry, "speedup_phase_vs_slot"),
                 legacy=entry["speedup_vs_legacy"],
-                list_path=entry["speedup_vs_list_path"],
+                list_path=fmt_ratio(entry, "speedup_vs_list_path"),
                 ref=entry["speedup_vs_reference"],
                 eq=entry["equivalent"],
             )

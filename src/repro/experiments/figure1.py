@@ -14,7 +14,7 @@ from typing import List, Optional
 from repro.broadcast.base import run_broadcast
 from repro.broadcast.path import path_broadcast_protocol
 from repro.graphs import path_graph
-from repro.sim import LOCAL, Knowledge
+from repro.sim import LOCAL, ExecutionConfig, Knowledge
 from repro.sim.feedback import is_message
 
 __all__ = ["render_path_timeline", "figure1"]
@@ -32,7 +32,10 @@ def render_path_timeline(outcome, n: int, max_rows: Optional[int] = None) -> str
     """ASCII timeline from a traced run (vertex columns, slot rows)."""
     trace = outcome.sim.trace
     if trace is None:
-        raise ValueError("render_path_timeline needs record_trace=True")
+        raise ValueError(
+            "render_path_timeline needs a traced run "
+            "(exec_config=ExecutionConfig(record_trace=True))"
+        )
     last = trace.last_slot()
     rows = last + 1 if max_rows is None else min(last + 1, max_rows)
     grid: List[List[str]] = [[" "] * n for _ in range(rows)]
@@ -54,14 +57,24 @@ def render_path_timeline(outcome, n: int, max_rows: Optional[int] = None) -> str
     return "\n".join(lines)
 
 
-def figure1(n: int = 32, seed: int = 0) -> str:
+def figure1(
+    n: int = 32,
+    seed: int = 0,
+    exec_config: Optional[ExecutionConfig] = None,
+) -> str:
     """Regenerate Figure 1: run Algorithm 1 on an n-vertex path and render
-    the traffic timeline."""
+    the traffic timeline.
+
+    ``exec_config`` steers how the traced run executes (resolution
+    backend, stepping mode, ...); tracing itself is always on — it is
+    what the figure renders.
+    """
     graph = path_graph(n)
     knowledge = Knowledge(n=n, max_degree=2, diameter=n - 1)
+    config = (exec_config or ExecutionConfig()).replace(record_trace=True)
     outcome = run_broadcast(
         graph, LOCAL, path_broadcast_protocol(oriented=True),
-        knowledge=knowledge, seed=seed, record_trace=True,
+        knowledge=knowledge, seed=seed, exec_config=config,
     )
     status = "delivered" if outcome.delivered else "FAILED"
     header = (

@@ -15,7 +15,7 @@ same seeds.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.broadcast.base import BroadcastOutcome
 from repro.campaign.cells import (
@@ -25,6 +25,7 @@ from repro.campaign.cells import (
     run_cells,
 )
 from repro.graphs.graph import Graph
+from repro.sim.config import UNSET, ExecutionConfig, resolve_exec_config
 from repro.sim.models import ChannelModel
 
 __all__ = ["SweepPoint", "sweep", "format_table", "geometric_sizes"]
@@ -51,22 +52,42 @@ def sweep(
     model: ChannelModel,
     seeds: Sequence[int] = (0, 1, 2),
     source: int = 0,
+    *,
     id_space_from_n: bool = False,
     extra_metrics: Optional[Callable[[BroadcastOutcome], Dict[str, float]]] = None,
-    record_trace: bool = False,
-    resolution: str = "bitmask",
-    lockstep: bool = False,
-    contention_hist: bool = False,
+    exec_config: Optional[ExecutionConfig] = None,
+    record_trace: Any = UNSET,
+    resolution: Any = UNSET,
+    lockstep: Any = UNSET,
+    contention_hist: Any = UNSET,
 ) -> List[SweepPoint]:
     """Run ``protocol_builder(graph)`` on every size and seed; aggregate.
 
     Each size's seeds run as one batch on the shared engine core
     (:func:`repro.campaign.cells.run_cells`), so serial sweeps and
     sharded campaigns execute the identical per-cell computation.
-    ``resolution`` / ``lockstep`` steer how that batch executes
-    (measurements are byte-identical); ``contention_hist`` adds the
-    per-slot channel-load analytics to every point's extras.
+    ``exec_config`` gives the serial driver the *full* execution
+    surface.  ``resolution`` backend, ``stepping`` mode, ``lockstep``
+    batching, and per-seed ``observer_factory`` hooks are
+    measurement-neutral (byte-identical results); ``contention_hist``
+    adds the per-slot channel-load analytics to every point's extras;
+    and the remaining fields *can* change what comes back —
+    ``meter_energy=False`` zeroes every energy column (throughput
+    benchmarking only), a small ``time_limit`` can abort runs, and
+    ``model_factory`` substitutes the channel itself.  The per-knob
+    keyword arguments are the deprecated forms of the matching config
+    fields.
     """
+    config = resolve_exec_config(
+        exec_config,
+        dict(
+            record_trace=record_trace,
+            resolution=resolution,
+            lockstep=lockstep,
+            contention_hist=contention_hist,
+        ),
+        where="sweep",
+    )
     points: List[SweepPoint] = []
     for size in sizes:
         graph = graph_factory(size)
@@ -80,11 +101,8 @@ def sweep(
             seeds=seeds,
             source=source,
             knowledge=knowledge,
-            record_trace=record_trace,
             extra_metrics=extra_metrics,
-            resolution=resolution,
-            lockstep=lockstep,
-            contention_hist=contention_hist,
+            exec_config=config,
         )
         points.append(aggregate_cells(cells))
     return points

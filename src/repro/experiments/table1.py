@@ -33,7 +33,14 @@ from repro.campaign.registry import (
 from repro.experiments.harness import format_table, sweep
 from repro.graphs import k2k_gadget, path_graph
 from repro.lowerbounds import derive_leader_election, energy_before_reception
-from repro.sim import LOCAL, NO_CD, Knowledge
+from repro.sim import (
+    LOCAL,
+    NO_CD,
+    ExecutionConfig,
+    Knowledge,
+    validate_execution_options,
+)
+from repro.sim.config import ExecutionConfigError
 from repro.sim.models import MODELS
 
 __all__ = [
@@ -63,13 +70,19 @@ def registry_row(
 
     The exact computation a campaign shards: same builder, same graph
     family, same bounds — just driven by the in-process ``sweep()``.
-    Execution-steering options (``resolution``, ``lockstep``,
-    ``contention_hist``) are honored like the campaign path honors them.
+    Execution-steering options (the
+    :meth:`~repro.sim.config.ExecutionConfig.option_keys` subset of
+    ``options``) are honored like the campaign path honors them.
     """
-    from repro.campaign.cells import execution_options
-
     definition = get_row(name)
     options = options or {}
+    # Reject reserved execution fields (record_trace, time_limit, ...)
+    # the options dict cannot carry — same contract as the campaign
+    # spec door — then extract the cell-option subset.
+    validate_execution_options(options)
+    config = ExecutionConfig.from_options(options)
+    if definition.record_trace:
+        config = config.replace(record_trace=True)
     points = sweep(
         name,
         GRAPH_FAMILIES[definition.graph_family],
@@ -78,9 +91,8 @@ def registry_row(
         MODELS[definition.model],
         seeds=seeds if seeds is not None else definition.default_seeds,
         id_space_from_n=definition.id_space_from_n,
-        record_trace=definition.record_trace,
         extra_metrics=definition.extra_metrics,
-        **execution_options(options),
+        exec_config=config,
     )
     columns = definition.columns
     if options.get("contention_hist"):
@@ -197,12 +209,33 @@ def baseline_decay(sizes: Sequence[int] = _DECAY_SIZES, seeds=_DECAY_SEEDS, opti
 # --- lower-bound rows ------------------------------------------------------
 
 
+def _lb_exec_config(options: Optional[Dict]) -> ExecutionConfig:
+    """Execution config for the bespoke lower-bound runners: honor the
+    execution subset of ``options`` (so the shared CLI flags reach these
+    rows too); tracing is always on — the derived quantities need it."""
+    validate_execution_options(options)
+    config = ExecutionConfig.from_options(options or {})
+    if config.contention_hist:
+        # Reject before any work: these runners build bespoke tables
+        # with no extras channel to fold the histogram into.  (The
+        # registry-backed lb-path/lb-reduction campaign rows run on
+        # run_cells and DO honor it.)
+        raise ExecutionConfigError(
+            "the bespoke lower-bound runners have no extras channel for "
+            "contention_hist; use the campaign rows (lb-path/lb-reduction) "
+            "instead"
+        )
+    return config.replace(record_trace=True)
+
+
 def t1_lb_local_path(
-    sizes: Sequence[int] = (64, 256, 1024), seeds=(0, 1, 2, 3, 4)
+    sizes: Sequence[int] = (64, 256, 1024), seeds=(0, 1, 2, 3, 4),
+    options: Optional[Dict] = None,
 ) -> Tuple[List[Dict], str]:
     """T1.LOCAL.LB / Theorem 1: worst pre-reception energy is
     Omega(log n) on the path; measured on the (optimal) path algorithm it
     is sandwiched into Theta(log n)."""
+    config = _lb_exec_config(options)
     rows = []
     for n in sizes:
         graph = path_graph(n)
@@ -211,7 +244,7 @@ def t1_lb_local_path(
         for seed in seeds:
             outcome = run_broadcast(
                 graph, LOCAL, path_broadcast_protocol(oriented=True),
-                knowledge=knowledge, seed=seed, record_trace=True,
+                knowledge=knowledge, seed=seed, exec_config=config,
             )
             worst.append(energy_before_reception(outcome).worst)
         rows.append({
@@ -235,6 +268,7 @@ def t1_lb_reduction(
     seeds=(0, 1, 2),
     model=NO_CD,
     protocol_builder=None,
+    options: Optional[Dict] = None,
 ) -> Tuple[List[Dict], str]:
     """T1.noCD.LB / T1.CD.LB / Theorem 2: execute the reduction on
     K_{2,k}; report derived-LE time vs 2E and verify the inequality.
@@ -242,6 +276,7 @@ def t1_lb_reduction(
     ``protocol_builder(graph)`` defaults to the decay baseline; pass any
     broadcast protocol factory builder to reduce a different algorithm.
     """
+    config = _lb_exec_config(options)
     if protocol_builder is None:
         protocol_builder = lambda g: decay_broadcast_protocol(failure=0.01)
     rows = []
@@ -252,7 +287,7 @@ def t1_lb_reduction(
         for seed in seeds:
             outcome = run_broadcast(
                 graph, model, protocol_builder(graph),
-                source=s, knowledge=knowledge, seed=seed, record_trace=True,
+                source=s, knowledge=knowledge, seed=seed, exec_config=config,
             )
             report = derive_leader_election(outcome, s, t)
             le_times.append(report.le_time)
@@ -272,3 +307,11 @@ def t1_lb_reduction(
             f"{row['energy_median']:>7.1f}  {str(row['inequality_holds']):>10}"
         )
     return rows, "\n".join(lines)
+
+
+# Cheap pre-flight validators: the CLI calls these for every selected
+# row BEFORE any row runs, so an execution flag a bespoke runner cannot
+# honor fails in milliseconds instead of after earlier rows completed.
+# Registry-backed rows need none — they honor the full cell-option set.
+t1_lb_local_path.validate_exec_options = _lb_exec_config
+t1_lb_reduction.validate_exec_options = _lb_exec_config

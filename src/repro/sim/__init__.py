@@ -2,6 +2,15 @@
 
 from repro.sim.actions import Idle, Listen, Send, SendListen
 from repro.sim.batch import run_trials
+from repro.sim.config import (
+    ExecutionConfig,
+    ExecutionConfigError,
+    add_execution_args,
+    config_from_args,
+    execution_overrides,
+    normalize_execution_options,
+    validate_execution_options,
+)
 from repro.sim.energy import EnergyMeter, EnergyReport
 from repro.sim.engine import (
     RESOLUTION_MODES,
@@ -57,6 +66,13 @@ __all__ = [
     "SimResult",
     "SimulationTimeout",
     "run_trials",
+    "ExecutionConfig",
+    "ExecutionConfigError",
+    "add_execution_args",
+    "config_from_args",
+    "execution_overrides",
+    "normalize_execution_options",
+    "validate_execution_options",
     "Plan",
     "Repeat",
     "SendProb",

@@ -26,9 +26,15 @@ parallelism layered on top.
 from __future__ import annotations
 
 import warnings
-from typing import Any, Callable, Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 from repro.graphs.graph import Graph
+from repro.sim.config import (
+    UNSET,
+    ExecutionConfig,
+    ExecutionConfigError,
+    resolve_exec_config,
+)
 from repro.sim.engine import ProtocolFactory, Simulator, SimResult
 from repro.sim.models import ChannelModel
 from repro.sim.node import Knowledge
@@ -67,62 +73,82 @@ def run_trials(
     inputs: Optional[Dict[int, Dict[str, Any]]] = None,
     knowledge: Optional[Knowledge] = None,
     uids: Optional[Sequence[int]] = None,
-    time_limit: int = 50_000_000,
-    record_trace: bool = False,
-    resolution: str = "bitmask",
-    stepping: str = "phase",
-    meter_energy: bool = True,
+    exec_config: Optional[ExecutionConfig] = None,
     observers: Sequence[SlotObserver] = (),
-    observer_factory: Optional[Callable[[int], Sequence[SlotObserver]]] = None,
-    model_factory: Optional[Callable[[int], ChannelModel]] = None,
-    lockstep: bool = False,
+    time_limit: Any = UNSET,
+    record_trace: Any = UNSET,
+    resolution: Any = UNSET,
+    stepping: Any = UNSET,
+    meter_energy: Any = UNSET,
+    observer_factory: Any = UNSET,
+    model_factory: Any = UNSET,
+    lockstep: Any = UNSET,
 ) -> List[SimResult]:
     """Run one protocol cell once per seed, amortizing setup.
 
     Args:
         seeds: master seeds, one trial each; results come back in the
             same order (each :class:`SimResult` carries its seed).
-        observer_factory: optional per-seed observer constructor
-            (``seed -> sequence of SlotObservers``) for instrumentation
-            that accumulates per-trial state (e.g.
-            :class:`~repro.sim.observers.ContentionHistogramObserver`).
-            Required instead of ``observers`` under ``lockstep=True``,
-            where trials interleave and shared instances would scramble.
-        model_factory: optional per-seed model constructor for stateful
-            channels (e.g. ``lambda seed: LossyModel(NO_CD, 0.1, seed)``)
-            so each trial starts from a fresh, reproducible channel state.
-            When omitted, all trials share ``model`` (stateless paper
-            models are unaffected; sharing a *stateful* model across
-            several seeds warns once — trial outcomes then depend on the
-            whole batch, as a serial loop always did).
-        lockstep: advance all seeds in lock-step slot batches
-            (:func:`repro.sim.lockstep.run_trials_lockstep`) so the
-            resolution backend can resolve all trials' receptions per
-            step in one batched call.  Byte-identical results.
-        stepping: ``"phase"`` (default) executes yielded phase plans
-            slots-at-a-time; ``"slot"`` expands them per slot — the
-            byte-identical oracle path (:mod:`repro.sim.plan`).
-        Remaining arguments match :class:`~repro.sim.engine.Simulator`.
+        exec_config: how the batch executes
+            (:class:`~repro.sim.config.ExecutionConfig`).  This layer
+            consumes ``lockstep`` (dispatch to
+            :func:`repro.sim.lockstep.run_trials_lockstep` — all seeds
+            advance in lock-step slot batches, byte-identical results),
+            ``observer_factory`` (per-seed observer constructor,
+            ``seed -> sequence of SlotObservers``; required instead of
+            ``observers`` under lockstep, where trials interleave and
+            shared instances would scramble), and ``model_factory``
+            (per-seed model constructor for stateful channels, e.g.
+            ``lambda seed: LossyModel(NO_CD, 0.1, seed)`` — when
+            omitted, all trials share ``model``; sharing a *stateful*
+            model across several seeds warns once).  ``contention_hist``
+            is rejected: its histogram summary has nowhere to go in a
+            plain result list — use :func:`repro.campaign.cells.run_cells`
+            or :func:`repro.experiments.harness.sweep`.
+        observers: shared observer instances (serial execution only).
+        The per-knob keyword arguments are the deprecated forms of the
+        matching ``exec_config`` fields (byte-identical behavior, with
+        a :class:`DeprecationWarning`).
 
     Returns:
         One :class:`SimResult` per seed, in ``seeds`` order.
     """
+    config = resolve_exec_config(
+        exec_config,
+        dict(
+            time_limit=time_limit,
+            record_trace=record_trace,
+            resolution=resolution,
+            stepping=stepping,
+            meter_energy=meter_energy,
+            observer_factory=observer_factory,
+            model_factory=model_factory,
+            lockstep=lockstep,
+        ),
+        where="run_trials",
+    )
+    if config.contention_hist:
+        raise ExecutionConfigError(
+            "contention_hist is consumed by run_cells()/sweep(), which fold "
+            "the histogram summary into cell extras; run_trials has no "
+            "extras channel — pass observer_factory= instead"
+        )
     if (
-        not lockstep
-        and model_factory is None
+        not config.lockstep
+        and config.model_factory is None
         and len(seeds) > 1
         and getattr(model, "stateful", False)
     ):
         _warn_stateful_reuse(model)
 
-    if lockstep:
+    if config.lockstep:
         if observers:
-            raise ValueError(
+            raise ExecutionConfigError(
                 "lockstep=True interleaves trials; pass observer_factory= "
                 "(per-seed observers) instead of shared observers="
             )
         if (
-            model_factory is None
+            config.model_factory is None
             and len(seeds) > 1
             and getattr(model, "stateful", False)
         ):
@@ -130,7 +156,7 @@ def run_trials(
             # lock-step schedule interleaves trials per slot, so results
             # could not match the serial path.  Refuse rather than
             # silently break the byte-identical contract.
-            raise ValueError(
+            raise ExecutionConfigError(
                 f"lockstep=True cannot share stateful model {model.name!r} "
                 f"across trials (rng consumption order would change); pass "
                 f"model_factory=lambda seed: ... for per-trial channel state"
@@ -145,35 +171,26 @@ def run_trials(
             inputs=inputs,
             knowledge=knowledge,
             uids=uids,
-            time_limit=time_limit,
-            record_trace=record_trace,
-            resolution=resolution,
-            stepping=stepping,
-            meter_energy=meter_energy,
-            observer_factory=observer_factory,
-            model_factory=model_factory,
+            exec_config=config,
         )
 
     simulator = Simulator(
         graph,
         model,
-        time_limit=time_limit,
         knowledge=knowledge,
         uids=uids,
-        record_trace=record_trace,
-        resolution=resolution,
-        stepping=stepping,
-        meter_energy=meter_energy,
         observers=observers,
+        # The per-seed hooks are consumed right here, not by the engine.
+        exec_config=config.replace(observer_factory=None, model_factory=None),
     )
     base_observers = list(observers)
     results: List[SimResult] = []
     for seed in seeds:
-        if model_factory is not None:
-            simulator.model = model_factory(seed)
-        if observer_factory is not None:
+        if config.model_factory is not None:
+            simulator.model = config.model_factory(seed)
+        if config.observer_factory is not None:
             simulator.extra_observers = base_observers + list(
-                observer_factory(seed)
+                config.observer_factory(seed)
             )
         results.append(simulator.run(protocol_factory, inputs=inputs, seed=seed))
     return results

@@ -1,0 +1,446 @@
+"""``ExecutionConfig``: one validated description of *how* a run executes.
+
+The engine grew four orthogonal execution knobs — ``resolution`` backend,
+``stepping`` mode, ``lockstep`` trial batching, and observer/analytics
+wiring — and each used to be hand-threaded through six parallel
+signatures (``Simulator``, ``run_trials``, ``run_trials_lockstep``,
+``run_broadcast_trials``, ``sweep``, ``run_cells``), a hand-maintained
+option-key tuple in :mod:`repro.campaign.cells`, and per-subcommand CLI
+flags.  This module replaces that plumbing with config-as-data:
+
+* :class:`ExecutionConfig` is a frozen dataclass that validates on
+  construction (unknown modes fail fast, listing the allowed values) and
+  round-trips via :meth:`~ExecutionConfig.to_dict` /
+  :meth:`~ExecutionConfig.from_dict`;
+* the dataclass *fields themselves* are the schema: per-field metadata
+  marks which fields are campaign cell options
+  (:meth:`~ExecutionConfig.option_keys` feeds
+  ``repro.campaign.cells.EXECUTION_OPTION_KEYS``) and which get CLI
+  flags (:func:`add_execution_args` builds one shared argparse group for
+  the ``table1``, ``campaign``, ``ablations``, ``figure1``, and
+  ``bench`` subcommands);
+* every entry point takes ``exec_config=``; the legacy per-knob kwargs
+  keep working through :func:`resolve_exec_config`, which folds them
+  into a config and emits a :class:`DeprecationWarning` attributed to
+  the caller (CI escalates warnings raised from ``repro.*`` modules, so
+  no internal caller can quietly keep using them).
+
+Adding the next knob is one edit here: a new field (with metadata) shows
+up in validation, serialization, the campaign option schema, and the CLI
+group automatically — engine code then reads it off the config.
+
+Semantics contract: ``resolution``, ``stepping``, and ``lockstep`` steer
+*how* a cell executes, never what it measures (byte-identical results,
+pinned by the differential suites).  The remaining fields are
+honest-by-name exceptions: ``record_trace`` feeds trace-derived extras
+and ``contention_hist`` adds ``ch_*`` extras (which is why the latter is
+part of a campaign cell's content-hash identity), while
+``meter_energy=False`` zeroes the energy meters and ``time_limit`` can
+abort a run — neither is a campaign cell option for exactly that reason.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import warnings
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional, Sequence, Tuple
+
+from repro.sim.resolution import RESOLUTION_MODES
+
+__all__ = [
+    "STEPPING_MODES",
+    "ExecutionConfig",
+    "ExecutionConfigError",
+    "UNSET",
+    "add_execution_args",
+    "config_from_args",
+    "execution_overrides",
+    "normalize_execution_options",
+    "resolve_exec_config",
+    "validate_execution_options",
+]
+
+#: ``"phase"`` executes yielded plans natively (slots-at-a-time);
+#: ``"slot"`` expands them into per-slot yields — the oracle path.
+#: (Defined here, not in the engine, so the schema layer stays import-
+#: cycle-free; :mod:`repro.sim.engine` re-exports it.)
+STEPPING_MODES = ("phase", "slot")
+
+
+class _Unset:
+    """Sentinel distinguishing 'kwarg not passed' from any real value."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "<unset>"
+
+
+#: Default value of every deprecated legacy kwarg: the shim only fires
+#: (warns and overrides the config) when a caller actually passed one.
+UNSET = _Unset()
+
+
+class ExecutionConfigError(ValueError):
+    """An ExecutionConfig is invalid, or a layer was handed a config
+    field it cannot honor.
+
+    A ``ValueError`` subclass so existing ``except ValueError`` callers
+    keep working, but distinct enough that CLI handlers can convert
+    *configuration* mistakes into clean one-line messages while genuine
+    runtime ``ValueError``\\ s keep their tracebacks.
+    """
+
+
+def _meta(
+    help: str,
+    choices: Optional[Tuple[str, ...]] = None,
+    cell_option: bool = False,
+    cli: bool = False,
+    hook: bool = False,
+) -> Dict[str, Any]:
+    return {
+        "help": help,
+        "choices": choices,
+        "cell_option": cell_option,
+        "cli": cli,
+        "hook": hook,
+    }
+
+
+@dataclass(frozen=True)
+class ExecutionConfig:
+    """How a simulation cell executes — never *what* it measures.
+
+    Construct directly, via :meth:`from_dict` (campaign JSON / stored
+    options), or via :func:`config_from_args` (CLI); derive variants
+    with :meth:`replace`.  Validation happens on construction, so an
+    invalid mode never travels into an engine loop.
+    """
+
+    resolution: str = field(default="bitmask", metadata=_meta(
+        "reception-resolution backend (see repro.sim.resolution)",
+        choices=RESOLUTION_MODES, cell_option=True, cli=True,
+    ))
+    stepping: str = field(default="phase", metadata=_meta(
+        "phase-compiled (slots-at-a-time) vs per-slot protocol stepping "
+        "(see repro.sim.plan)",
+        choices=STEPPING_MODES, cell_option=True, cli=True,
+    ))
+    lockstep: bool = field(default=False, metadata=_meta(
+        "advance all seeds of a trial batch in lock-step slot batches "
+        "(repro.sim.lockstep); byte-identical results",
+        cell_option=True, cli=True,
+    ))
+    time_limit: Optional[int] = field(default=None, metadata=_meta(
+        "slot budget per run; None uses the entry point's default",
+    ))
+    record_trace: bool = field(default=False, metadata=_meta(
+        "record a per-slot event trace (repro.sim.trace)",
+    ))
+    meter_energy: bool = field(default=True, metadata=_meta(
+        "account per-device energy; False returns all-zero meters "
+        "(throughput benchmarking only)",
+    ))
+    contention_hist: bool = field(default=False, metadata=_meta(
+        "attach a per-trial ContentionHistogramObserver and fold its "
+        "summary into cell extras as ch_* keys (changes cell identity)",
+        cell_option=True, cli=True,
+    ))
+    observer_factory: Optional[Callable[[int], Sequence[Any]]] = field(
+        default=None, metadata=_meta(
+            "per-seed SlotObserver constructor (seed -> observers); the "
+            "required observer form under lockstep",
+            hook=True,
+        ))
+    model_factory: Optional[Callable[[int], Any]] = field(
+        default=None, metadata=_meta(
+            "per-seed ChannelModel constructor for stateful channels "
+            "(seed -> model)",
+            hook=True,
+        ))
+
+    def __post_init__(self) -> None:
+        for spec in dataclasses.fields(self):
+            value = getattr(self, spec.name)
+            meta = spec.metadata
+            if meta["choices"] is not None:
+                if value not in meta["choices"]:
+                    raise ExecutionConfigError(
+                        f"{spec.name} must be one of {meta['choices']}, "
+                        f"got {value!r}"
+                    )
+            elif meta["hook"]:
+                if value is not None and not callable(value):
+                    raise ExecutionConfigError(
+                        f"{spec.name} must be a callable (seed -> ...) or "
+                        f"None, got {value!r}"
+                    )
+            elif spec.name == "time_limit":
+                if value is not None and (
+                    isinstance(value, bool)
+                    or not isinstance(value, int)
+                    or value <= 0
+                ):
+                    raise ExecutionConfigError(
+                        f"time_limit must be a positive int or None, "
+                        f"got {value!r}"
+                    )
+            elif not isinstance(value, bool):
+                raise ExecutionConfigError(
+                    f"{spec.name} must be true or false, got {value!r}"
+                )
+
+    # -- schema self-description -------------------------------------
+
+    @classmethod
+    def field_specs(cls) -> Tuple[dataclasses.Field, ...]:
+        """The schema: dataclass fields with their steering metadata."""
+        return dataclasses.fields(cls)
+
+    @classmethod
+    def option_keys(cls) -> Tuple[str, ...]:
+        """Fields that ride in a campaign cell's ``options`` dict."""
+        return tuple(
+            spec.name for spec in cls.field_specs()
+            if spec.metadata["cell_option"]
+        )
+
+    @classmethod
+    def describe(cls) -> str:
+        """One line per field — name, default, allowed values, help."""
+        lines = []
+        for spec in cls.field_specs():
+            allowed = (
+                "/".join(spec.metadata["choices"])
+                if spec.metadata["choices"] else
+                ("hook" if spec.metadata["hook"] else type(spec.default).__name__)
+            )
+            lines.append(
+                f"{spec.name} (default {spec.default!r}, {allowed}): "
+                f"{spec.metadata['help']}"
+            )
+        return "\n".join(lines)
+
+    # -- serialization ------------------------------------------------
+
+    def to_dict(self, include_defaults: bool = False) -> Dict[str, Any]:
+        """JSON-safe dict of the serializable fields.
+
+        Hooks (``observer_factory``, ``model_factory``) are process-local
+        callables and are always excluded.  By default only non-default
+        values are emitted, so the dict is a *minimal* description — the
+        shape campaign cell options and content-hash keys are built
+        from (an option explicitly set to its default serializes the
+        same as an omitted one).
+        """
+        data: Dict[str, Any] = {}
+        for spec in self.field_specs():
+            if spec.metadata["hook"]:
+                continue
+            value = getattr(self, spec.name)
+            if include_defaults or value != spec.default:
+                data[spec.name] = value
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ExecutionConfig":
+        """Build and validate a config from a dict; unknown keys fail."""
+        allowed = {
+            spec.name for spec in cls.field_specs()
+            if not spec.metadata["hook"]
+        }
+        unknown = sorted(set(data) - allowed)
+        if unknown:
+            raise ExecutionConfigError(
+                f"unknown execution option(s) {unknown}; "
+                f"allowed: {sorted(allowed)}"
+            )
+        return cls(**data)
+
+    @classmethod
+    def from_options(cls, options: Optional[Dict]) -> "ExecutionConfig":
+        """Extract and validate the execution subset of a mixed cell
+        ``options`` dict (protocol knobs like ``failure`` are ignored)."""
+        if not options:
+            return cls()
+        keys = cls.option_keys()
+        return cls(**{key: options[key] for key in keys if key in options})
+
+    def cell_options(self, include_defaults: bool = False) -> Dict[str, Any]:
+        """The campaign-cell-option view of this config (minimal by
+        default — the content-hash-stable shape)."""
+        keys = set(self.option_keys())
+        return {
+            key: value
+            for key, value in self.to_dict(include_defaults=include_defaults).items()
+            if key in keys
+        }
+
+    def replace(self, **changes: Any) -> "ExecutionConfig":
+        """A validated copy with ``changes`` applied."""
+        return dataclasses.replace(self, **changes)
+
+    def resolved_time_limit(self, default: int) -> int:
+        """The effective slot budget given an entry point's default."""
+        return default if self.time_limit is None else self.time_limit
+
+
+_OPTION_DEFAULTS = {
+    spec.name: spec.default
+    for spec in ExecutionConfig.field_specs()
+    if spec.metadata["cell_option"]
+}
+
+# Execution fields that are NOT campaign cell options (record_trace is a
+# row-definition property, time_limit a runner property, hooks are
+# process-local).  They are reserved names: a cell options dict using
+# one would otherwise pass as an opaque protocol knob — silently
+# ignored, yet still part of the content-hash identity.
+_RESERVED_NON_OPTION_FIELDS = frozenset(
+    spec.name for spec in ExecutionConfig.field_specs()
+) - set(ExecutionConfig.option_keys())
+
+
+def _check_cell_options(options: Optional[Dict]) -> None:
+    if not options:
+        return
+    reserved = sorted(set(options) & _RESERVED_NON_OPTION_FIELDS)
+    if reserved:
+        raise ExecutionConfigError(
+            f"{reserved} are execution fields but not campaign cell "
+            f"options (tracing follows the row definition; time limits "
+            f"and hooks belong to the runner); cell options are "
+            f"{sorted(ExecutionConfig.option_keys())}"
+        )
+    ExecutionConfig.from_options(options)
+
+
+def validate_execution_options(options: Optional[Dict]) -> None:
+    """Fail fast on an invalid or reserved execution option in a mixed
+    cell options dict (raises ``ValueError`` naming the allowed values)."""
+    _check_cell_options(options)
+
+
+def normalize_execution_options(options: Dict) -> Dict:
+    """Validate a mixed cell options dict and drop execution options
+    explicitly set to their default value.
+
+    Campaign content-hash keys are built from the options dict, so
+    ``{"resolution": "bitmask"}`` and ``{}`` must alias the same stored
+    cell — the minimal shape is the durable identity.  Non-execution
+    entries (protocol knobs) pass through untouched, in order.
+    """
+    _check_cell_options(options)
+    return {
+        key: value for key, value in options.items()
+        if key not in _OPTION_DEFAULTS or value != _OPTION_DEFAULTS[key]
+    }
+
+
+def resolve_exec_config(
+    exec_config: Optional[ExecutionConfig],
+    legacy: Dict[str, Any],
+    where: str,
+    stacklevel: int = 3,
+) -> ExecutionConfig:
+    """Fold deprecated per-knob kwargs into an :class:`ExecutionConfig`.
+
+    ``legacy`` maps kwarg name to the received value, with :data:`UNSET`
+    marking "not passed".  Passing any legacy kwarg warns (once per call
+    site — the warning is attributed to the caller via ``stacklevel``,
+    so CI's ``repro``-module DeprecationWarning escalation catches
+    internal callers) and overrides the corresponding config field, so
+    behavior is byte-identical to the historical signature.
+    """
+    passed = {
+        key: value for key, value in legacy.items() if value is not UNSET
+    }
+    if passed:
+        warnings.warn(
+            f"{where}: keyword argument(s) {sorted(passed)} are deprecated; "
+            f"pass exec_config=ExecutionConfig(...) instead "
+            f"(see repro.sim.config)",
+            DeprecationWarning,
+            stacklevel=stacklevel,
+        )
+    base = ExecutionConfig() if exec_config is None else exec_config
+    if not isinstance(base, ExecutionConfig):
+        raise ExecutionConfigError(
+            f"exec_config must be an ExecutionConfig (or None), got "
+            f"{base!r}; build one with ExecutionConfig(...) or "
+            f"ExecutionConfig.from_dict(...)"
+        )
+    return base.replace(**passed) if passed else base
+
+
+# -- shared CLI surface ----------------------------------------------------
+
+
+def _flag(name: str) -> str:
+    return "--" + name.replace("_", "-")
+
+
+def add_execution_args(
+    parser: argparse.ArgumentParser,
+    exclude: Sequence[str] = (),
+):
+    """Add the shared execution-options group to an argparse parser.
+
+    One flag per CLI-enabled :class:`ExecutionConfig` field, generated
+    from the field schema — subcommands share identical flags and help
+    text, and a new knob added to the schema appears everywhere at once.
+    Defaults are ``None`` ("not given"), so :func:`execution_overrides`
+    can layer CLI > cell options > defaults.  ``exclude`` names fields a
+    subcommand cannot honor (e.g. ``contention_hist`` on ``figure1``):
+    better no flag at all than one that fails after work has started.
+    """
+    group = parser.add_argument_group(
+        "execution",
+        "how cells execute — measurements are identical unless a field's "
+        "help says otherwise (see repro.sim.config.ExecutionConfig)",
+    )
+    for spec in ExecutionConfig.field_specs():
+        if not spec.metadata["cli"] or spec.name in exclude:
+            continue
+        if spec.metadata["choices"] is not None:
+            group.add_argument(
+                _flag(spec.name),
+                dest=spec.name,
+                choices=list(spec.metadata["choices"]),
+                default=None,
+                help=f"{spec.metadata['help']} (default: {spec.default})",
+            )
+        else:
+            group.add_argument(
+                _flag(spec.name),
+                dest=spec.name,
+                action=argparse.BooleanOptionalAction,
+                default=None,
+                help=f"{spec.metadata['help']} (default: {spec.default})",
+            )
+    return group
+
+
+def execution_overrides(args: argparse.Namespace) -> Dict[str, Any]:
+    """The execution options explicitly given on the command line."""
+    overrides: Dict[str, Any] = {}
+    for spec in ExecutionConfig.field_specs():
+        if not spec.metadata["cli"]:
+            continue
+        value = getattr(args, spec.name, None)
+        if value is not None:
+            overrides[spec.name] = value
+    return overrides
+
+
+def config_from_args(
+    args: argparse.Namespace,
+    base: Optional[ExecutionConfig] = None,
+) -> ExecutionConfig:
+    """Build a config from parsed CLI args layered over ``base``."""
+    base = ExecutionConfig() if base is None else base
+    overrides = execution_overrides(args)
+    return base.replace(**overrides) if overrides else base

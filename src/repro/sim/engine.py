@@ -44,6 +44,13 @@ from typing import Any, Callable, Dict, Generator, List, Optional, Sequence
 
 from repro.graphs.graph import Graph
 from repro.sim.actions import Idle, Listen, Send, SendListen
+from repro.sim.config import (
+    STEPPING_MODES,
+    UNSET,
+    ExecutionConfig,
+    ExecutionConfigError,
+    resolve_exec_config,
+)
 from repro.sim.energy import EnergyReport
 from repro.sim.models import ChannelModel
 from repro.sim.node import Knowledge, NodeCtx, validate_input_keys
@@ -83,9 +90,10 @@ ProtocolFactory = Callable[[NodeCtx], Protocol]
 
 _RESUME = object()  # heap payload marker: wake a sleeping generator
 
-#: ``"phase"`` executes yielded plans natively (slots-at-a-time);
-#: ``"slot"`` expands them into per-slot yields — the oracle path.
-STEPPING_MODES = ("phase", "slot")
+#: The default slot budget of a bare Simulator run; batch/broadcast
+#: layers apply their own defaults when ``exec_config.time_limit`` is
+#: None (see :meth:`repro.sim.config.ExecutionConfig.resolved_time_limit`).
+DEFAULT_TIME_LIMIT = 50_000_000
 
 
 class SimulationTimeout(RuntimeError):
@@ -136,22 +144,20 @@ class Simulator:
     """Runs one protocol on one graph under one collision model.
 
     Args:
-        resolution: which :mod:`repro.sim.resolution` backend resolves
-            receptions.  ``"bitmask"`` (default) uses the big-int
-            transmit-mask fast path; ``"numpy"`` the vectorized mask
-            table (falls back to bitmask, with a warning, when numpy is
-            not installed); ``"list"`` the legacy per-neighbor scan
-            (kept as a semantic cross-check and as the pre-refactor
-            baseline for the engine benchmarks).
-        stepping: ``"phase"`` (default) executes yielded phase plans
-            natively, slots at a time; ``"slot"`` expands every plan
-            back into per-slot yields through
-            :func:`repro.sim.plan.expand_plans` — byte-identical results,
-            kept as the differential-testing oracle for the phase path.
-        meter_energy: when False, energy accounting is skipped and the
-            result carries all-zero meters (throughput benchmarking).
+        exec_config: an :class:`~repro.sim.config.ExecutionConfig`
+            describing how the run executes — ``resolution`` backend,
+            ``stepping`` mode, ``time_limit``, ``record_trace``,
+            ``meter_energy``.  Batch-level fields (``lockstep``,
+            ``contention_hist``, the per-seed hooks) are rejected here:
+            they are consumed by :func:`repro.sim.batch.run_trials` /
+            :func:`repro.campaign.cells.run_cells`, and silently
+            ignoring them would violate the config's contract.
         observers: extra :class:`~repro.sim.observers.SlotObserver` hooks
             invoked after each active slot is resolved.
+        time_limit / record_trace / resolution / stepping / meter_energy:
+            deprecated per-knob forms of the ``exec_config`` fields;
+            they still work (byte-identically) but emit a
+            :class:`DeprecationWarning`.
 
     A ``Simulator`` is reusable: :meth:`run` accepts a per-call ``seed``
     so batched trials (:func:`repro.sim.batch.run_trials`) amortize graph
@@ -177,30 +183,57 @@ class Simulator:
         graph: Graph,
         model: ChannelModel,
         seed: int = 0,
-        time_limit: int = 50_000_000,
+        time_limit: Any = UNSET,
         knowledge: Optional[Knowledge] = None,
         uids: Optional[Sequence[int]] = None,
-        record_trace: bool = False,
-        resolution: str = "bitmask",
-        stepping: str = "phase",
-        meter_energy: bool = True,
+        record_trace: Any = UNSET,
+        resolution: Any = UNSET,
+        stepping: Any = UNSET,
+        meter_energy: Any = UNSET,
         observers: Sequence[SlotObserver] = (),
+        exec_config: Optional[ExecutionConfig] = None,
     ) -> None:
+        config = resolve_exec_config(
+            exec_config,
+            dict(
+                time_limit=time_limit,
+                record_trace=record_trace,
+                resolution=resolution,
+                stepping=stepping,
+                meter_energy=meter_energy,
+            ),
+            where="Simulator",
+        )
+        if config.lockstep:
+            raise ExecutionConfigError(
+                "Simulator runs one trial at a time; lockstep=True is "
+                "consumed by run_trials()/run_cells() — pass the config "
+                "there instead"
+            )
+        if config.contention_hist:
+            raise ExecutionConfigError(
+                "contention_hist is consumed by run_cells()/sweep(); on a "
+                "bare Simulator attach a ContentionHistogramObserver via "
+                "observers= instead"
+            )
+        if config.observer_factory is not None or config.model_factory is not None:
+            raise ExecutionConfigError(
+                "observer_factory/model_factory are per-seed hooks consumed "
+                "by run_trials(); a Simulator takes concrete observers= and "
+                "model arguments"
+            )
         self.graph = graph
         self.model = model
         self.seed = seed
-        self.time_limit = time_limit
-        self.record_trace = record_trace
-        # Raises ValueError on unknown modes; resolves "numpy" to the
-        # bitmask backend (with a warning) when numpy is unavailable.
-        self.backend = create_backend(resolution, graph)
-        self.resolution = resolution
-        if stepping not in STEPPING_MODES:
-            raise ValueError(
-                f"stepping must be one of {STEPPING_MODES}, got {stepping!r}"
-            )
-        self.stepping = stepping
-        self.meter_energy = meter_energy
+        self.time_limit = config.resolved_time_limit(DEFAULT_TIME_LIMIT)
+        self.record_trace = config.record_trace
+        # Resolves "numpy" to the bitmask backend (with a warning) when
+        # numpy is unavailable; the mode itself was validated by the
+        # config on construction.
+        self.backend = create_backend(config.resolution, graph)
+        self.resolution = config.resolution
+        self.stepping = config.stepping
+        self.meter_energy = config.meter_energy
         self.extra_observers = list(observers)
         if knowledge is None:
             knowledge = Knowledge(

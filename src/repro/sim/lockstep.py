@@ -41,12 +41,18 @@ from __future__ import annotations
 
 import heapq
 import random
-from typing import Any, Callable, Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 from repro.graphs.graph import Graph
 from repro.sim.actions import Idle, Listen, Send, SendListen
+from repro.sim.config import (
+    UNSET,
+    ExecutionConfig,
+    ExecutionConfigError,
+    resolve_exec_config,
+)
 from repro.sim.engine import (
-    STEPPING_MODES,
+    DEFAULT_TIME_LIMIT,
     ProtocolError,
     ProtocolFactory,
     SimResult,
@@ -450,27 +456,49 @@ def run_trials_lockstep(
     inputs: Optional[Dict[int, Dict[str, Any]]] = None,
     knowledge: Optional[Knowledge] = None,
     uids: Optional[Sequence[int]] = None,
-    time_limit: int = 50_000_000,
-    record_trace: bool = False,
-    resolution: str = "bitmask",
-    stepping: str = "phase",
-    meter_energy: bool = True,
-    observer_factory: Optional[Callable[[int], Sequence[SlotObserver]]] = None,
-    model_factory: Optional[Callable[[int], ChannelModel]] = None,
+    exec_config: Optional[ExecutionConfig] = None,
+    time_limit: Any = UNSET,
+    record_trace: Any = UNSET,
+    resolution: Any = UNSET,
+    stepping: Any = UNSET,
+    meter_energy: Any = UNSET,
+    observer_factory: Any = UNSET,
+    model_factory: Any = UNSET,
 ) -> List[SimResult]:
     """Run one cell's seeds in lock-step slot batches.
 
     Semantics and arguments match :func:`repro.sim.batch.run_trials`
-    (which delegates here for ``lockstep=True``); results are
-    byte-identical to the serial path, in ``seeds`` order.
-    ``observer_factory(seed)`` builds per-trial observers — lock-step
-    trials interleave, so sharing one observer instance across seeds
-    would scramble its per-run state.
+    (which delegates here for ``exec_config.lockstep=True``); results
+    are byte-identical to the serial path, in ``seeds`` order.
+    ``exec_config.observer_factory(seed)`` builds per-trial observers —
+    lock-step trials interleave, so sharing one observer instance across
+    seeds would scramble its per-run state.  The per-knob keyword
+    arguments are the deprecated forms of the matching config fields.
     """
-    if stepping not in STEPPING_MODES:
-        raise ValueError(
-            f"stepping must be one of {STEPPING_MODES}, got {stepping!r}"
+    config = resolve_exec_config(
+        exec_config,
+        dict(
+            time_limit=time_limit,
+            record_trace=record_trace,
+            resolution=resolution,
+            stepping=stepping,
+            meter_energy=meter_energy,
+            observer_factory=observer_factory,
+            model_factory=model_factory,
+        ),
+        where="run_trials_lockstep",
+    )
+    if config.contention_hist:
+        raise ExecutionConfigError(
+            "contention_hist is consumed by run_cells()/sweep(); pass "
+            "observer_factory= here instead"
         )
+    model_factory = config.model_factory
+    observer_factory = config.observer_factory
+    time_limit = config.resolved_time_limit(DEFAULT_TIME_LIMIT)
+    record_trace = config.record_trace
+    meter_energy = config.meter_energy
+    stepping = config.stepping
     if knowledge is None:
         knowledge = Knowledge(
             n=graph.n, max_degree=max(graph.max_degree, 1), diameter=None
@@ -482,7 +510,7 @@ def run_trials_lockstep(
     inputs = inputs or {}
     validate_input_keys(inputs, graph.n)
 
-    backend = create_backend(resolution, graph)
+    backend = create_backend(config.resolution, graph)
     shared_model = model_factory is None
     trials = []
     for seed in seeds:

@@ -7,7 +7,16 @@ import random
 from repro.broadcast import run_broadcast, run_broadcast_trials
 from repro.broadcast.flooding import decay_broadcast_protocol
 from repro.graphs import path_graph, random_gnp
-from repro.sim import NO_CD, Idle, Knowledge, Listen, Send, Simulator, run_trials
+from repro.sim import (
+    NO_CD,
+    ExecutionConfig,
+    Idle,
+    Knowledge,
+    Listen,
+    Send,
+    Simulator,
+    run_trials,
+)
 from repro.sim.models import LossyModel
 
 
@@ -44,7 +53,8 @@ class TestRunTrials:
         graph = path_graph(5)
         factory = lambda seed: LossyModel(NO_CD, 0.4, seed=seed)
         batched = run_trials(
-            graph, NO_CD, _chatter, [2, 5], model_factory=factory
+            graph, NO_CD, _chatter, [2, 5],
+            exec_config=ExecutionConfig(model_factory=factory),
         )
         for seed, result in zip([2, 5], batched):
             solo = Simulator(graph, factory(seed), seed=seed).run(_chatter)

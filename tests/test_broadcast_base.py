@@ -11,7 +11,7 @@ from repro.broadcast import (
     source_inputs,
 )
 from repro.graphs import grid_graph, path_graph
-from repro.sim import LOCAL, Knowledge
+from repro.sim import LOCAL, ExecutionConfig, Knowledge
 
 from tests.conftest import knowledge_for
 
@@ -76,7 +76,7 @@ class TestRunBroadcast:
         g = path_graph(3)
         with_trace = run_broadcast(
             g, LOCAL, local_flood_protocol(), knowledge=knowledge_for(g),
-            seed=0, record_trace=True,
+            seed=0, exec_config=ExecutionConfig(record_trace=True),
         )
         without = run_broadcast(
             g, LOCAL, local_flood_protocol(), knowledge=knowledge_for(g), seed=0

@@ -600,14 +600,22 @@ class TestTable1Passthrough:
     def test_contention_hist_flag(self, capsys):
         from repro.cli import main
 
-        # Registry-backed row: runs with the observer attached; bespoke
-        # lower-bound rows simply ignore the flag.
+        # Registry-backed row: runs with the observer attached and the
+        # ch_* columns rendered.
         assert main(
-            ["table1", "bounded", "lb-reduction", "--seeds", "1",
+            ["table1", "bounded", "--seeds", "1",
              "--sizes-scale", "0.5", "--contention-hist"]
         ) == 0
         out = capsys.readouterr().out
-        assert "Corollary 13" in out and "K_{2,k}" in out
+        assert "Corollary 13" in out and "ch_mean_load" in out
+        # Bespoke lower-bound rows cannot fold the histogram anywhere,
+        # so the flag fails loudly there instead of being dropped
+        # (tests/test_exec_config.py pins the same contract).
+        assert main(
+            ["table1", "lb-reduction", "--seeds", "1",
+             "--sizes-scale", "0.5", "--contention-hist"]
+        ) == 2
+        assert "contention_hist" in capsys.readouterr().out
 
     def test_campaign_contention_hist_changes_cell_identity(
         self, tmp_path, capsys

@@ -6,6 +6,7 @@ import pytest
 
 from repro.graphs import clique, path_graph, star_graph
 from repro.sim import (
+    ExecutionConfig,
     BEEP,
     BEEPING,
     CD,
@@ -155,7 +156,10 @@ def test_timeout_raises():
             yield Idle(1000)
 
     with pytest.raises(SimulationTimeout):
-        Simulator(path_graph(2), NO_CD, seed=0, time_limit=10_000).run(proto)
+        Simulator(
+            path_graph(2), NO_CD, seed=0,
+            exec_config=ExecutionConfig(time_limit=10_000),
+        ).run(proto)
 
 
 def test_non_action_yield_raises():
@@ -200,7 +204,7 @@ def test_trace_records_events():
             return None
         return (yield Listen())
 
-    sim = Simulator(path_graph(2), NO_CD, seed=0, record_trace=True)
+    sim = Simulator(path_graph(2), NO_CD, seed=0, exec_config=ExecutionConfig(record_trace=True))
     result = sim.run(proto)
     assert result.trace is not None
     kinds = sorted(e.kind for e in result.trace)
@@ -264,7 +268,10 @@ def test_reference_rejects_out_of_range_inputs_too():
 
 def test_invalid_resolution_mode_rejected():
     with pytest.raises(ValueError, match="resolution"):
-        Simulator(path_graph(2), NO_CD, resolution="quantum")
+        Simulator(
+            path_graph(2), NO_CD,
+            exec_config=ExecutionConfig(resolution="quantum"),
+        )
 
 
 def test_all_resolution_modes_accepted():
@@ -272,7 +279,10 @@ def test_all_resolution_modes_accepted():
 
     assert set(RESOLUTION_MODES) == {"bitmask", "list", "numpy"}
     for mode in RESOLUTION_MODES:
-        Simulator(path_graph(2), NO_CD, resolution=mode)
+        Simulator(
+            path_graph(2), NO_CD,
+            exec_config=ExecutionConfig(resolution=mode),
+        )
 
 
 def test_list_resolution_matches_bitmask():
@@ -283,8 +293,12 @@ def test_list_resolution_matches_bitmask():
         return (yield Listen())
 
     graph = star_graph(5)
-    a = Simulator(graph, CD, seed=0, resolution="bitmask").run(proto)
-    b = Simulator(graph, CD, seed=0, resolution="list").run(proto)
+    a = Simulator(
+        graph, CD, seed=0, exec_config=ExecutionConfig(resolution="bitmask")
+    ).run(proto)
+    b = Simulator(
+        graph, CD, seed=0, exec_config=ExecutionConfig(resolution="list")
+    ).run(proto)
     assert a.outputs == b.outputs
     assert a.duration == b.duration
     assert [e.total for e in a.energy] == [e.total for e in b.energy]
@@ -297,7 +311,8 @@ def test_meter_energy_off_reports_zeros():
         return None
 
     result = Simulator(
-        path_graph(2), NO_CD, seed=0, meter_energy=False
+        path_graph(2), NO_CD, seed=0,
+        exec_config=ExecutionConfig(meter_energy=False),
     ).run(proto)
     assert all(e.total == 0 for e in result.energy)
     assert result.duration == 2  # semantics unaffected

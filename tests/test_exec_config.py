@@ -1,0 +1,695 @@
+"""ExecutionConfig: the one validated, serializable execution API.
+
+Four contracts are pinned here:
+
+* **Validation** — invalid modes/types fail at construction with the
+  allowed values, at every entry door (constructor, ``from_dict``,
+  campaign JSON, CLI) — never mid-run inside an engine loop.
+* **Round-trips** — ``to_dict``/``from_dict`` are inverses, campaign
+  cell options and CLI args are views of the same schema, and
+  ``EXECUTION_OPTION_KEYS`` / the CLI flag group are *derived* from the
+  field definitions (no second hand-maintained list).
+* **Key stability** — an execution option explicitly set to its default
+  normalizes away, so it hashes (and resumes) identically to an omitted
+  one.
+* **Deprecation shims** — every legacy per-knob kwarg on the six
+  execution signatures still works byte-identically, with a
+  ``DeprecationWarning`` attributed to the caller.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+
+import pytest
+
+from repro.broadcast.base import run_broadcast, run_broadcast_trials
+from repro.campaign.cells import EXECUTION_OPTION_KEYS, run_cell, run_cells
+from repro.campaign.spec import CampaignSpec, RowPlan
+from repro.experiments.harness import sweep
+from repro.graphs import clique
+from repro.sim import (
+    NO_CD,
+    ExecutionConfig,
+    Knowledge,
+    Listen,
+    Send,
+    Simulator,
+    add_execution_args,
+    config_from_args,
+    execution_overrides,
+    normalize_execution_options,
+    run_trials,
+)
+from repro.sim.feedback import is_message
+from repro.sim.lockstep import run_trials_lockstep
+from repro.sim.observers import SlotObserver
+
+
+# --- shared workload: small, seed-sensitive, collision-bearing -------------
+
+GRAPH = clique(3)
+KNOWLEDGE = Knowledge(n=3, max_degree=2, diameter=1)
+INPUTS = {0: {"source": True, "payload": "m"}}
+
+
+def bcast_proto(ctx):
+    """A tiny randomized relay: rng-dependent, so byte-identity is a
+    real check, and every node returns the payload it learned (the
+    broadcast protocol convention)."""
+    if ctx.inputs.get("source"):
+        payload = ctx.inputs["payload"]
+        for _ in range(3):
+            yield Send(payload)
+        return payload
+    got = None
+    for _ in range(8):
+        feedback = yield Listen()
+        if is_message(feedback):
+            got = feedback
+            break
+    if got is not None and ctx.rng.random() < 0.5:
+        yield Send(got)
+    return got
+
+
+def snap(results):
+    return [
+        (r.outputs, r.duration, [e.total for e in r.energy], r.seed)
+        for r in results
+    ]
+
+
+# --- construction validation ----------------------------------------------
+
+
+class TestValidation:
+    def test_defaults(self):
+        config = ExecutionConfig()
+        assert config.resolution == "bitmask"
+        assert config.stepping == "phase"
+        assert not config.lockstep
+        assert config.time_limit is None
+        assert config.meter_energy
+
+    @pytest.mark.parametrize("field,value,expect", [
+        ("resolution", "quantum", "bitmask"),
+        ("stepping", "phse", "phase"),
+    ])
+    def test_bad_mode_lists_allowed_values(self, field, value, expect):
+        with pytest.raises(ValueError, match=expect) as exc:
+            ExecutionConfig(**{field: value})
+        assert field in str(exc.value)
+        assert repr(value) in str(exc.value)
+
+    @pytest.mark.parametrize("field,value", [
+        ("lockstep", "yes"),
+        ("record_trace", 2),
+        ("meter_energy", "on"),
+        ("contention_hist", 1.0),
+    ])
+    def test_bool_fields_are_strict(self, field, value):
+        with pytest.raises(ValueError, match=field):
+            ExecutionConfig(**{field: value})
+
+    @pytest.mark.parametrize("value", [0, -5, 2.5, True, "100"])
+    def test_time_limit_must_be_positive_int(self, value):
+        with pytest.raises(ValueError, match="time_limit"):
+            ExecutionConfig(time_limit=value)
+
+    @pytest.mark.parametrize("field", ["observer_factory", "model_factory"])
+    def test_hooks_must_be_callable(self, field):
+        with pytest.raises(ValueError, match=field):
+            ExecutionConfig(**{field: "not-a-callable"})
+        ExecutionConfig(**{field: lambda seed: None})  # fine
+
+    def test_replace_revalidates(self):
+        config = ExecutionConfig()
+        with pytest.raises(ValueError, match="stepping"):
+            config.replace(stepping="warp")
+        assert config.replace(stepping="slot").stepping == "slot"
+        assert config.stepping == "phase"  # frozen: original untouched
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(ValueError, match="vectorize"):
+            ExecutionConfig.from_dict({"vectorize": True})
+
+    def test_exec_config_must_be_a_config(self):
+        with pytest.raises(ValueError, match="ExecutionConfig"):
+            Simulator(GRAPH, NO_CD, exec_config={"resolution": "list"})
+
+    def test_simulator_rejects_batch_level_fields(self):
+        with pytest.raises(ValueError, match="lockstep"):
+            Simulator(GRAPH, NO_CD, exec_config=ExecutionConfig(lockstep=True))
+        with pytest.raises(ValueError, match="contention_hist"):
+            Simulator(
+                GRAPH, NO_CD,
+                exec_config=ExecutionConfig(contention_hist=True),
+            )
+        with pytest.raises(ValueError, match="observer_factory"):
+            Simulator(
+                GRAPH, NO_CD,
+                exec_config=ExecutionConfig(observer_factory=lambda s: ()),
+            )
+
+    def test_run_trials_rejects_contention_hist(self):
+        with pytest.raises(ValueError, match="contention_hist"):
+            run_trials(
+                GRAPH, NO_CD, bcast_proto, (0,), inputs=INPUTS,
+                exec_config=ExecutionConfig(contention_hist=True),
+            )
+
+
+# --- schema derivation -----------------------------------------------------
+
+
+class TestSchema:
+    def test_option_keys_drive_campaign_schema(self):
+        assert EXECUTION_OPTION_KEYS == ExecutionConfig.option_keys()
+        assert set(EXECUTION_OPTION_KEYS) == {
+            "resolution", "stepping", "lockstep", "contention_hist",
+        }
+
+    def test_cli_flags_derive_from_schema(self):
+        parser = argparse.ArgumentParser()
+        add_execution_args(parser)
+        text = parser.format_help()
+        for spec in ExecutionConfig.field_specs():
+            flag = "--" + spec.name.replace("_", "-")
+            assert (flag in text) == bool(spec.metadata["cli"])
+
+    def test_excluded_flags_are_absent(self):
+        parser = argparse.ArgumentParser()
+        add_execution_args(parser, exclude=("contention_hist", "lockstep"))
+        text = parser.format_help()
+        assert "--resolution" in text and "--stepping" in text
+        assert "--contention-hist" not in text
+        assert "--lockstep" not in text
+        # Absent flags read as "not given" to the overrides layer.
+        assert execution_overrides(parser.parse_args([])) == {}
+
+    def test_single_run_subcommands_reject_unusable_flags_at_parse(self):
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        for argv in (
+            ["figure1", "--contention-hist"],
+            ["ablations", "--lockstep"],
+            ["bench", "--contention-hist"],
+        ):
+            with pytest.raises(SystemExit):
+                parser.parse_args(argv)
+
+    def test_describe_names_every_field(self):
+        text = ExecutionConfig.describe()
+        for spec in ExecutionConfig.field_specs():
+            assert spec.name in text
+
+
+# --- serialization round-trips --------------------------------------------
+
+
+class TestRoundTrip:
+    def test_to_dict_is_minimal_by_default(self):
+        assert ExecutionConfig().to_dict() == {}
+        config = ExecutionConfig(resolution="list", lockstep=True)
+        assert config.to_dict() == {"resolution": "list", "lockstep": True}
+
+    def test_to_dict_include_defaults_covers_serializable_fields(self):
+        data = ExecutionConfig().to_dict(include_defaults=True)
+        assert set(data) == {
+            "resolution", "stepping", "lockstep", "time_limit",
+            "record_trace", "meter_energy", "contention_hist",
+        }
+
+    @pytest.mark.parametrize("include_defaults", [False, True])
+    def test_from_dict_inverts_to_dict(self, include_defaults):
+        config = ExecutionConfig(
+            resolution="list", stepping="slot", time_limit=123,
+        )
+        data = config.to_dict(include_defaults=include_defaults)
+        json.loads(json.dumps(data))  # JSON-safe
+        assert ExecutionConfig.from_dict(data) == config
+
+    def test_hooks_never_serialize(self):
+        config = ExecutionConfig(
+            observer_factory=lambda s: (), model_factory=lambda s: NO_CD,
+        )
+        assert config.to_dict(include_defaults=True).keys() == (
+            ExecutionConfig().to_dict(include_defaults=True).keys()
+        )
+
+    def test_from_options_ignores_protocol_knobs(self):
+        config = ExecutionConfig.from_options(
+            {"failure": 0.1, "stepping": "slot", "epsilon": 0.5}
+        )
+        assert config == ExecutionConfig(stepping="slot")
+
+    def test_campaign_json_round_trip(self, tmp_path):
+        path = tmp_path / "c.json"
+        path.write_text(json.dumps({
+            "name": "c",
+            "rows": [{"row": "path", "sizes": [8], "seeds": [0],
+                      "options": {"stepping": "slot", "lockstep": True}}],
+        }))
+        spec = CampaignSpec.from_json_file(str(path))
+        (job,) = list(spec.jobs())
+        assert job.options_dict == {"stepping": "slot", "lockstep": True}
+        config = ExecutionConfig.from_options(job.options_dict)
+        assert config.stepping == "slot" and config.lockstep
+
+    def test_cli_args_round_trip(self):
+        parser = argparse.ArgumentParser()
+        add_execution_args(parser)
+        args = parser.parse_args(
+            ["--resolution", "list", "--lockstep", "--stepping", "slot"]
+        )
+        assert execution_overrides(args) == {
+            "resolution": "list", "stepping": "slot", "lockstep": True,
+        }
+        config = config_from_args(args)
+        assert config == ExecutionConfig(
+            resolution="list", stepping="slot", lockstep=True
+        )
+        # Nothing given -> nothing overridden.
+        empty = parser.parse_args([])
+        assert execution_overrides(empty) == {}
+        assert config_from_args(empty) == ExecutionConfig()
+        # --no-lockstep is an explicit False (distinct from "not given")
+        # so the CLI can override a cell option downward.
+        off = parser.parse_args(["--no-lockstep"])
+        assert execution_overrides(off) == {"lockstep": False}
+
+
+# --- fail-fast campaign validation ----------------------------------------
+
+
+class TestCampaignValidation:
+    def _spec(self, options):
+        return {
+            "name": "bad",
+            "rows": [{"row": "path", "sizes": [8], "seeds": [0],
+                      "options": options}],
+        }
+
+    def test_bad_mode_rejected_at_load_with_allowed_values(self):
+        with pytest.raises(ValueError, match="phase") as exc:
+            CampaignSpec.from_dict(self._spec({"stepping": "phse"}))
+        assert "'path'" in str(exc.value)
+
+    def test_bad_bool_rejected_at_load(self):
+        with pytest.raises(ValueError, match="lockstep"):
+            CampaignSpec.from_dict(self._spec({"lockstep": "yes"}))
+
+    @pytest.mark.parametrize("reserved", [
+        "record_trace", "time_limit", "meter_energy", "observer_factory",
+    ])
+    def test_reserved_non_option_fields_rejected_at_load(self, reserved):
+        # Execution fields that are not cell options must fail loudly,
+        # not ride the content hash as silently ignored protocol knobs.
+        with pytest.raises(ValueError, match=reserved):
+            CampaignSpec.from_dict(self._spec({reserved: True}))
+
+    def test_protocol_knobs_pass_through(self):
+        spec = CampaignSpec.from_dict(self._spec({"failure": 0.1}))
+        (job,) = list(spec.jobs())
+        assert job.options_dict == {"failure": 0.1}
+
+    def test_custom_cell_rows_honor_or_reject_execution_options(self):
+        from repro.campaign.registry import execute_cell
+
+        # The bare-Simulator ablation honors engine-level options...
+        base = execute_cell("abl-beta", 12, 0, {"beta": 0.3})
+        slot = execute_cell(
+            "abl-beta", 12, 0, {"beta": 0.3, "stepping": "slot"}
+        )
+        assert (slot.duration, slot.max_energy, slot.extras) == (
+            base.duration, base.max_energy, base.extras
+        )
+        # ...and fails loudly on batch-level ones it cannot deliver —
+        # they are part of the cell's identity, so silently storing
+        # default-execution results under that key would be a lie.
+        for bad in ({"contention_hist": True}, {"lockstep": True}):
+            with pytest.raises(ValueError):
+                execute_cell("abl-beta", 12, 0, {"beta": 0.3, **bad})
+
+    def test_custom_cell_unsupported_options_rejected_at_spec_validate(
+        self, tmp_path, capsys
+    ):
+        # A campaign naming abl-beta with an option it cannot honor must
+        # refuse before ANY cell runs — not fail every abl-beta cell
+        # mid-run under an unsatisfiable identity.
+        spec = CampaignSpec.from_dict({
+            "name": "c",
+            "rows": [{"row": "abl-beta", "sizes": [12], "seeds": [0],
+                      "options": {"lockstep": True}}],
+        })
+        with pytest.raises(ValueError, match="lockstep"):
+            spec.validate()
+        # An option explicitly set to its default aliases an omitted
+        # one (normalization), so it demands nothing of the row.
+        CampaignSpec(
+            name="c",
+            rows=[RowPlan(row="abl-beta", sizes=(12,), seeds=(0,),
+                          options={"lockstep": False})],
+        ).validate()
+        # Same via CLI flag injection: exit 2, nothing executed.
+        from repro.cli import main
+
+        config = tmp_path / "c.json"
+        config.write_text(json.dumps({
+            "name": "c",
+            "rows": [{"row": "abl-beta", "sizes": [12], "seeds": [0]}],
+        }))
+        out = str(tmp_path / "out")
+        assert main([
+            "campaign", "run", str(config), "--out", out, "--lockstep",
+        ]) == 2
+        assert "abl-beta" in capsys.readouterr().out
+
+    def test_validate_checks_programmatic_specs(self):
+        spec = CampaignSpec(
+            name="bad",
+            rows=[RowPlan(row="path", sizes=(8,), seeds=(0,),
+                          options={"resolution": "quantum"})],
+        )
+        with pytest.raises(ValueError, match="bitmask"):
+            spec.validate()
+
+    def test_cli_reports_bad_config_cleanly(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps(self._spec({"stepping": "phse"})))
+        assert main(["campaign", "status", str(path)]) == 2
+        out = capsys.readouterr().out
+        assert "phase" in out and "phse" in out
+
+
+# --- content-hash key stability -------------------------------------------
+
+
+class TestKeyStability:
+    def test_normalize_drops_explicit_defaults_only(self):
+        assert normalize_execution_options({
+            "resolution": "bitmask",   # default: dropped
+            "lockstep": False,         # default: dropped
+            "stepping": "slot",        # non-default: kept
+            "failure": 0.02,           # protocol knob: untouched
+        }) == {"stepping": "slot", "failure": 0.02}
+
+    def test_normalize_validates(self):
+        with pytest.raises(ValueError, match="stepping"):
+            normalize_execution_options({"stepping": "phse"})
+
+    def test_default_valued_options_hash_like_omitted_ones(self):
+        bare = CampaignSpec.from_dict({
+            "name": "c", "rows": [{"row": "path", "sizes": [8], "seeds": [0]}],
+        })
+        explicit = CampaignSpec.from_dict({
+            "name": "c",
+            "rows": [{"row": "path", "sizes": [8], "seeds": [0],
+                      "options": {"resolution": "bitmask",
+                                  "lockstep": False,
+                                  "contention_hist": False}}],
+        })
+        bare_keys = [job.key() for job in bare.jobs()]
+        explicit_keys = [job.key() for job in explicit.jobs()]
+        assert bare_keys == explicit_keys
+
+    def test_programmatic_specs_normalize_at_the_identity_layer(self):
+        # Not just the from_dict door: a spec built in code with an
+        # explicit-default option hashes like the option-free spec.
+        bare = CampaignSpec(
+            name="c", rows=[RowPlan(row="path", sizes=(8,), seeds=(0,))],
+        )
+        explicit = CampaignSpec(
+            name="c",
+            rows=[RowPlan(row="path", sizes=(8,), seeds=(0,),
+                          options={"resolution": "bitmask"})],
+        )
+        assert [j.key() for j in bare.jobs()] == [
+            j.key() for j in explicit.jobs()
+        ]
+
+    def test_non_default_options_change_identity(self):
+        bare = CampaignSpec.from_dict({
+            "name": "c", "rows": [{"row": "path", "sizes": [8], "seeds": [0]}],
+        })
+        tuned = CampaignSpec.from_dict({
+            "name": "c",
+            "rows": [{"row": "path", "sizes": [8], "seeds": [0],
+                      "options": {"resolution": "list"}}],
+        })
+        assert [j.key() for j in bare.jobs()] != [j.key() for j in tuned.jobs()]
+
+    def test_cell_options_view_is_minimal(self):
+        config = ExecutionConfig(stepping="slot", time_limit=99)
+        assert config.cell_options() == {"stepping": "slot"}
+        assert set(config.cell_options(include_defaults=True)) == set(
+            EXECUTION_OPTION_KEYS
+        )
+
+    def test_execution_options_alias_validates_and_normalizes(self):
+        from repro.campaign.cells import execution_options
+
+        assert execution_options(None) == {}
+        assert execution_options({
+            "stepping": "slot", "resolution": "bitmask", "failure": 0.1,
+        }) == {"stepping": "slot"}
+        with pytest.raises(ValueError, match="stepping"):
+            execution_options({"stepping": "phse"})
+
+
+# --- deprecation shims: byte-identical, warn, per kwarg --------------------
+
+
+def _run_simulator(exec_config=None, **legacy):
+    sim = Simulator(
+        GRAPH, NO_CD, seed=2, knowledge=KNOWLEDGE,
+        exec_config=exec_config, **legacy,
+    )
+    return snap([sim.run(bcast_proto, inputs=INPUTS)])
+
+
+def _run_trials(exec_config=None, **legacy):
+    return snap(run_trials(
+        GRAPH, NO_CD, bcast_proto, (0, 1, 2), inputs=INPUTS,
+        knowledge=KNOWLEDGE, exec_config=exec_config, **legacy,
+    ))
+
+
+def _run_lockstep(exec_config=None, **legacy):
+    return snap(run_trials_lockstep(
+        GRAPH, NO_CD, bcast_proto, (0, 1, 2), inputs=INPUTS,
+        knowledge=KNOWLEDGE, exec_config=exec_config, **legacy,
+    ))
+
+
+def _run_broadcast_trials(exec_config=None, **legacy):
+    outcomes = run_broadcast_trials(
+        GRAPH, NO_CD, bcast_proto, (0, 1), knowledge=KNOWLEDGE,
+        exec_config=exec_config, **legacy,
+    )
+    return [(o.delivered, o.informed, snap([o.sim])) for o in outcomes]
+
+
+def _run_broadcast(exec_config=None, **legacy):
+    outcome = run_broadcast(
+        GRAPH, NO_CD, bcast_proto, seed=3, knowledge=KNOWLEDGE,
+        exec_config=exec_config, **legacy,
+    )
+    return (outcome.delivered, outcome.informed, snap([outcome.sim]))
+
+
+def _run_sweep(exec_config=None, **legacy):
+    return sweep(
+        "cell", clique, (3,), lambda g: bcast_proto, NO_CD,
+        seeds=(0, 1), exec_config=exec_config, **legacy,
+    )
+
+
+def _run_cells(exec_config=None, **legacy):
+    return run_cells(
+        GRAPH, NO_CD, bcast_proto, label="cell", size=3, seeds=(0, 1),
+        knowledge=KNOWLEDGE, exec_config=exec_config, **legacy,
+    )
+
+
+def _run_cell(exec_config=None, **legacy):
+    return run_cell(
+        GRAPH, NO_CD, bcast_proto, label="cell", size=3, seed=1,
+        knowledge=KNOWLEDGE, exec_config=exec_config, **legacy,
+    )
+
+
+_SHIM_CASES = [
+    ("Simulator", _run_simulator, "time_limit", 5_000),
+    ("Simulator", _run_simulator, "record_trace", True),
+    ("Simulator", _run_simulator, "resolution", "list"),
+    ("Simulator", _run_simulator, "stepping", "slot"),
+    ("Simulator", _run_simulator, "meter_energy", False),
+    ("run_trials", _run_trials, "time_limit", 5_000),
+    ("run_trials", _run_trials, "record_trace", True),
+    ("run_trials", _run_trials, "resolution", "list"),
+    ("run_trials", _run_trials, "stepping", "slot"),
+    ("run_trials", _run_trials, "meter_energy", False),
+    ("run_trials", _run_trials, "lockstep", True),
+    ("run_trials", _run_trials, "observer_factory", lambda s: (SlotObserver(),)),
+    ("run_trials", _run_trials, "model_factory", lambda s: NO_CD),
+    ("run_trials_lockstep", _run_lockstep, "resolution", "list"),
+    ("run_trials_lockstep", _run_lockstep, "stepping", "slot"),
+    ("run_trials_lockstep", _run_lockstep, "time_limit", 5_000),
+    ("run_trials_lockstep", _run_lockstep, "record_trace", True),
+    ("run_trials_lockstep", _run_lockstep, "meter_energy", False),
+    ("run_trials_lockstep", _run_lockstep, "observer_factory",
+     lambda s: (SlotObserver(),)),
+    ("run_trials_lockstep", _run_lockstep, "model_factory", lambda s: NO_CD),
+    ("run_broadcast_trials", _run_broadcast_trials, "time_limit", 5_000),
+    ("run_broadcast_trials", _run_broadcast_trials, "record_trace", True),
+    ("run_broadcast_trials", _run_broadcast_trials, "resolution", "list"),
+    ("run_broadcast_trials", _run_broadcast_trials, "stepping", "slot"),
+    ("run_broadcast_trials", _run_broadcast_trials, "lockstep", True),
+    ("run_broadcast_trials", _run_broadcast_trials, "observer_factory",
+     lambda s: (SlotObserver(),)),
+    ("run_broadcast", _run_broadcast, "time_limit", 5_000),
+    ("run_broadcast", _run_broadcast, "record_trace", True),
+    ("sweep", _run_sweep, "record_trace", True),
+    ("sweep", _run_sweep, "resolution", "list"),
+    ("sweep", _run_sweep, "lockstep", True),
+    ("sweep", _run_sweep, "contention_hist", True),
+    ("run_cells", _run_cells, "record_trace", True),
+    ("run_cells", _run_cells, "resolution", "list"),
+    ("run_cells", _run_cells, "stepping", "slot"),
+    ("run_cells", _run_cells, "lockstep", True),
+    ("run_cells", _run_cells, "contention_hist", True),
+    ("run_cell", _run_cell, "resolution", "list"),
+    ("run_cell", _run_cell, "contention_hist", True),
+]
+
+
+class TestDeprecationShims:
+    @pytest.mark.parametrize(
+        "entry,runner,kwarg,value",
+        _SHIM_CASES,
+        ids=[f"{entry}-{kwarg}" for entry, _, kwarg, _ in _SHIM_CASES],
+    )
+    def test_legacy_kwarg_warns_and_is_byte_identical(
+        self, entry, runner, kwarg, value
+    ):
+        with pytest.warns(DeprecationWarning, match=kwarg):
+            legacy = runner(**{kwarg: value})
+        fresh = runner(exec_config=ExecutionConfig(**{kwarg: value}))
+        assert legacy == fresh
+
+    def test_exec_config_path_does_not_warn(self, recwarn):
+        _run_trials(exec_config=ExecutionConfig(resolution="list"))
+        assert not [
+            w for w in recwarn.list if w.category is DeprecationWarning
+        ]
+
+    def test_legacy_kwarg_overrides_exec_config(self):
+        with pytest.warns(DeprecationWarning):
+            result = _run_trials(
+                exec_config=ExecutionConfig(stepping="slot"),
+                resolution="list",
+            )
+        assert result == _run_trials(
+            exec_config=ExecutionConfig(stepping="slot", resolution="list")
+        )
+
+
+# --- the exposure gaps the redesign closes --------------------------------
+
+
+class TestSweepFullControl:
+    def test_sweep_stepping_and_lockstep_are_byte_identical(self):
+        base = _run_sweep()
+        for config in (
+            ExecutionConfig(stepping="slot"),
+            ExecutionConfig(lockstep=True),
+            ExecutionConfig(stepping="slot", lockstep=True),
+        ):
+            assert _run_sweep(exec_config=config) == base
+
+    def test_sweep_per_seed_observers(self):
+        seen = []
+
+        class Counter(SlotObserver):
+            def __init__(self, seed):
+                self.seed = seed
+                self.slots = 0
+
+            def on_slot(self, *args):
+                self.slots += 1
+
+        def factory(seed):
+            observer = Counter(seed)
+            seen.append(observer)
+            return (observer,)
+
+        points = _run_sweep(
+            exec_config=ExecutionConfig(observer_factory=factory)
+        )
+        assert points == _run_sweep()
+        assert sorted(o.seed for o in seen) == [0, 1]
+        assert all(o.slots > 0 for o in seen)
+
+    def test_sweep_contention_hist_stacks_on_user_observers(self):
+        seen = []
+        config = ExecutionConfig(
+            contention_hist=True,
+            observer_factory=lambda seed: seen.append(seed) or (),
+        )
+        points = _run_sweep(exec_config=config)
+        assert sorted(seen) == [0, 1]
+        assert any(key.startswith("ch_") for key in points[0].extras)
+
+    def test_table1_cli_accepts_execution_flags(self, capsys):
+        from repro.cli import main
+
+        assert main([
+            "table1", "path", "--seeds", "1", "--sizes-scale", "0.05",
+            "--resolution", "list", "--stepping", "slot", "--lockstep",
+        ]) == 0
+        assert "delivered" in capsys.readouterr().out
+
+    def test_table1_lb_rows_honor_execution_flags(self, capsys):
+        from repro.cli import main
+
+        # The bespoke lower-bound runners take the same options, so the
+        # shared flags reach every row rather than being dropped.
+        assert main([
+            "table1", "lb-reduction", "--seeds", "1", "--sizes-scale",
+            "0.5", "--resolution", "list",
+        ]) == 0
+        assert "T_LE" in capsys.readouterr().out
+        # ...and an option no layer can honor fails loudly, not silently.
+        assert main([
+            "table1", "lb-path", "--seeds", "1", "--sizes-scale", "0.05",
+            "--contention-hist",
+        ]) == 2
+        assert "contention_hist" in capsys.readouterr().out
+
+    def test_campaign_cli_accepts_execution_flags(self, tmp_path, capsys):
+        from repro.cli import main
+
+        config = tmp_path / "c.json"
+        config.write_text(json.dumps({
+            "name": "c",
+            "rows": [{"row": "path", "sizes": [8], "seeds": [0]}],
+        }))
+        out = str(tmp_path / "out")
+        assert main([
+            "campaign", "run", str(config), "--out", out,
+            "--stepping", "slot", "--resolution", "list",
+        ]) == 0
+        first = capsys.readouterr().out
+        assert "1 cells" in first
+        # Same flags -> same identity -> full cache hit.
+        assert main([
+            "campaign", "run", str(config), "--out", out,
+            "--stepping", "slot", "--resolution", "list",
+        ]) == 0
+        assert "1 cached, 0 computed" in capsys.readouterr().out

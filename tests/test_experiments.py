@@ -17,7 +17,7 @@ from repro.experiments import (
 )
 from repro.experiments.harness import SweepPoint
 from repro.graphs import path_graph
-from repro.sim import LOCAL
+from repro.sim import LOCAL, ExecutionConfig
 
 
 class TestHarness:
@@ -111,7 +111,7 @@ class TestFigure1:
         out = run_broadcast(
             g, LOCAL, path_broadcast_protocol(), seed=1,
             knowledge=Knowledge(n=n, max_degree=2, diameter=n - 1),
-            record_trace=True,
+            exec_config=ExecutionConfig(record_trace=True),
         )
         text = render_path_timeline(out, n, max_rows=5)
         slot_lines = [

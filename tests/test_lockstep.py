@@ -14,6 +14,7 @@ import pytest
 import repro.sim.batch as batch_module
 from repro.graphs import clique, path_graph, random_gnp, star_graph
 from repro.sim import (
+    ExecutionConfig,
     BEEPING,
     CD,
     CD_STAR,
@@ -80,7 +81,7 @@ class TestLockstepEquivalence:
         serial = run_trials(graph, model, protocol, self.SEEDS)
         lockstep = run_trials(
             graph, model, protocol, self.SEEDS,
-            lockstep=True, resolution=resolution,
+            exec_config=ExecutionConfig(lockstep=True, resolution=resolution),
         )
         _assert_same_results(serial, lockstep)
 
@@ -92,7 +93,9 @@ class TestLockstepEquivalence:
                 run_trials(graph, CD, protocol, self.SEEDS),
                 run_trials(
                     graph, CD, protocol, self.SEEDS,
-                    lockstep=True, resolution=resolution,
+                    exec_config=ExecutionConfig(
+                        lockstep=True, resolution=resolution
+                    ),
                 ),
             )
 
@@ -109,7 +112,10 @@ class TestLockstepEquivalence:
 
         graph = star_graph(5)
         serial = run_trials(graph, NO_CD, protocol, self.SEEDS)
-        lockstep = run_trials(graph, NO_CD, protocol, self.SEEDS, lockstep=True)
+        lockstep = run_trials(
+            graph, NO_CD, protocol, self.SEEDS,
+            exec_config=ExecutionConfig(lockstep=True),
+        )
         _assert_same_results(serial, lockstep)
 
     def test_lossy_model_factory(self):
@@ -117,21 +123,29 @@ class TestLockstepEquivalence:
         protocol = _random_protocol(12)
         factory = lambda seed: LossyModel(NO_CD, 0.4, seed=seed)
         serial = run_trials(
-            graph, NO_CD, protocol, self.SEEDS, model_factory=factory
+            graph, NO_CD, protocol, self.SEEDS,
+            exec_config=ExecutionConfig(model_factory=factory),
         )
         for resolution in RESOLUTIONS:
             lockstep = run_trials(
                 graph, NO_CD, protocol, self.SEEDS,
-                model_factory=factory, lockstep=True, resolution=resolution,
+                exec_config=ExecutionConfig(
+                    model_factory=factory, lockstep=True,
+                    resolution=resolution,
+                ),
             )
             _assert_same_results(serial, lockstep)
 
     def test_trace_recording_matches(self):
         graph = path_graph(6)
         protocol = _random_protocol(10)
-        serial = run_trials(graph, NO_CD, protocol, (0, 3), record_trace=True)
+        serial = run_trials(
+            graph, NO_CD, protocol, (0, 3),
+            exec_config=ExecutionConfig(record_trace=True),
+        )
         lockstep = run_trials(
-            graph, NO_CD, protocol, (0, 3), record_trace=True, lockstep=True
+            graph, NO_CD, protocol, (0, 3),
+            exec_config=ExecutionConfig(record_trace=True, lockstep=True),
         )
         for a, b in zip(serial, lockstep):
             assert list(a.trace) == list(b.trace)
@@ -139,10 +153,16 @@ class TestLockstepEquivalence:
     def test_empty_and_single_seed(self):
         graph = path_graph(3)
         protocol = _random_protocol(4)
-        assert run_trials(graph, NO_CD, protocol, [], lockstep=True) == []
+        assert run_trials(
+            graph, NO_CD, protocol, [],
+            exec_config=ExecutionConfig(lockstep=True),
+        ) == []
         _assert_same_results(
             run_trials(graph, NO_CD, protocol, [5]),
-            run_trials(graph, NO_CD, protocol, [5], lockstep=True),
+            run_trials(
+                graph, NO_CD, protocol, [5],
+                exec_config=ExecutionConfig(lockstep=True),
+            ),
         )
 
     def test_broadcast_cell_lockstep(self):
@@ -160,7 +180,9 @@ class TestLockstepEquivalence:
         for resolution in RESOLUTIONS:
             lockstep = run_broadcast_trials(
                 graph, NO_CD, protocol, seeds, knowledge=knowledge,
-                lockstep=True, resolution=resolution,
+                exec_config=ExecutionConfig(
+                    lockstep=True, resolution=resolution
+                ),
             )
             for a, b in zip(serial, lockstep):
                 assert a.delivered == b.delivered
@@ -173,7 +195,8 @@ class TestLockstepEquivalence:
         with pytest.raises(ValueError, match="observer_factory"):
             run_trials(
                 path_graph(3), NO_CD, _random_protocol(3), (0, 1),
-                lockstep=True, observers=(SlotObserver(),),
+                observers=(SlotObserver(),),
+                exec_config=ExecutionConfig(lockstep=True),
             )
 
     def test_shared_stateful_model_rejected(self):
@@ -184,14 +207,17 @@ class TestLockstepEquivalence:
         with pytest.raises(ValueError, match="model_factory"):
             run_trials(
                 clique(6), model, _random_protocol(6), (0, 1, 2),
-                lockstep=True,
+                exec_config=ExecutionConfig(lockstep=True),
             )
         # A single seed has no interleaving: allowed and serial-identical.
         _assert_same_results(
             run_trials(clique(6), LossyModel(NO_CD, 0.4, seed=7),
                        _random_protocol(6), (0,)),
-            run_trials(clique(6), LossyModel(NO_CD, 0.4, seed=7),
-                       _random_protocol(6), (0,), lockstep=True),
+            run_trials(
+                clique(6), LossyModel(NO_CD, 0.4, seed=7),
+                _random_protocol(6), (0,),
+                exec_config=ExecutionConfig(lockstep=True),
+            ),
         )
 
 
@@ -211,7 +237,9 @@ class TestObserverFactory:
 
             run_trials(
                 graph, NO_CD, protocol, seeds,
-                observer_factory=factory, lockstep=lockstep,
+                exec_config=ExecutionConfig(
+                    observer_factory=factory, lockstep=lockstep
+                ),
             )
             return {
                 seed: observer.summary()
@@ -244,7 +272,11 @@ class TestStatefulReuseWarning:
         with _no_warning():
             run_trials(
                 graph, NO_CD, protocol, (0, 1, 2),
-                model_factory=lambda seed: LossyModel(NO_CD, 0.3, seed=seed),
+                exec_config=ExecutionConfig(
+                    model_factory=lambda seed: LossyModel(
+                        NO_CD, 0.3, seed=seed
+                    )
+                ),
             )
         with _no_warning():
             run_trials(graph, LossyModel(NO_CD, 0.3, seed=1), protocol, (0,))
@@ -293,7 +325,10 @@ class TestContentionHistogramObserver:
 
         observer = ContentionHistogramObserver(graph)
         run_trials(
-            graph, NO_CD, protocol, (0,), observer_factory=lambda s: (observer,)
+            graph, NO_CD, protocol, (0,),
+            exec_config=ExecutionConfig(
+                observer_factory=lambda s: (observer,)
+            ),
         )
         assert observer.active_slots == 2
         assert observer.load_histogram == {2: 1, 1: 1}
@@ -312,7 +347,8 @@ class TestContentionHistogramObserver:
         graph = path_graph(8)
         cells = run_cells(
             graph, NO_CD, decay_broadcast_protocol(failure=0.02),
-            label="row", size=8, seeds=(0, 1), contention_hist=True,
+            label="row", size=8, seeds=(0, 1),
+            exec_config=ExecutionConfig(contention_hist=True),
         )
         for cell in cells:
             assert cell.extras["ch_active_slots"] > 0

@@ -15,7 +15,7 @@ from repro.broadcast import (
 from repro.broadcast.path import path_broadcast_protocol
 from repro.graphs import k2k_gadget, path_graph
 from repro.lowerbounds import derive_leader_election, energy_before_reception
-from repro.sim import CD, LOCAL, NO_CD, Knowledge
+from repro.sim import CD, LOCAL, NO_CD, ExecutionConfig, Knowledge
 
 from tests.conftest import knowledge_for
 
@@ -25,7 +25,7 @@ def _k2k_run(k, model, protocol, seed):
     knowledge = Knowledge(n=g.n, max_degree=g.max_degree, diameter=2)
     out = run_broadcast(
         g, model, protocol, source=s, knowledge=knowledge, seed=seed,
-        record_trace=True,
+        exec_config=ExecutionConfig(record_trace=True),
     )
     return out, s, t
 
@@ -90,7 +90,7 @@ class TestTheorem1PathQuantity:
         out = run_broadcast(
             g, LOCAL, path_broadcast_protocol(), seed=seed,
             knowledge=Knowledge(n=n, max_degree=2, diameter=n - 1),
-            record_trace=True,
+            exec_config=ExecutionConfig(record_trace=True),
         )
         assert out.delivered
         return energy_before_reception(out).worst
@@ -117,7 +117,7 @@ class TestTheorem1PathQuantity:
         out = run_broadcast(
             g, LOCAL, path_broadcast_protocol(), seed=1,
             knowledge=Knowledge(n=32, max_degree=2, diameter=31),
-            record_trace=True,
+            exec_config=ExecutionConfig(record_trace=True),
         )
         report = energy_before_reception(out)
         assert len(report.per_vertex) == 32

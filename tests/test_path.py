@@ -11,7 +11,7 @@ import pytest
 from repro.broadcast import run_broadcast
 from repro.broadcast.path import path_broadcast_protocol, sample_blocking_time
 from repro.graphs import path_graph
-from repro.sim import LOCAL, Knowledge
+from repro.sim import LOCAL, ExecutionConfig, Knowledge
 
 
 def _knowledge(n):
@@ -141,7 +141,8 @@ class TestTraceStructure:
         g = path_graph(n)
         out = run_broadcast(
             g, LOCAL, path_broadcast_protocol(oriented=True),
-            knowledge=_knowledge(n), seed=2, record_trace=True,
+            knowledge=_knowledge(n), seed=2,
+            exec_config=ExecutionConfig(record_trace=True),
         )
         assert out.delivered
         arrival = {}

@@ -26,6 +26,7 @@ import pytest
 
 from repro.graphs import clique, path_graph, random_gnp, star_graph
 from repro.sim import (
+    ExecutionConfig,
     BEEPING,
     CD,
     CD_FD,
@@ -78,8 +79,11 @@ def _assert_same(fast, slow):
 
 
 class TestPlanSemantics:
-    def _run(self, proto, n=2, model=NO_CD, seed=1, **kwargs):
-        return Simulator(path_graph(n), model, seed=seed, **kwargs).run(proto)
+    def _run(self, proto, n=2, model=NO_CD, seed=1, stepping="phase"):
+        return Simulator(
+            path_graph(n), model, seed=seed,
+            exec_config=ExecutionConfig(stepping=stepping),
+        ).run(proto)
 
     def test_repeat_send_resumes_none(self):
         seen = {}
@@ -241,7 +245,10 @@ class TestPlanSemantics:
             self._run(proto, stepping="slot")
         # Same contract under the lock-step driver.
         with pytest.raises(ProtocolError, match="SendListen is illegal"):
-            run_trials(path_graph(2), NO_CD, proto, (0,), lockstep=True)
+            run_trials(
+                path_graph(2), NO_CD, proto, (0,),
+                exec_config=ExecutionConfig(lockstep=True),
+            )
 
     def test_steps_normalizes_action_subclasses(self):
         # Regression: subclasses of the primitive actions are accepted
@@ -395,7 +402,9 @@ class TestPhaseSlotReferenceEquivalence:
             for stepping in ("phase", "slot"):
                 fast = Simulator(
                     graph, model, seed=seed,
-                    resolution=resolution, stepping=stepping,
+                    exec_config=ExecutionConfig(
+                        resolution=resolution, stepping=stepping
+                    ),
                 ).run(protocol)
                 _assert_same(fast, slow)
 
@@ -406,7 +415,8 @@ class TestPhaseSlotReferenceEquivalence:
             slow = ReferenceSimulator(graph, CD_FD, seed=seed).run(protocol)
             for stepping in ("phase", "slot"):
                 fast = Simulator(
-                    graph, CD_FD, seed=seed, stepping=stepping
+                    graph, CD_FD, seed=seed,
+                    exec_config=ExecutionConfig(stepping=stepping),
                 ).run(protocol)
                 _assert_same(fast, slow)
 
@@ -423,7 +433,9 @@ class TestPhaseSlotReferenceEquivalence:
             for stepping in ("phase", "slot"):
                 fast = Simulator(
                     graph, LossyModel(NO_CD, 0.3, seed=77), seed=seed,
-                    resolution=resolution, stepping=stepping,
+                    exec_config=ExecutionConfig(
+                        resolution=resolution, stepping=stepping
+                    ),
                 ).run(protocol)
                 _assert_same(fast, slow)
 
@@ -438,7 +450,9 @@ class TestPhaseSlotReferenceEquivalence:
         for stepping in ("phase", "slot"):
             lockstep = run_trials(
                 graph, model, protocol, seeds,
-                lockstep=True, resolution=resolution, stepping=stepping,
+                exec_config=ExecutionConfig(
+                    lockstep=True, resolution=resolution, stepping=stepping
+                ),
             )
             for a, b in zip(serial, lockstep):
                 _assert_same(b, a)
@@ -446,8 +460,15 @@ class TestPhaseSlotReferenceEquivalence:
 
     def test_stepping_validation(self):
         with pytest.raises(ValueError, match="stepping"):
+            ExecutionConfig(stepping="warp")
+        # The deprecated kwarg path funnels through the same validation.
+        with pytest.raises(ValueError, match="stepping"), pytest.warns(
+            DeprecationWarning
+        ):
             Simulator(path_graph(2), NO_CD, stepping="warp")
-        with pytest.raises(ValueError, match="stepping"):
+        with pytest.raises(ValueError, match="stepping"), pytest.warns(
+            DeprecationWarning
+        ):
             run_trials(
                 path_graph(2), NO_CD, _plan_protocol(2, False), (0,),
                 lockstep=True, stepping="warp",
@@ -464,7 +485,8 @@ class TestRewiredProtocols:
         runs = {}
         for stepping in ("phase", "slot"):
             runs[stepping] = Simulator(
-                graph, model, seed=3, stepping=stepping, knowledge=knowledge,
+                graph, model, seed=3, knowledge=knowledge,
+                exec_config=ExecutionConfig(stepping=stepping),
             ).run(protocol, inputs=inputs)
         _assert_same(runs["phase"], runs["slot"])
         return runs
@@ -523,7 +545,8 @@ class TestRewiredProtocols:
         graph = clique(4)
         runs = {
             stepping: Simulator(
-                graph, NO_CD, seed=0, stepping=stepping
+                graph, NO_CD, seed=0,
+                exec_config=ExecutionConfig(stepping=stepping),
             ).run(proto)
             for stepping in ("phase", "slot")
         }

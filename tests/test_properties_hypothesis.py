@@ -29,7 +29,7 @@ from repro.core.sr_comm import (
     sr_det_cd,
 )
 from repro.graphs import Graph, bfs_distances, path_graph, random_tree, star_graph
-from repro.sim import CD, NO_CD, Idle, Listen, Send, Simulator
+from repro.sim import CD, NO_CD, ExecutionConfig, Idle, Listen, Send, Simulator
 
 
 # --- engine invariants ------------------------------------------------------
@@ -57,7 +57,7 @@ def test_energy_equals_active_slots(plan, seed):
                 yield Idle(amount)
         return None
 
-    sim = Simulator(path_graph(2), NO_CD, seed=seed, record_trace=True)
+    sim = Simulator(path_graph(2), NO_CD, seed=seed, exec_config=ExecutionConfig(record_trace=True))
     result = sim.run(proto)
     expected = sum(a for k, a in plan if k in ("send", "listen"))
     for v in (0, 1):

@@ -16,6 +16,7 @@ from hypothesis import strategies as st
 
 from repro.graphs import clique, grid_graph, path_graph, random_gnp, star_graph
 from repro.sim import (
+    ExecutionConfig,
     BEEPING,
     CD,
     CD_FD,
@@ -98,7 +99,8 @@ def _compare(
     slow = ReferenceSimulator(graph, make(), seed=seed).run(protocol, inputs=inputs)
     for resolution in RESOLUTIONS:
         fast = Simulator(
-            graph, make(), seed=seed, resolution=resolution
+            graph, make(), seed=seed,
+            exec_config=ExecutionConfig(resolution=resolution),
         ).run(protocol, inputs=inputs)
         _assert_same(fast, slow)
     if include_legacy:

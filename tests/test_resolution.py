@@ -17,6 +17,7 @@ import pytest
 from repro.graphs import clique, path_graph, random_gnp, star_graph
 from repro.graphs.graph import Graph
 from repro.sim import (
+    ExecutionConfig,
     BEEPING,
     CD,
     CD_STAR,
@@ -113,7 +114,10 @@ class TestBackendRegistry:
             yield Idle(1)
             return ctx.index
 
-        sim = Simulator(path_graph(3), NO_CD, resolution="numpy")
+        sim = Simulator(
+            path_graph(3), NO_CD,
+            exec_config=ExecutionConfig(resolution="numpy"),
+        )
         assert sim.backend.name == "bitmask"
         assert sim.run(proto).outputs == [0, 1, 2]
 
@@ -356,7 +360,10 @@ class TestEngineLevelNumpy:
         slow = ReferenceSimulator(graph, NO_CD, seed=4).run(proto)
         legacy = LegacySimulator(graph, NO_CD, seed=4).run(proto)
         for mode in RESOLUTION_MODES:
-            fast = Simulator(graph, NO_CD, seed=4, resolution=mode).run(proto)
+            fast = Simulator(
+                graph, NO_CD, seed=4,
+                exec_config=ExecutionConfig(resolution=mode),
+            ).run(proto)
             assert fast.outputs == slow.outputs == legacy.outputs
             assert fast.duration == slow.duration
             assert [e.total for e in fast.energy] == [
@@ -381,7 +388,8 @@ class TestEngineLevelNumpy:
         graph = clique(512)
         bitmask = Simulator(graph, NO_CD, seed=0).run(proto)
         numpy_run = Simulator(
-            graph, NO_CD, seed=0, resolution="numpy"
+            graph, NO_CD, seed=0,
+            exec_config=ExecutionConfig(resolution="numpy"),
         ).run(proto)
         oracle = ReferenceSimulator(graph, NO_CD, seed=0).run(proto)
         assert numpy_run.outputs == bitmask.outputs == oracle.outputs
