@@ -41,10 +41,17 @@ from repro.campaign.registry import (
     get_row,
     register_row,
 )
+from repro.campaign.fabric import (
+    FabricRunReport,
+    aggregate_campaign_streaming,
+    run_campaign_fabric,
+    stream_points,
+)
 from repro.campaign.runner import (
     CampaignRunReport,
     CellTimeout,
     execute_job,
+    plan_pending,
     run_campaign,
 )
 from repro.campaign.spec import CampaignSpec, JobSpec, RowPlan, job_key
@@ -74,8 +81,13 @@ __all__ = [
     "register_row",
     "CampaignRunReport",
     "CellTimeout",
+    "FabricRunReport",
+    "aggregate_campaign_streaming",
     "execute_job",
+    "plan_pending",
     "run_campaign",
+    "run_campaign_fabric",
+    "stream_points",
     "CampaignSpec",
     "JobSpec",
     "RowPlan",

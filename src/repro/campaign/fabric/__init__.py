@@ -1,0 +1,73 @@
+"""The campaign fabric: a fault-tolerant distributed campaign executor.
+
+Layers (one module each), all riding on the content-hash store that
+already makes every cell idempotent:
+
+* :mod:`~repro.campaign.fabric.workers` — persistent worker processes
+  fed seed blocks via queues, with heartbeats and crash injection;
+* :mod:`~repro.campaign.fabric.runner` — the dispatch/repair loop:
+  retry with exponential backoff, poison-block quarantine, worker
+  replacement; ``run_campaign_fabric`` is the entry point;
+* :mod:`~repro.campaign.fabric.shards` — per-worker result shards and
+  their dedup-merge into the canonical store;
+* :mod:`~repro.campaign.fabric.reduce` — one-pass streaming
+  aggregation (O(matrix) memory, byte-identical points);
+* :mod:`~repro.campaign.fabric.events` — the structured events ledger;
+* :mod:`~repro.campaign.fabric.status` — events-replay live progress
+  (``campaign status --watch``);
+* :mod:`~repro.campaign.fabric.runall` — manifest resolution for
+  ``campaign run-all``.
+
+The serial runner (:func:`repro.campaign.runner.run_campaign`) remains
+the differential oracle: fabric aggregates are byte-identical to its,
+under injected crashes, hangs, and timeouts (see
+``tests/test_fabric.py``).
+"""
+
+from repro.campaign.fabric.events import (
+    EventLog,
+    read_events,
+    render_events_summary,
+    summarize_events,
+)
+from repro.campaign.fabric.reduce import (
+    StreamingCampaignAggregator,
+    aggregate_campaign_streaming,
+    stream_points,
+)
+from repro.campaign.fabric.runall import resolve_run_all
+from repro.campaign.fabric.runner import FabricRunReport, run_campaign_fabric
+from repro.campaign.fabric.shards import (
+    list_shards,
+    merge_shards,
+    shard_dir_for,
+    shard_path,
+)
+from repro.campaign.fabric.status import (
+    live_progress,
+    render_live_status,
+    watch_campaign,
+)
+from repro.campaign.fabric.workers import CRASH_ENV, fabric_context
+
+__all__ = [
+    "CRASH_ENV",
+    "EventLog",
+    "FabricRunReport",
+    "StreamingCampaignAggregator",
+    "aggregate_campaign_streaming",
+    "fabric_context",
+    "list_shards",
+    "live_progress",
+    "merge_shards",
+    "read_events",
+    "render_events_summary",
+    "render_live_status",
+    "resolve_run_all",
+    "run_campaign_fabric",
+    "shard_dir_for",
+    "shard_path",
+    "stream_points",
+    "summarize_events",
+    "watch_campaign",
+]

@@ -1,0 +1,167 @@
+"""Streaming incremental aggregation: fold records, never hold them.
+
+``aggregate_campaign`` materializes the whole store (``store.load()``)
+before grouping — O(records) peak memory, which a million-cell sweep
+cannot afford.  :class:`StreamingCampaignAggregator` consumes a record
+stream exactly once and keeps only:
+
+* the campaign's matrix description — per (row, options) group, the
+  size and seed axes (O(spec), built once, no key set);
+* one finalized :class:`~repro.campaign.cells.SweepPoint` per completed
+  (group, size) bucket — a bucket folds into its point the moment its
+  last seed arrives, and its per-cell results are dropped on the spot;
+* the still-open buckets' compact :class:`~repro.campaign.cells
+  .CellResult` values (an exact median needs every seed's value until
+  the bucket closes).
+
+So steady-state memory is O(aggregates) + O(open buckets) — on any
+roughly-grouped stream (store file order, shard-merge order) buckets
+close as the stream moves past them — never O(records): the raw record
+dicts, their job payloads, failure records, and out-of-matrix records
+from co-tenant campaigns are dropped the moment they are seen (pinned
+by the fault-injection suite's weakref test).
+
+The produced points are the *same computation* as
+``aggregate_campaign`` (same :func:`~repro.campaign.cells
+.aggregate_cells`, same grouping and ordering), pinned byte-identical
+by the differential tests.
+
+Semantics note: the reducer is last-``ok``-wins per cell while a bucket
+is open, and a failure record never displaces a success.  A duplicate
+``ok`` for an already-finalized cell is ignored — re-runs of a
+deterministic cell are interchangeable, matching how completed cells
+are read everywhere else.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Tuple
+
+from repro.campaign.aggregate import variant_label
+from repro.campaign.cells import CellResult, SweepPoint, aggregate_cells
+from repro.campaign.spec import CampaignSpec
+from repro.campaign.store import STATUS_OK, CampaignStore
+from repro.sim.config import normalize_execution_options
+
+__all__ = [
+    "StreamingCampaignAggregator",
+    "stream_points",
+    "aggregate_campaign_streaming",
+]
+
+Options = Tuple[Tuple[str, object], ...]
+Group = Tuple[str, Options]
+
+
+class StreamingCampaignAggregator:
+    """One-pass reducer from a record stream to campaign sweep points."""
+
+    def __init__(self, spec: CampaignSpec, extended: bool = True) -> None:
+        from repro.campaign.registry import get_row
+
+        self._extended = extended
+        # (row, options) -> {size -> seed set}: the membership test.  A
+        # record is in-matrix iff its axes match — exactly the cells
+        # spec.jobs() enumerates, without materializing a key per cell.
+        self._matrix: Dict[Group, Dict[int, set]] = {}
+        for plan in spec.rows:
+            definition = get_row(plan.row)
+            sizes, seeds = spec.resolve_sizes_seeds(
+                plan, definition.default_sizes, definition.default_seeds
+            )
+            options = tuple(sorted(
+                normalize_execution_options(plan.options).items()
+            ))
+            bucket = self._matrix.setdefault((plan.row, options), {})
+            for size in sizes:
+                bucket.setdefault(int(size), set()).update(
+                    int(seed) for seed in seeds
+                )
+        self._open: Dict[Group, Dict[int, Dict[int, CellResult]]] = {}
+        self._points: Dict[Group, Dict[int, SweepPoint]] = {}
+        self._finalized_cells = 0
+
+    def add(self, record: Dict) -> bool:
+        """Fold one store record; True if it landed in the matrix."""
+        if record.get("status") != STATUS_OK:
+            return False
+        job = record.get("job") or {}
+        row, size, seed = job.get("row"), job.get("size"), job.get("seed")
+        if seed is None:
+            return False
+        options = tuple(sorted((job.get("options") or {}).items()))
+        group = (row, options)
+        sizes = self._matrix.get(group)
+        if sizes is None or size not in sizes or seed not in sizes[size]:
+            return False
+        if size in self._points.get(group, {}):
+            # A re-run of a cell whose bucket already folded: cells are
+            # deterministic, so the duplicate carries the same values.
+            return True
+        bucket = self._open.setdefault(group, {}).setdefault(size, {})
+        bucket[seed] = CellResult.from_dict(record["result"])
+        if len(bucket) == len(sizes[size]):
+            # Bucket complete: fold it into its point and free the cells.
+            self._points.setdefault(group, {})[size] = aggregate_cells(
+                list(bucket.values()), extended=self._extended
+            )
+            self._finalized_cells += len(bucket)
+            del self._open[group][size]
+        return True
+
+    def open_cells(self) -> int:
+        """Cells currently buffered in not-yet-complete buckets — the
+        reducer's only cell-granular state."""
+        return sum(
+            len(by_seed)
+            for by_size in self._open.values()
+            for by_seed in by_size.values()
+        )
+
+    def completed_cells(self) -> int:
+        return self._finalized_cells + self.open_cells()
+
+    def points(self) -> Dict[str, List[SweepPoint]]:
+        """Variant label -> SweepPoints (ascending size) — the exact
+        shape and values of ``aggregate_campaign`` on the same store.
+
+        Open (partial) buckets are aggregated on the fly, exactly as
+        ``aggregate_campaign`` does on a partially-complete store; the
+        reducer's finalized points are untouched.
+        """
+        points: Dict[str, List[SweepPoint]] = {}
+        for group in self._matrix:
+            finalized = self._points.get(group, {})
+            open_buckets = {
+                size: by_seed
+                for size, by_seed in self._open.get(group, {}).items()
+                if by_seed
+            }
+            if not finalized and not open_buckets:
+                continue
+            points[variant_label(*group)] = [
+                finalized[size] if size in finalized
+                else aggregate_cells(
+                    list(open_buckets[size].values()),
+                    extended=self._extended,
+                )
+                for size in sorted({*finalized, *open_buckets})
+            ]
+        return points
+
+
+def stream_points(
+    spec: CampaignSpec, records: Iterable[Dict], extended: bool = True
+) -> Dict[str, List[SweepPoint]]:
+    """Reduce any record iterable to sweep points in one pass."""
+    aggregator = StreamingCampaignAggregator(spec, extended=extended)
+    for record in records:
+        aggregator.add(record)
+    return aggregator.points()
+
+
+def aggregate_campaign_streaming(
+    spec: CampaignSpec, store: CampaignStore, extended: bool = True
+) -> Dict[str, List[SweepPoint]]:
+    """Drop-in for ``aggregate_campaign`` with O(aggregates) memory."""
+    return stream_points(spec, store.iter_records(), extended=extended)

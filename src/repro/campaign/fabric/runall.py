@@ -1,0 +1,84 @@
+"""``campaign run-all``: reproduce every paper artifact from a cold store.
+
+A *manifest* names the campaign configs that make up the full
+reproduction.  ``resolve_run_all`` accepts:
+
+* a directory — uses its ``run_all.json`` manifest when present
+  (ordering and selection are explicit), otherwise every ``*.json`` in
+  the directory, sorted;
+* a manifest file — JSON with a ``configs`` list, resolved relative to
+  the manifest's directory;
+* a single campaign config — degenerate one-entry run.
+
+Manifest shape (``configs/run_all.json``)::
+
+    {"name": "run-all",
+     "description": "every paper artifact",
+     "configs": ["figure1.json", "table1.json", "ablations.json"]}
+
+Execution itself is one fabric run per config (shared worker/retry
+flags), each into its own ``<out-root>/<campaign name>/`` store — the
+driver lives in the CLI; this module only resolves *what* to run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import List, Tuple
+
+__all__ = ["MANIFEST_NAME", "resolve_run_all"]
+
+MANIFEST_NAME = "run_all.json"
+
+
+def _from_manifest(path: str) -> Tuple[str, List[str]]:
+    with open(path, "r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    configs = data.get("configs")
+    if not isinstance(configs, list) or not configs:
+        raise ValueError(
+            f"manifest {path} needs a non-empty 'configs' list"
+        )
+    base = os.path.dirname(path)
+    resolved = [
+        entry if os.path.isabs(entry) else os.path.join(base, entry)
+        for entry in configs
+    ]
+    return data.get("name", "run-all"), resolved
+
+
+def resolve_run_all(target: str) -> Tuple[str, List[str]]:
+    """Resolve a run-all target to ``(name, [config paths])``.
+
+    Raises ``ValueError`` (with the offending path) on a missing
+    target, an empty directory, or a manifest naming absent configs —
+    all before any cell runs.
+    """
+    if os.path.isdir(target):
+        manifest = os.path.join(target, MANIFEST_NAME)
+        if os.path.exists(manifest):
+            name, configs = _from_manifest(manifest)
+        else:
+            configs = sorted(
+                os.path.join(target, entry)
+                for entry in os.listdir(target)
+                if entry.endswith(".json") and entry != MANIFEST_NAME
+            )
+            name = os.path.basename(os.path.normpath(target)) or "run-all"
+            if not configs:
+                raise ValueError(f"no campaign configs (*.json) in {target}")
+    elif os.path.exists(target):
+        with open(target, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+        if "configs" in data:
+            name, configs = _from_manifest(target)
+        else:
+            # A single campaign config is a one-entry run-all.
+            name, configs = data.get("name", "run-all"), [target]
+    else:
+        raise ValueError(f"run-all target not found: {target}")
+    missing = [path for path in configs if not os.path.exists(path)]
+    if missing:
+        raise ValueError(f"manifest names missing config(s): {missing}")
+    return name, configs

@@ -1,0 +1,112 @@
+"""Per-worker result shards and their merge into the canonical store.
+
+Fabric workers never write the canonical ``results.jsonl`` — each
+worker appends to its own ``shards/worker-NNN.jsonl`` (same record
+format, same crash-safe append), so there is exactly one writer per
+file and no cross-process locking anywhere.  The parent folds shards
+back into the canonical store:
+
+* at run *start*, to adopt whatever an aborted previous run computed
+  before it died (resume then recomputes only the true delta), and
+* at run *end*, so the canonical store is the single source of truth
+  the moment ``campaign run`` returns.
+
+A cell can appear in several shards (a worker died after writing its
+records but before reporting, so the block was retried elsewhere) or
+several times with different statuses (an ``error`` attempt followed by
+a successful retry).  :func:`merge_shards` therefore picks one record
+per key — preferring ``ok`` over failures, then the latest timestamp —
+in two passes: pass one scans shards keeping only a small
+``key -> (rank, ts, shard, line)`` tuple, pass two appends exactly the
+chosen lines.  Peak memory is one tuple per *distinct key in the
+shards* (this run's cells), never the records themselves.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Tuple
+
+from repro.campaign.store import STATUS_OK, CampaignStore
+
+__all__ = ["shard_dir_for", "shard_path", "list_shards", "merge_shards"]
+
+_SHARD_PREFIX = "worker-"
+
+
+def shard_dir_for(store: CampaignStore) -> str:
+    """The shard directory that belongs to a canonical store."""
+    return os.path.join(os.path.dirname(store.path) or ".", "shards")
+
+
+def shard_path(shard_dir: str, worker_id: int) -> str:
+    return os.path.join(shard_dir, f"{_SHARD_PREFIX}{worker_id:03d}.jsonl")
+
+
+def list_shards(shard_dir: str) -> List[str]:
+    """Shard files in deterministic (worker-id) order."""
+    if not os.path.isdir(shard_dir):
+        return []
+    return sorted(
+        os.path.join(shard_dir, name)
+        for name in os.listdir(shard_dir)
+        if name.startswith(_SHARD_PREFIX) and name.endswith(".jsonl")
+    )
+
+
+def merge_shards(
+    store: CampaignStore, shard_dir: str, prune: bool = True
+) -> Dict[str, int]:
+    """Fuse every shard into the canonical store, one record per key.
+
+    Selection per key: an ``ok`` record beats any failure (a retried
+    block's success must never be shadowed by the earlier error record,
+    whatever shard order they land in), ties broken by latest ``ts``,
+    then by file order.  Appends go through the store's crash-safe
+    batched append; with ``prune`` the merged shards are deleted
+    afterwards, so a merge interrupted before the unlink simply re-runs
+    (the canonical store dedupes by key on load).
+
+    Returns ``{"shards": .., "records": ..}`` counts.
+    """
+    shards = list_shards(shard_dir)
+    if not shards:
+        return {"shards": 0, "records": 0}
+    # Pass 1: choose, holding only a compact tuple per key.
+    choice: Dict[str, Tuple] = {}
+    for shard_index, path in enumerate(shards):
+        for line_index, record in enumerate(CampaignStore(path).iter_records()):
+            rank = 1 if record.get("status") == STATUS_OK else 0
+            candidate = (rank, record.get("ts", 0), shard_index, line_index)
+            key = record["key"]
+            if key not in choice or candidate > choice[key]:
+                choice[key] = candidate
+    # Pass 2: append the chosen lines, shard by shard.
+    chosen_by_shard: Dict[int, set] = {}
+    for rank, ts, shard_index, line_index in choice.values():
+        chosen_by_shard.setdefault(shard_index, set()).add(line_index)
+    appended = 0
+    for shard_index, path in enumerate(shards):
+        wanted = chosen_by_shard.get(shard_index)
+        if not wanted:
+            continue
+        batch = [
+            record
+            for line_index, record in enumerate(
+                CampaignStore(path).iter_records()
+            )
+            if line_index in wanted
+        ]
+        store.append_many(batch)
+        appended += len(batch)
+    if prune:
+        for path in shards:
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+        try:
+            os.rmdir(shard_dir)
+        except OSError:
+            pass
+    return {"shards": len(shards), "records": appended}

@@ -63,9 +63,11 @@ __all__ = [
     "RowDefinition",
     "ROW_REGISTRY",
     "GRAPH_FAMILIES",
+    "GRAPH_FAMILY_MIN_SIZES",
     "get_row",
     "register_row",
     "resolve_bounds",
+    "row_min_size",
     "check_row_supports_options",
     "execute_cell",
     "execute_cell_block",
@@ -95,6 +97,23 @@ GRAPH_FAMILIES: Dict[str, Callable[[int], Graph]] = {
     "grid-square": _grid_square,
     "k2k": _k2k,
 }
+
+#: Smallest size each family's constructor accepts (a cycle needs three
+#: vertices; everything else runs from two).  Size-rescaling callers
+#: (``table1 --sizes-scale``) clamp to this instead of a blanket 2, so
+#: cycle rows scale down without crashing in ``cycle_graph``.
+GRAPH_FAMILY_MIN_SIZES: Dict[str, int] = {
+    "gnp": 2,
+    "path": 2,
+    "cycle": 3,
+    "grid-square": 2,
+    "k2k": 2,
+}
+
+
+def row_min_size(name: str) -> int:
+    """The smallest valid size for a registry row's graph family."""
+    return GRAPH_FAMILY_MIN_SIZES.get(get_row(name).graph_family, 2)
 
 
 def _log2(x: float) -> float:
@@ -569,6 +588,51 @@ def _beta_cell(row: str, size: int, seed: int, options: Dict) -> CellResult:
             "lemma14_bound": 2 * beta,
         },
     )
+
+
+# --- figure artifacts ------------------------------------------------------
+
+
+def _figure1_metrics(outcome) -> Dict[str, float]:
+    """Trace-derived Figure 1 measurements: traffic split and the 2n
+    slot bound the figure visualizes."""
+    from repro.experiments.figure1 import _carries_payload
+
+    payload_tx = 0
+    control_tx = 0
+    for event in outcome.sim.trace:
+        if event.kind not in ("send", "duplex"):
+            continue
+        if _carries_payload(event.message, outcome.payload):
+            payload_tx += 1
+        else:
+            control_tx += 1
+    n = len(outcome.sim.outputs)
+    return {
+        "payload_tx": float(payload_tx),
+        "control_tx": float(control_tx),
+        # _ok suffix: aggregates conjunctively — one seed over budget
+        # flags the whole size.
+        "slots_2n_ok": 1.0 if outcome.duration <= 2 * n else 0.0,
+    }
+
+
+register_row(RowDefinition(
+    name="figure1",
+    title="Fig.1  Algorithm 1 timeline run on a path (traced, time <= 2n)",
+    model="LOCAL",
+    graph_family="path",
+    builder=lambda g, o: path_broadcast_protocol(oriented=True),
+    default_sizes=(32,),
+    default_seeds=(0,),
+    record_trace=True,
+    extra_metrics=_figure1_metrics,
+    columns=(
+        "n", "diameter", "delivered", "time_median",
+        "max_energy_median", "payload_tx", "slots_2n_ok",
+    ),
+    bounds={"2n time": ("time", lambda p: 2.0 * p.n)},
+))
 
 
 register_row(RowDefinition(

@@ -39,7 +39,40 @@ from repro.campaign.store import (
     make_record,
 )
 
-__all__ = ["CellTimeout", "CampaignRunReport", "execute_job", "run_campaign"]
+__all__ = [
+    "CellTimeout",
+    "CampaignRunReport",
+    "execute_job",
+    "plan_pending",
+    "run_campaign",
+]
+
+
+def plan_pending(spec: CampaignSpec, done) -> "tuple[int, List[JobSpec]]":
+    """Resolve a spec against completed keys: ``(total_cells, blocks)``.
+
+    Overlapping row entries can name the same cell twice; each unique
+    key is counted and executed once (aggregation dedupes the same
+    way).  Each returned block carries only its not-yet-done seeds, so
+    resuming a half-finished campaign re-runs exactly the missing
+    cells.  Shared by the serial/pool runner and the fabric executor —
+    one planning door guarantees both dispatch the identical work-set.
+    """
+    seen = set()
+    total_cells = 0
+    pending: List[JobSpec] = []
+    for block in spec.job_blocks():
+        missing = []
+        for cell, key in zip(block.cells(), block.cell_keys()):
+            if key in seen:
+                continue
+            seen.add(key)
+            total_cells += 1
+            if key not in done:
+                missing.append(cell.seed)
+        if missing:
+            pending.append(block.with_seeds(missing))
+    return total_cells, pending
 
 
 class CellTimeout(RuntimeError):
@@ -197,24 +230,7 @@ def run_campaign(
     """
     spec.validate()
     say = progress or (lambda message: None)
-    done = store.completed_keys()
-    # Overlapping row entries can name the same cell twice; count and
-    # execute each unique key once (aggregation dedupes the same way).
-    seen = set()
-    total_cells = 0
-    pending: List = []  # blocks holding only their not-yet-done seeds
-    for block in spec.job_blocks():
-        fresh, missing = [], []
-        for cell, key in zip(block.cells(), block.cell_keys()):
-            if key in seen:
-                continue
-            seen.add(key)
-            fresh.append(cell)
-            if key not in done:
-                missing.append(cell.seed)
-        total_cells += len(fresh)
-        if missing:
-            pending.append(block.with_seeds(missing))
+    total_cells, pending = plan_pending(spec, store.completed_keys())
     pending_cells = sum(len(block.seeds) for block in pending)
     say(
         f"campaign {spec.name}: {total_cells} cells, "

@@ -7,12 +7,26 @@ Commands:
   experiments serially (default: all rows).
 * ``ablations`` — run the three ablations.
 * ``demo`` — the quickstart comparison on a 128-hop chain.
-* ``campaign run CONFIG [--jobs N] [--out DIR] [--timeout S]`` — execute
-  a declarative sweep campaign, sharded across worker processes, with
-  results cached in an append-only store (re-runs compute only the delta).
-* ``campaign status CONFIG [--out DIR]`` — per-row completion accounting.
-* ``campaign report CONFIG [--out DIR]`` — render Table-1-style tables
-  from the store.
+* ``campaign run CONFIG [--workers N] [--retries K] [--heartbeat S]
+  [--jobs N] [--out DIR] [--timeout S]`` — execute a declarative sweep
+  campaign with results cached in an append-only store (re-runs compute
+  only the delta).  ``--workers`` engages the fault-tolerant fabric:
+  persistent worker processes, per-worker result shards, retry with
+  backoff, poison-block quarantine, and a live events ledger.
+  ``--jobs`` keeps the legacy pool path; plain serial stays the
+  differential oracle.
+* ``campaign status CONFIG [--out DIR] [--watch] [--interval S]`` —
+  per-row completion accounting; ``--watch`` adds the live fabric view
+  (throughput, ETA, per-worker state) replayed from the events ledger.
+* ``campaign report CONFIG [--out DIR] [--events]`` — render
+  Table-1-style tables from the store; ``--events`` appends the fabric
+  events summary (per-worker tallies, retries, quarantines).
+* ``campaign run-all TARGET [--out-root DIR]`` — run every config named
+  by a manifest (or directory of configs) through the fabric, one store
+  per campaign.
+* ``store compact PATH`` / ``store merge DEST SRC ...`` — rewrite a
+  store to one line per cell / fold other stores (or leftover worker
+  shards) into it.
 * ``bench [--out PATH] [--quick] [--min-legacy-speedup X]
   [--min-ref-speedup X]`` — run the engine microbenchmarks, write
   ``BENCH_engine.json``, and optionally fail if the engine is not fast
@@ -40,9 +54,11 @@ from typing import List, Optional
 from repro.sim.config import (
     ExecutionConfigError,
     add_execution_args,
+    add_runner_args,
     config_from_args,
     execution_overrides,
     normalize_execution_options,
+    runner_overrides,
 )
 
 __all__ = ["main"]
@@ -79,12 +95,15 @@ def _row_overrides(
     seeds: Optional[int],
     sizes_scale: Optional[float],
     exec_options: Optional[dict] = None,
+    min_size: int = 2,
 ):
     """kwargs rescaling a Table 1 runner's default workload.
 
     ``--seeds N`` replaces the seed tuple with ``range(N)``;
     ``--sizes-scale F`` multiplies the row's default sizes (the lower
-    bound rows call them ``ks``) by F, clamped to >= 2;
+    bound rows call them ``ks``) by F, clamped to >= ``min_size`` — the
+    row's graph family's real minimum (a cycle needs n >= 3, so a blind
+    min-2 clamp would crash cycle rows at small scales);
     ``exec_options`` (the shared execution flags — ``--resolution``,
     ``--stepping``, ``--lockstep``, ``--contention-hist``) ride into
     the row's ``options`` dict for rows that accept options (the
@@ -101,7 +120,8 @@ def _row_overrides(
             default = getattr(parameters.get(name), "default", None)
             if default is not None:
                 scaled = [
-                    max(2, int(round(size * sizes_scale))) for size in default
+                    max(min_size, int(round(size * sizes_scale)))
+                    for size in default
                 ]
                 # The min-clamp can collapse small sizes onto each other;
                 # drop duplicates but keep the sweep order.
@@ -139,11 +159,14 @@ def _cmd_table1(args) -> int:
             except ExecutionConfigError as exc:
                 print(f"row {row!r}: {exc}")
                 return 2
+    from repro.campaign.registry import ROW_REGISTRY, row_min_size
+
     for row in rows:
         fn = getattr(experiments, _TABLE1_ROWS[row])
+        min_size = row_min_size(row) if row in ROW_REGISTRY else 2
         try:
             _, table = fn(**_row_overrides(
-                fn, args.seeds, args.sizes_scale, exec_options
+                fn, args.seeds, args.sizes_scale, exec_options, min_size
             ))
         except ExecutionConfigError as exc:
             # e.g. --contention-hist on a bespoke lower-bound row: the
@@ -201,14 +224,31 @@ def _campaign_command(fn):
     return wrapped
 
 
+def _events_path(store) -> str:
+    """The fabric events ledger lives beside the campaign store."""
+    return os.path.join(
+        os.path.dirname(store.path) or ".", "events.jsonl"
+    )
+
+
 @_campaign_command
 def _cmd_campaign_run(args) -> int:
-    from repro.campaign import render_report, run_campaign
+    from repro.campaign import render_report, run_campaign, run_campaign_fabric
 
     spec, store = _campaign_store(args)
-    report = run_campaign(
-        spec, store, jobs=args.jobs, timeout=args.timeout, progress=print
-    )
+    fabric = runner_overrides(args)
+    if fabric:
+        # Any fabric flag engages the fault-tolerant runner; the plain
+        # serial path below stays the differential oracle it is tested
+        # against (tests/test_fabric.py).
+        report = run_campaign_fabric(
+            spec, store, timeout=args.timeout, progress=print,
+            events_path=_events_path(store), **fabric,
+        )
+    else:
+        report = run_campaign(
+            spec, store, jobs=args.jobs, timeout=args.timeout, progress=print
+        )
     print(report.summary())
     print()
     print(render_report(spec, store))
@@ -218,9 +258,15 @@ def _cmd_campaign_run(args) -> int:
 @_campaign_command
 def _cmd_campaign_status(args) -> int:
     from repro.campaign import render_status
+    from repro.campaign.fabric import watch_campaign
 
     spec, store = _campaign_store(args)
-    print(render_status(spec, store))
+    if args.watch:
+        watch_campaign(
+            spec, store, _events_path(store), interval=args.interval
+        )
+    else:
+        print(render_status(spec, store))
     return 0
 
 
@@ -230,6 +276,105 @@ def _cmd_campaign_report(args) -> int:
 
     spec, store = _campaign_store(args)
     print(render_report(spec, store))
+    if args.events:
+        from repro.campaign.fabric import (
+            read_events,
+            render_events_summary,
+            summarize_events,
+        )
+
+        print()
+        print(render_events_summary(
+            summarize_events(read_events(_events_path(store)))
+        ))
+    return 0
+
+
+def _cmd_campaign_run_all(args) -> int:
+    from repro.campaign import CampaignSpec, CampaignStore, run_campaign_fabric
+    from repro.campaign.fabric import resolve_run_all
+
+    try:
+        name, configs = resolve_run_all(args.target)
+    except ValueError as exc:
+        print(exc)
+        return 2
+    fabric = runner_overrides(args)
+    print(f"run-all {name!r}: {len(configs)} campaign(s)")
+    failures = []
+    for path in configs:
+        try:
+            spec = CampaignSpec.from_json_file(path)
+            spec.validate()
+        except (OSError, ValueError) as exc:
+            print(f"  {path}: bad config: {exc}")
+            failures.append(path)
+            continue
+        out = os.path.join(args.out_root, spec.name)
+        store = CampaignStore(os.path.join(out, "results.jsonl"))
+        print(f"== {spec.name} ({path}) -> {out}")
+        report = run_campaign_fabric(
+            spec, store, timeout=args.timeout, progress=print,
+            events_path=_events_path(store), **fabric,
+        )
+        print(report.summary())
+        if not report.all_ok:
+            failures.append(path)
+    status = "all ok" if not failures else f"{len(failures)} failed"
+    print(f"run-all {name!r}: {len(configs)} campaign(s), {status}")
+    return 1 if failures else 0
+
+
+def _store_path(target: str) -> str:
+    """Accept a store file or its campaign directory."""
+    if os.path.isdir(target):
+        return os.path.join(target, "results.jsonl")
+    return target
+
+
+def _cmd_store_compact(args) -> int:
+    from repro.campaign import CampaignStore
+
+    store = CampaignStore(_store_path(args.store))
+    if not os.path.exists(store.path):
+        print(f"store not found: {store.path}")
+        return 2
+    stats = store.compact()
+    print(
+        f"compacted {store.path}: {stats['before']} -> "
+        f"{stats['after']} line(s)"
+    )
+    return 0
+
+
+def _cmd_store_merge(args) -> int:
+    from repro.campaign import CampaignStore
+
+    dest = CampaignStore(_store_path(args.dest))
+    sources = [_store_path(src) for src in args.sources]
+    missing = [src for src in sources if not os.path.exists(src)]
+    if missing:
+        print(f"source store(s) not found: {missing}")
+        return 2
+    merged = dest.load()
+    before = len(merged)
+    for src in sources:
+        for key, record in CampaignStore(src).load().items():
+            # Same rule as the fabric shard merge: never let an error
+            # record shadow an ok one; otherwise later sources win.
+            current = merged.get(key)
+            keep_current = (
+                current is not None
+                and current.get("status") == "ok"
+                and record.get("status") != "ok"
+            )
+            if not keep_current:
+                merged[key] = record
+    dest.rewrite(list(merged.values()))
+    print(
+        f"merged {len(sources)} store(s) into {dest.path}: "
+        f"{before} -> {len(merged)} cell(s)"
+    )
     return 0
 
 
@@ -409,21 +554,82 @@ def build_parser() -> argparse.ArgumentParser:
     add_campaign_common(p_run)
     p_run.add_argument(
         "--jobs", type=int, default=1,
-        help="worker processes (1 = in-process serial)",
+        help="legacy pool worker processes (1 = in-process serial); "
+             "prefer --workers for the fault-tolerant fabric",
     )
     p_run.add_argument(
         "--timeout", type=float, default=None,
         help="per-cell wall-clock budget in seconds",
     )
+    # --workers/--retries/--heartbeat: any of them engages the fabric
+    # runner (persistent workers, shards, retry, quarantine, events).
+    add_runner_args(p_run)
     p_run.set_defaults(func=_cmd_campaign_run)
 
     p_status = camp_sub.add_parser("status", help="per-row cell accounting")
     add_campaign_common(p_status)
+    p_status.add_argument(
+        "--watch", action="store_true",
+        help="live fabric view (throughput, ETA, per-worker state); "
+             "refreshes until the run completes",
+    )
+    p_status.add_argument(
+        "--interval", type=float, default=2.0,
+        help="--watch refresh interval in seconds (default: 2)",
+    )
     p_status.set_defaults(func=_cmd_campaign_status)
 
     p_report = camp_sub.add_parser("report", help="render tables from the store")
     add_campaign_common(p_report)
+    p_report.add_argument(
+        "--events", action="store_true",
+        help="append the fabric events summary (workers, retries, "
+             "quarantines) from the run's events ledger",
+    )
     p_report.set_defaults(func=_cmd_campaign_report)
+
+    p_all = camp_sub.add_parser(
+        "run-all",
+        help="run every campaign named by a manifest or config directory",
+    )
+    p_all.add_argument(
+        "target",
+        help="manifest file, directory of configs (uses run_all.json "
+             "when present), or a single campaign config",
+    )
+    p_all.add_argument(
+        "--out-root", default="campaigns",
+        help="parent results directory; each campaign gets "
+             "<out-root>/<name>/ (default: campaigns)",
+    )
+    p_all.add_argument(
+        "--timeout", type=float, default=None,
+        help="per-cell wall-clock budget in seconds",
+    )
+    add_runner_args(p_all)
+    p_all.set_defaults(func=_cmd_campaign_run_all)
+
+    p_store = sub.add_parser(
+        "store", help="maintain campaign result stores"
+    )
+    store_sub = p_store.add_subparsers(dest="store_command", required=True)
+
+    p_compact = store_sub.add_parser(
+        "compact", help="rewrite a store to one line per cell"
+    )
+    p_compact.add_argument(
+        "store", help="store file or campaign directory"
+    )
+    p_compact.set_defaults(func=_cmd_store_compact)
+
+    p_merge = store_sub.add_parser(
+        "merge", help="fold source stores into a destination store"
+    )
+    p_merge.add_argument("dest", help="destination store file or directory")
+    p_merge.add_argument(
+        "sources", nargs="+", help="source store files or directories"
+    )
+    p_merge.set_defaults(func=_cmd_store_merge)
     return parser
 
 

@@ -54,7 +54,9 @@ comparable across runners of the *same* workload.
 from __future__ import annotations
 
 import json
+import os
 import platform
+import tempfile
 import time
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
@@ -612,6 +614,89 @@ def _lockstep_section(quick: bool) -> Dict:
     return entry
 
 
+def _campaign_fabric_section(quick: bool) -> Dict:
+    """Campaign dispatch overhead: serial runner vs the worker fabric.
+
+    Times one fixed dense campaign (cheap cells, so dispatch — queues,
+    shards, heartbeats, the events ledger — dominates) through the
+    serial oracle and through ``run_campaign_fabric`` with 2 workers,
+    into throwaway stores, and cross-checks that both produce identical
+    aggregates.  ``speedup_fabric_vs_serial`` is recorded for the perf
+    trajectory but is *not* CI-gated: on a single-core runner the
+    fabric's value is fault isolation, not wall-clock.
+    """
+    from repro.campaign import (
+        CampaignSpec,
+        CampaignStore,
+        aggregate_campaign,
+        aggregate_campaign_streaming,
+        run_campaign,
+        run_campaign_fabric,
+    )
+
+    sizes, seeds = ([16], list(range(4))) if quick else (
+        [16, 32], list(range(8))
+    )
+    spec = CampaignSpec.from_dict({
+        "name": "bench-fabric",
+        "rows": [{"row": "path", "sizes": sizes, "seeds": seeds}],
+    })
+    cells = len(sizes) * len(seeds)
+
+    def points_blob(points) -> str:
+        return json.dumps(
+            {k: [vars(p) for p in v] for k, v in points.items()},
+            sort_keys=True, default=str,
+        )
+
+    with tempfile.TemporaryDirectory() as tmp:
+        start = time.perf_counter()
+        serial_store = CampaignStore(os.path.join(tmp, "serial", "r.jsonl"))
+        run_campaign(spec, serial_store, progress=None)
+        serial_seconds = time.perf_counter() - start
+
+        start = time.perf_counter()
+        fabric_store = CampaignStore(os.path.join(tmp, "fabric", "r.jsonl"))
+        run_campaign_fabric(
+            spec, fabric_store, workers=2, progress=None,
+            events_path=os.path.join(tmp, "fabric", "events.jsonl"),
+        )
+        fabric_seconds = time.perf_counter() - start
+
+        serial_points = points_blob(
+            aggregate_campaign(spec, serial_store, extended=True)
+        )
+        equivalent = (
+            serial_points
+            == points_blob(aggregate_campaign(spec, fabric_store, extended=True))
+            == points_blob(
+                aggregate_campaign_streaming(spec, fabric_store, extended=True)
+            )
+        )
+    return {
+        "description": (
+            f"campaign dispatch: path row, {cells} cheap cells — serial "
+            f"oracle vs 2-worker fabric (fork, shards, events ledger); "
+            f"informational on single-core runners"
+        ),
+        "cells": cells,
+        "seconds": {
+            "serial": round(serial_seconds, 6),
+            "fabric_workers2": round(fabric_seconds, 6),
+        },
+        "cells_per_sec": {
+            "serial": round(cells / serial_seconds, 1),
+            "fabric_workers2": round(cells / fabric_seconds, 1),
+        },
+        "speedup_fabric_vs_serial": round(serial_seconds / fabric_seconds, 3),
+        "workers": 2,
+        # Aggregates must match the serial oracle byte-for-byte (and the
+        # streaming reducer must match both) — this IS CI-gated via
+        # check_thresholds, unlike the speedup.
+        "equivalent": equivalent,
+    }
+
+
 def validate_bench_config(config: ExecutionConfig) -> None:
     """Reject config fields the benchmark matrix cannot honor.
 
@@ -638,6 +723,13 @@ def validate_bench_config(config: ExecutionConfig) -> None:
             "legacy/reference runners always meter, so the equivalence "
             "check would fail by construction"
         )
+    for spec in config.field_specs():
+        if spec.metadata["runner"] and getattr(config, spec.name) != spec.default:
+            raise ExecutionConfigError(
+                f"bench cannot honor exec_config.{spec.name}: fabric "
+                f"runner fields steer campaign dispatch, and the "
+                f"campaign_fabric section sets its own worker count"
+            )
 
 
 def run_engine_benchmarks(
@@ -741,6 +833,7 @@ def run_engine_benchmarks(
         report["workloads"][workload.name] = entry
     report["numpy_available"] = numpy_available()
     report["lockstep_trials"] = _lockstep_section(quick)
+    report["campaign_fabric"] = _campaign_fabric_section(quick)
     summary: Dict[str, float] = {}
     for key in (
         "speedup_vs_legacy",
@@ -796,6 +889,12 @@ def check_thresholds(
     if lockstep is not None and not lockstep.get("equivalent", True):
         violations.append(
             "lockstep_trials: lock-step results diverge from serial"
+        )
+    fabric = report.get("campaign_fabric")
+    if fabric is not None and not fabric.get("equivalent", True):
+        violations.append(
+            "campaign_fabric: fabric/streaming aggregates diverge from "
+            "the serial oracle"
         )
     for name, entry in report["workloads"].items():
         if not entry["equivalent"]:
@@ -919,4 +1018,18 @@ def format_report(report: Dict) -> str:
                     eq=lockstep["equivalent"],
                 )
             )
+    fabric = report.get("campaign_fabric")
+    if fabric is not None:
+        lines.append(f"  campaign_fabric: {fabric['description']}")
+        lines.append(
+            "    serial {serial:.1f} cells/s | fabric({w}) {fab:.1f} cells/s "
+            "| fabric-vs-serial x{ratio:.2f} (not gated) | "
+            "equivalent={eq}".format(
+                serial=fabric["cells_per_sec"]["serial"],
+                w=fabric["workers"],
+                fab=fabric["cells_per_sec"]["fabric_workers2"],
+                ratio=fabric["speedup_fabric_vs_serial"],
+                eq=fabric["equivalent"],
+            )
+        )
     return "\n".join(lines)

@@ -55,8 +55,10 @@ __all__ = [
     "ExecutionConfigError",
     "UNSET",
     "add_execution_args",
+    "add_runner_args",
     "config_from_args",
     "execution_overrides",
+    "runner_overrides",
     "normalize_execution_options",
     "resolve_exec_config",
     "validate_execution_options",
@@ -100,6 +102,7 @@ def _meta(
     cell_option: bool = False,
     cli: bool = False,
     hook: bool = False,
+    runner: bool = False,
 ) -> Dict[str, Any]:
     return {
         "help": help,
@@ -107,6 +110,7 @@ def _meta(
         "cell_option": cell_option,
         "cli": cli,
         "hook": hook,
+        "runner": runner,
     }
 
 
@@ -149,6 +153,21 @@ class ExecutionConfig:
         "summary into cell extras as ch_* keys (changes cell identity)",
         cell_option=True, cli=True,
     ))
+    workers: int = field(default=1, metadata=_meta(
+        "campaign fabric worker processes (1 = in-process serial; "
+        "consumed by repro.campaign.fabric, never by the engine)",
+        runner=True,
+    ))
+    retries: int = field(default=2, metadata=_meta(
+        "per-block retry budget before the campaign fabric quarantines "
+        "the block instead of aborting the sweep",
+        runner=True,
+    ))
+    heartbeat: float = field(default=1.0, metadata=_meta(
+        "seconds between fabric worker heartbeats; a worker silent for "
+        "several beats is declared hung and replaced (0 disables)",
+        runner=True,
+    ))
     observer_factory: Optional[Callable[[int], Sequence[Any]]] = field(
         default=None, metadata=_meta(
             "per-seed SlotObserver constructor (seed -> observers); the "
@@ -188,6 +207,28 @@ class ExecutionConfig:
                         f"time_limit must be a positive int or None, "
                         f"got {value!r}"
                     )
+            elif meta["runner"]:
+                if spec.name == "heartbeat":
+                    if (
+                        isinstance(value, bool)
+                        or not isinstance(value, (int, float))
+                        or value < 0
+                    ):
+                        raise ExecutionConfigError(
+                            f"heartbeat must be a number of seconds >= 0 "
+                            f"(0 disables liveness checks), got {value!r}"
+                        )
+                else:
+                    minimum = 1 if spec.name == "workers" else 0
+                    if (
+                        isinstance(value, bool)
+                        or not isinstance(value, int)
+                        or value < minimum
+                    ):
+                        raise ExecutionConfigError(
+                            f"{spec.name} must be an int >= {minimum}, "
+                            f"got {value!r}"
+                        )
             elif not isinstance(value, bool):
                 raise ExecutionConfigError(
                     f"{spec.name} must be true or false, got {value!r}"
@@ -206,6 +247,15 @@ class ExecutionConfig:
         return tuple(
             spec.name for spec in cls.field_specs()
             if spec.metadata["cell_option"]
+        )
+
+    @classmethod
+    def runner_keys(cls) -> Tuple[str, ...]:
+        """Fields consumed by the campaign fabric runner, never by the
+        engine layers (which reject them when set to non-defaults)."""
+        return tuple(
+            spec.name for spec in cls.field_specs()
+            if spec.metadata["runner"]
         )
 
     @classmethod
@@ -311,8 +361,9 @@ def _check_cell_options(options: Optional[Dict]) -> None:
     if reserved:
         raise ExecutionConfigError(
             f"{reserved} are execution fields but not campaign cell "
-            f"options (tracing follows the row definition; time limits "
-            f"and hooks belong to the runner); cell options are "
+            f"options (tracing follows the row definition; time limits, "
+            f"hooks, and the fabric's workers/retries/heartbeat belong "
+            f"to the runner); cell options are "
             f"{sorted(ExecutionConfig.option_keys())}"
         )
     ExecutionConfig.from_options(options)
@@ -422,6 +473,47 @@ def add_execution_args(
                 help=f"{spec.metadata['help']} (default: {spec.default})",
             )
     return group
+
+
+def add_runner_args(parser: argparse.ArgumentParser):
+    """Add the campaign-fabric runner flags (``--workers``, ``--retries``,
+    ``--heartbeat``) to an argparse parser.
+
+    Generated from the ``runner``-flagged :class:`ExecutionConfig`
+    fields, the same way :func:`add_execution_args` generates the
+    execution group.  These steer the *fabric* (how work is dispatched),
+    never the cells, so they are not part of any content-hash identity
+    and only the ``campaign run``/``run-all`` subcommands expose them.
+    """
+    group = parser.add_argument_group(
+        "fabric",
+        "how the campaign fabric dispatches work — results are identical "
+        "to a serial run (see repro.campaign.fabric)",
+    )
+    for spec in ExecutionConfig.field_specs():
+        if not spec.metadata["runner"]:
+            continue
+        kind = float if spec.name == "heartbeat" else int
+        group.add_argument(
+            _flag(spec.name),
+            dest=spec.name,
+            type=kind,
+            default=None,
+            help=f"{spec.metadata['help']} (default: {spec.default})",
+        )
+    return group
+
+
+def runner_overrides(args: argparse.Namespace) -> Dict[str, Any]:
+    """The fabric runner options explicitly given on the command line."""
+    overrides: Dict[str, Any] = {}
+    for spec in ExecutionConfig.field_specs():
+        if not spec.metadata["runner"]:
+            continue
+        value = getattr(args, spec.name, None)
+        if value is not None:
+            overrides[spec.name] = value
+    return overrides
 
 
 def execution_overrides(args: argparse.Namespace) -> Dict[str, Any]:

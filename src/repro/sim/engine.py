@@ -222,6 +222,13 @@ class Simulator:
                 "by run_trials(); a Simulator takes concrete observers= and "
                 "model arguments"
             )
+        for spec in config.field_specs():
+            if spec.metadata["runner"] and getattr(config, spec.name) != spec.default:
+                raise ExecutionConfigError(
+                    f"{spec.name} steers the campaign fabric, not the "
+                    f"engine; pass it to run_campaign_fabric() / "
+                    f"`campaign run --{spec.name.replace('_', '-')}` instead"
+                )
         self.graph = graph
         self.model = model
         self.seed = seed

@@ -221,6 +221,7 @@ class TestRoundTrip:
         assert set(data) == {
             "resolution", "stepping", "lockstep", "time_limit",
             "record_trace", "meter_energy", "contention_hist",
+            "workers", "retries", "heartbeat",
         }
 
     @pytest.mark.parametrize("include_defaults", [False, True])
