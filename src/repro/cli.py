@@ -396,7 +396,10 @@ def _cmd_bench(args) -> int:
     except ExecutionConfigError as exc:
         print(exc)
         return 2
-    report = run_engine_benchmarks(quick=args.quick, exec_config=exec_config)
+    report = run_engine_benchmarks(
+        quick=args.quick, exec_config=exec_config,
+        lockstep_seeds=args.seeds,
+    )
     write_results(report, args.out)
     print(format_report(report))
     print(f"wrote {args.out}")
@@ -406,6 +409,7 @@ def _cmd_bench(args) -> int:
         min_ref_speedup=args.min_ref_speedup,
         min_numpy_speedup=args.min_numpy_speedup,
         min_phase_speedup=args.min_phase_speedup,
+        min_lockstep_speedup=args.min_lockstep_speedup,
     )
     for violation in violations:
         print(f"FAIL: {violation}")
@@ -522,6 +526,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="fail unless phase-compiled stepping beats the per-slot "
              "path end-to-end by this factor on the phase-gated "
              "workloads",
+    )
+    p_bench.add_argument(
+        "--min-lockstep-speedup", type=float, default=None,
+        help="fail unless the SoA lock-step engine beats the serial "
+             "per-slot path by this factor on the many-seed "
+             "lockstep_trials workload (requires the SoA path to be "
+             "active, i.e. numpy)",
+    )
+    p_bench.add_argument(
+        "--seeds", type=int, default=64,
+        help="trial count for the many-seed lockstep_trials section "
+             "(default: 64)",
     )
     # The shared flags re-center the bench matrix: the primary "engine"
     # runner uses this base config and the comparison runners derive

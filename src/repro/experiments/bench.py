@@ -521,41 +521,67 @@ def _backend_replay(
     return entry
 
 
-def _lockstep_section(quick: bool) -> Dict:
-    """Serial vs lock-step batched trials on one multi-seed dense cell,
+def _lockstep_section(
+    quick: bool,
+    base_config: Optional[ExecutionConfig] = None,
+    seeds_count: int = 64,
+) -> Dict:
+    """Serial vs lock-step batched trials on one many-seed dense cell,
     each under per-slot and phase-compiled stepping.
 
-    This is where PR 3's "lock-step is wall-clock break-even" caveat is
-    re-measured now that phase plans make stepping cheap.  The four
-    variants keep the curve recorded in ``BENCH_engine.json`` run over
-    run; the measured answer so far: stepping was not the only cancel —
-    per-trial driver bookkeeping and setup keep lock-step near
-    break-even on quick cells (see :mod:`repro.sim.lockstep`).
+    The workload is the paper's hottest communication shape — the
+    SR-frame clique (every node active nearly every slot, receivers in
+    one long listen window per frame) — run across many seeds, which is
+    the shape million-trial campaigns batch.  ``lockstep_phase`` rides
+    the trial-axis struct-of-arrays engine (:mod:`repro.sim.trialsoa`)
+    whenever numpy is importable, and its headline ratio
+    ``speedup_lockstep_phase_vs_serial_slot`` carries the perf-smoke
+    ``--min-lockstep-speedup`` gate; ``lockstep_slot`` keeps the bench
+    base resolution, so it keeps recording the per-trial fallback
+    driver's curve (historically break-even — see
+    :mod:`repro.sim.lockstep`).
+
+    The four variants derive from the bench's re-centerable base config
+    via ``replace()`` (like :func:`_runners`), so ``--resolution`` /
+    ``--time-limit`` re-center this section too, and ``--seeds`` scales
+    the trial count.
     """
-    n, slots, seeds = (256, 8, list(range(8))) if quick else (
-        512, 16, list(range(8))
-    )
+    from repro.sim.trialsoa import soa_engaged
+
+    base = base_config or ExecutionConfig()
+    n, windows = (256, 4) if quick else (512, 4)
+    seeds = list(range(seeds_count))
     graph = clique(n)
     knowledge = Knowledge(n=n, max_degree=n - 1, diameter=1)
-    slot_protocol = _dense_protocol(slots)
-    phase_protocol = _dense_protocol_phase(slots)
-    batched_res = "numpy" if numpy_available() else "bitmask"
+    slot_protocol = _sr_frame_protocol(windows, phase=False)
+    phase_protocol = _sr_frame_protocol(windows, phase=True)
+    # The SoA engine needs the numpy backend; upgrade the default
+    # bitmask for the phase variant when numpy is importable, but honor
+    # an explicit re-centering (e.g. --resolution list measures the
+    # per-trial fallback driver on that backend).
+    soa_res = base.resolution
+    if soa_res == "bitmask" and numpy_available():
+        soa_res = "numpy"
     variants: Dict[str, Tuple[Callable, ExecutionConfig]] = {
         "serial_slot": (
-            slot_protocol, ExecutionConfig(resolution="bitmask")
+            slot_protocol, base.replace(stepping="slot")
         ),
         "serial_phase": (
-            phase_protocol, ExecutionConfig(resolution="bitmask")
+            phase_protocol, base.replace(stepping="phase")
         ),
         "lockstep_slot": (
             slot_protocol,
-            ExecutionConfig(resolution=batched_res, lockstep=True),
+            base.replace(lockstep=True, stepping="slot"),
         ),
         "lockstep_phase": (
             phase_protocol,
-            ExecutionConfig(resolution=batched_res, lockstep=True),
+            base.replace(lockstep=True, stepping="phase", resolution=soa_res),
         ),
     }
+    soa_active = (
+        soa_res == "numpy"
+        and soa_engaged(NO_CD, variants["lockstep_phase"][1])
+    )
     seconds = {}
     results = {}
     for name, (protocol, config) in variants.items():
@@ -580,21 +606,21 @@ def _lockstep_section(quick: bool) -> Dict:
     )
     entry: Dict[str, Any] = {
         "description": (
-            f"dense clique n={n}, No-CD, {slots} slots x {len(seeds)} seeds"
-            f" (lock-step resolution: {batched_res}; fixed configs — the "
-            f"bench's re-centering flags do not apply here)"
+            f"SR-frame clique n={n}, No-CD, {windows} windows x 32 slots "
+            f"x {len(seeds)} seeds (lockstep_phase resolution: {soa_res}, "
+            f"SoA engine {'active' if soa_active else 'inactive'}; other "
+            f"variants keep the bench base config)"
         ),
-        # The four variants are deliberately pinned (the section's value
-        # is its run-over-run comparability), so their actual configs
-        # are recorded rather than inherited from the bench base.
         "configs": {
             name: config.to_dict(include_defaults=True)
             for name, (_, config) in variants.items()
         },
+        "seeds": len(seeds),
+        "soa_active": soa_active,
         "seconds": {k: round(v, 6) for k, v in seconds.items()},
         "equivalent": equivalent,
         # Headline: the batched executor with phase stepping vs the PR-3
-        # serial per-slot path.
+        # serial per-slot path.  Carried by the SoA engine when active.
         "speedup_lockstep_phase_vs_serial_slot": round(
             seconds["serial_slot"] / seconds["lockstep_phase"], 3
         ),
@@ -605,8 +631,8 @@ def _lockstep_section(quick: bool) -> Dict:
         "speedup_phase_vs_slot_lockstep": round(
             seconds["lockstep_slot"] / seconds["lockstep_phase"], 3
         ),
-        # Batching win isolated under phase stepping (the PR-3 question,
-        # re-asked now that stepping is cheap).
+        # Batching win isolated under phase stepping (the PR-3 question;
+        # break-even until the trial axis was vectorized).
         "speedup_lockstep_vs_serial_phase": round(
             seconds["serial_phase"] / seconds["lockstep_phase"], 3
         ),
@@ -736,6 +762,7 @@ def run_engine_benchmarks(
     quick: bool = False,
     workloads: Optional[Sequence[BenchWorkload]] = None,
     exec_config: Optional[ExecutionConfig] = None,
+    lockstep_seeds: int = 64,
 ) -> Dict:
     """Time every workload on every runner; verify equivalence; report.
 
@@ -754,9 +781,8 @@ def run_engine_benchmarks(
         "generated_by": "repro bench",
         "quick": bool(quick),
         "python": platform.python_version(),
-        # Applies to the workload runner matrix only; the
-        # lockstep_trials section runs a fixed four-way comparison and
-        # records its own per-variant configs.
+        # The lockstep_trials section derives its four variants from
+        # this base too, and records the derived per-variant configs.
         "workload_exec_config": base_config.to_dict(include_defaults=True),
         "workloads": {},
     }
@@ -832,7 +858,9 @@ def run_engine_benchmarks(
             )
         report["workloads"][workload.name] = entry
     report["numpy_available"] = numpy_available()
-    report["lockstep_trials"] = _lockstep_section(quick)
+    report["lockstep_trials"] = _lockstep_section(
+        quick, base_config, lockstep_seeds
+    )
     report["campaign_fabric"] = _campaign_fabric_section(quick)
     summary: Dict[str, float] = {}
     for key in (
@@ -870,6 +898,7 @@ def check_thresholds(
     min_ref_speedup: Optional[float] = None,
     min_numpy_speedup: Optional[float] = None,
     min_phase_speedup: Optional[float] = None,
+    min_lockstep_speedup: Optional[float] = None,
 ) -> List[str]:
     """Return human-readable violations (empty = all thresholds met).
 
@@ -879,6 +908,10 @@ def check_thresholds(
     ``fast`` extra precisely so this gate is meaningful).
     ``min_phase_speedup`` gates the end-to-end phase-vs-per-slot
     stepping ratio on every ``phase_gate`` workload.
+    ``min_lockstep_speedup`` gates the lockstep_trials headline ratio
+    (``speedup_lockstep_phase_vs_serial_slot``) and requires the SoA
+    trial-axis engine to actually be the path measured — a run where it
+    silently fell back to the per-trial driver is itself a violation.
     """
     violations = []
     if min_numpy_speedup is not None and not report.get("numpy_available"):
@@ -890,6 +923,25 @@ def check_thresholds(
         violations.append(
             "lockstep_trials: lock-step results diverge from serial"
         )
+    if min_lockstep_speedup is not None:
+        if lockstep is None:
+            violations.append(
+                "min-lockstep-speedup requested but the lockstep_trials "
+                "section is missing from the report"
+            )
+        else:
+            if not lockstep.get("soa_active"):
+                violations.append(
+                    "min-lockstep-speedup requested but the SoA lock-step "
+                    "engine was inactive (numpy missing or the config "
+                    "re-centered off the numpy resolution)"
+                )
+            ratio = lockstep.get("speedup_lockstep_phase_vs_serial_slot")
+            if ratio is not None and ratio < min_lockstep_speedup:
+                violations.append(
+                    f"lockstep_trials: speedup_lockstep_phase_vs_serial_slot "
+                    f"{ratio}x < required {min_lockstep_speedup}x"
+                )
     fabric = report.get("campaign_fabric")
     if fabric is not None and not fabric.get("equivalent", True):
         violations.append(
@@ -1007,10 +1059,12 @@ def format_report(report: Dict) -> str:
         lines.append(f"  lockstep_trials: {lockstep['description']}")
         if "speedup_lockstep_phase_vs_serial_slot" in lockstep:
             lines.append(
-                "    lock-step+phase x{a:.2f} vs serial per-slot | "
+                "    lock-step+phase x{a:.2f} vs serial per-slot "
+                "(SoA={soa}) | "
                 "phase-vs-slot serial x{b:.2f}, lock-step x{c:.2f} | "
                 "lock-step-vs-serial (phase) x{d:.2f} | "
                 "equivalent={eq}".format(
+                    soa=lockstep.get("soa_active", False),
                     a=lockstep["speedup_lockstep_phase_vs_serial_slot"],
                     b=lockstep["speedup_phase_vs_slot_serial"],
                     c=lockstep["speedup_phase_vs_slot_lockstep"],

@@ -25,16 +25,18 @@ semantics, same phase-plan caching, same duration bookkeeping.  Any
 semantic change to the engine loop must be made in both places; the
 equivalence tests will catch a drift.
 
-Wall-clock status, re-measured with phase plans (:mod:`repro.sim.plan`):
-generator stepping is no longer the dominating cost — plan-emitting
-protocols collapse it for serial *and* lock-step execution alike — but
-lock-step remains roughly break-even at paper sizes: with stepping cheap,
-per-trial driver bookkeeping (collect/apply swaps, live-list scans) and
-per-seed setup are what cancel the batched-resolution savings.  The
-``lockstep_trials`` section of ``BENCH_engine.json`` records the four-way
-serial/lock-step x per-slot/phase curve run over run (see
-``benchmarks/README.md``); revisit if the per-trial bookkeeping is ever
-vectorized across trials.
+The per-trial bookkeeping *is* now vectorized across trials:
+:func:`run_trials_lockstep` dispatches eligible cells (numpy resolution,
+shared count-based stateless model, no per-slot observation hooks — see
+:func:`repro.sim.trialsoa.soa_engaged`) to the struct-of-arrays engine in
+:mod:`repro.sim.trialsoa`, which holds plan counters, wake times, and
+energy meters as 2-D ``[trial, node]`` arrays and advances whole runs
+per slot as array operations.  That flip took the ``lockstep_trials``
+curve in ``BENCH_engine.json`` from break-even to multiplicative
+(CI-gated at >= 2x on the dense many-seed workload).  The per-trial
+driver below remains both the universal fallback (bitmask/list backends,
+per-seed model/observer factories, traces, no-numpy environments) and
+the lock-step differential oracle the SoA engine is pinned against.
 """
 
 from __future__ import annotations
@@ -79,8 +81,9 @@ from repro.sim.plan import (
     plan_resume,
     start_plan,
 )
-from repro.sim.resolution import create_backend
+from repro.sim.resolution import NumpyBackend, create_backend
 from repro.sim.trace import Trace
+from repro.sim.trialsoa import run_trials_soa, soa_engaged
 
 __all__ = ["run_trials_lockstep"]
 
@@ -511,6 +514,22 @@ def run_trials_lockstep(
     validate_input_keys(inputs, graph.n)
 
     backend = create_backend(config.resolution, graph)
+    if seeds and soa_engaged(model, config) and isinstance(backend, NumpyBackend):
+        # Vectorizable cell: hand the whole batch to the trial-axis
+        # struct-of-arrays engine (byte-identical, see trialsoa.py).
+        return run_trials_soa(
+            graph,
+            model,
+            protocol_factory,
+            seeds,
+            knowledge=knowledge,
+            uids=uids,
+            inputs=inputs,
+            time_limit=time_limit,
+            meter_energy=meter_energy,
+            stepping=stepping,
+            backend=backend,
+        )
     shared_model = model_factory is None
     trials = []
     for seed in seeds:

@@ -370,6 +370,56 @@ class NumpyBackend(ResolutionBackend):
         return resolve_slot
 
 
+    def trial_matrix_resolver(self):
+        """Whole-trial-matrix resolution for the SoA lock-step engine.
+
+        Returns ``resolve(send) -> (counts, masked)`` where ``send`` is a
+        boolean ``[trials, nodes]`` matrix of this slot's transmitters
+        (one row per in-flight trial) and
+
+        * ``counts`` is the int64 ``[trials, nodes]`` matrix of
+          transmitting-neighbor counts — every cell of every trial in one
+          AND + popcount sweep over the shared mask table, and
+        * ``masked`` is the ``[trials, nodes, words]`` uint64 array of
+          per-cell transmitting-neighbor masks (feed it to
+          :meth:`first_transmitter_matrix`, or walk a row's bits for the
+          ordered-message slow path).
+
+        Unlike :meth:`batch_resolver` this returns arrays shaped like the
+        caller's state matrices — reception results scatter straight into
+        struct-of-arrays trial state with no per-trial dict hops.
+        """
+        np = _np
+        table = self._table
+        words = self._words
+
+        def resolve(send):
+            packed = np.packbits(send, axis=1, bitorder="little")
+            tmask = np.zeros((send.shape[0], words * 8), dtype=np.uint8)
+            tmask[:, : packed.shape[1]] = packed
+            masked = table[None, :, :] & tmask.view(np.uint64)[:, None, :]
+            counts = _popcount_rows(masked.reshape(-1, words)).reshape(
+                send.shape
+            )
+            return counts, masked
+
+        return resolve
+
+    def first_transmitter_matrix(self, masked, select):
+        """Lowest transmitting neighbor per selected cell of a
+        ``[trials, nodes, words]`` mask array (from
+        :meth:`trial_matrix_resolver`).  Only the cells picked by the
+        boolean ``select`` matrix are computed (they must have nonzero
+        masks — the caller filters on count); the rest of the returned
+        ``[trials, nodes]`` int64 matrix is uninitialized."""
+        np = _np
+        flat = masked.reshape(-1, masked.shape[-1])
+        rows = np.nonzero(select.reshape(-1))[0]
+        firsts = np.empty(select.shape, dtype=np.int64)
+        if rows.size:
+            firsts.reshape(-1)[rows] = _first_transmitters(flat, rows)
+        return firsts
+
     def batch_resolver(self, model: ChannelModel):
         if not model.supports_count:
             return super().batch_resolver(model)

@@ -1,0 +1,839 @@
+"""Trial-axis struct-of-arrays (SoA) lock-step execution.
+
+The per-trial lock-step driver (:mod:`repro.sim.lockstep`) is byte-exact
+but break-even: with resolution and stepping cheap, its profile is
+per-trial Python bookkeeping — dict churn in collect/apply, one
+``gen.send`` per node per slot on per-slot protocols, one plan-state poke
+per node per slot on phase protocols.  This module keeps the *whole
+batch* of trials in 2-D numpy arrays indexed ``[trial, node]`` and
+advances every vectorizable run with whole-array operations per slot:
+
+====================  =====================================================
+array                 meaning
+====================  =====================================================
+``st``      int8      state code: done / send / listen / listen-until /
+                      duplex / idle
+``rem``     int64     slots remaining in the active run (incl. current)
+``wake``    int64     wake slot for idle cells (sentinel elsewhere)
+``run_start`` int64   global round index of the run's first slot (for
+                      deferred feedback delivery out of the history ring)
+``steps_next`` int64  ``Steps`` resume index (-1: whole-opcode run,
+                      -2: no descriptor — per-slot referee)
+``msg``     object    message transmitted by send/duplex runs
+``e_send``/``e_listen``/``e_duplex``/``e_last``  int64  energy meters
+====================  =====================================================
+
+Per global round, every unfinished trial stages exactly one slot (its
+own clock — trials at different slot numbers share a round).  The slot
+is resolved through :meth:`repro.sim.resolution.NumpyBackend.
+trial_matrix_resolver` — one packbits over the send matrix, one AND +
+popcount sweep over the shared uint64 mask table for *all* trials — and
+classified into a ``[trial, node]`` feedback object array by per-model
+vectorized rules.  Countdowns (``rem -= 1``), energy charging, duration
+bookkeeping, and ``ListenUntil`` match detection are array operations;
+Python runs only at *run boundaries* (a run's last slot, an early
+``ListenUntil`` match, idle wake-ups, generator re-entries), where the
+node syncs its plan state and delegates to the same
+:func:`~repro.sim.plan.plan_feedback` / :func:`~repro.sim.plan.
+plan_resume` referee the serial engine uses.
+
+Feedback for multi-slot listen runs is delivered *deferred*: each
+round's feedback matrix is appended to a history list, and a run's
+feedbacks are gathered as a column slice when the run ends (every live
+trial stages one slot per round, so a k-slot run spans k consecutive
+rounds).  The history is truncated to the oldest in-flight collecting
+run, bounding memory.
+
+What vectorizes (runs longer than one slot): ``Repeat`` of
+Send/Listen/SendListen, ``SendProb`` pre-drawn segments, ``ListenUntil``
+countdowns (accept callbacks are evaluated only on message-bearing
+candidate cells), and maximal same-action stretches inside ``Steps``.
+Everything else — plain per-slot yields from adaptive generators, plan
+starts, idle wake-ups — takes the per-node Python path, one call per
+boundary, which is exactly the serial engine's cost for those states.
+
+rng draw-order identity holds by construction: generator entries and
+``start_plan`` calls (the only rng consumers) happen at exactly the
+slots the serial engine performs them; only within-run continuations are
+vectorized.  The differential matrix in tests/test_lockstep.py pins the
+results byte-identical to the serial engine across models x backends x
+stepping modes.
+
+Eligibility (:func:`soa_engaged`): numpy importable, ``resolution ==
+"numpy"``, a shared count-based stateless model, no per-seed model or
+observer factories, no trace recording.  Everything else — including
+every no-numpy environment — runs the per-trial fallback driver in
+:mod:`repro.sim.lockstep`, unchanged.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.graphs.graph import Graph
+from repro.sim.actions import Idle, Listen, Send, SendListen
+from repro.sim.config import ExecutionConfig
+from repro.sim.energy import EnergyReport
+from repro.sim.engine import (
+    ProtocolError,
+    ProtocolFactory,
+    SimResult,
+    SimulationTimeout,
+)
+from repro.sim.feedback import BEEP, NOISE, SILENCE, is_message
+from repro.sim.models import (
+    BEEPING,
+    CD,
+    CD_STAR,
+    LOCAL,
+    NO_CD,
+    ChannelModel,
+)
+from repro.sim.node import Knowledge, NodeCtx
+from repro.sim.plan import (
+    OP_DUPLEX,
+    OP_LISTEN,
+    OP_SEND,
+    OP_UNTIL,
+    RUN_DUPLEX,
+    RUN_LISTEN,
+    RUN_SEND,
+    RUN_UNTIL,
+    Plan,
+    expand_plans,
+    plan_feedback,
+    plan_resume,
+    run_descriptor,
+    start_plan,
+)
+
+try:  # optional acceleration dependency (mirrors resolution.py)
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised via the no-numpy CI leg
+    _np = None
+
+__all__ = ["run_trials_soa", "soa_engaged"]
+
+# State codes.  The active band [_SEND, _DUPLEX] is contiguous so
+# "has any staged action" is one range test per cell.
+_DONE = 0
+_SEND = 1
+_LISTEN = 2
+_UNTIL = 3
+_DUPLEX = 4
+_IDLE = 5
+
+_FAR = 1 << 62  # wake sentinel for cells that are not idle
+
+if _np is not None:
+    _WRAP1 = _np.frompyfunc(lambda m: (m,), 1, 1)  # message -> (message,)
+else:  # pragma: no cover - no-numpy environments never reach the engine
+    _WRAP1 = None
+
+
+def soa_engaged(model: ChannelModel, config: ExecutionConfig) -> bool:
+    """Whether :func:`repro.sim.lockstep.run_trials_lockstep` will execute
+    this cell through the SoA engine (vs the per-trial fallback driver).
+
+    The SoA path engages only where it is provably byte-identical and
+    actually vectorizable: the numpy backend requested and importable, a
+    shared count-based stateless channel (per-seed ``model_factory``
+    models and stateful channels consume randomness per reception),
+    and no per-slot observation hooks (traces and extra observers need
+    the per-slot dict views the fallback driver maintains).
+    """
+    return (
+        _np is not None
+        and config.resolution == "numpy"
+        and model.supports_count
+        and not model.stateful
+        and config.model_factory is None
+        and config.observer_factory is None
+        and not config.record_trace
+    )
+
+
+def _cell(value):
+    """Box ``value`` in a 0-d object array so broadcast-assignment stores
+    the object itself (a bare tuple would be unpacked elementwise)."""
+    box = _np.empty((), dtype=object)
+    box[()] = value
+    return box
+
+
+def _stock_spec(model: ChannelModel):
+    """``(k0_cell, one_mode, many_mode, until_rule)`` for the five paper
+    models: the zero-count feedback plus how counts of 1 / >= 2 classify.
+
+    Modes: ``("obj", cell)`` — a fixed sentinel; ``"first"`` — the lowest
+    transmitting neighbor's message; ``"first_tuple"`` — that message
+    wrapped in a 1-tuple (LOCAL); ``"needs"`` — the full ordered message
+    list (LOCAL under contention).  ``until_rule`` names which counts
+    *can* carry a message for ``ListenUntil`` early exit ("eq1"/"ge1"/
+    "never"); candidate cells are still re-checked per element with
+    :func:`is_message` + accept, so a ``Send(None)`` cannot fake a match.
+
+    Keyed on exact type: a subclass overriding resolution semantics
+    falls back to the generic ``resolve_count_array`` path.
+    """
+    tp = type(model)
+    if tp is type(NO_CD):
+        return (_cell(SILENCE), "first", ("obj", _cell(SILENCE)), "eq1")
+    if tp is type(CD):
+        return (_cell(SILENCE), "first", ("obj", _cell(NOISE)), "eq1")
+    if tp is type(CD_STAR):
+        return (_cell(SILENCE), "first", "first", "ge1")
+    if tp is type(BEEPING):
+        beep = ("obj", _cell(BEEP))
+        return (_cell(SILENCE), beep, beep, "never")
+    if tp is type(LOCAL):
+        return (_cell(()), "first_tuple", "needs", "ge1")
+    return None
+
+
+def _cell_messages(mask_words, msg_row) -> List[Any]:
+    """Materialize one cell's transmitting-neighbor messages, lowest
+    sender index first — the exact order of the backends'
+    ``_mask_messages``."""
+    messages = []
+    for wi, word in enumerate(mask_words.tolist()):
+        base = wi << 6
+        while word:
+            low = word & -word
+            messages.append(msg_row[base + low.bit_length() - 1])
+            word ^= low
+    return messages
+
+
+class _RowMap:
+    """Dict-shaped view of one trial's message row for
+    ``ChannelModel.resolve_count_array`` (which looks up
+    ``transmitting[vertex]`` for clean receptions only)."""
+
+    __slots__ = ("row",)
+
+    def __init__(self, row) -> None:
+        self.row = row
+
+    def __getitem__(self, v):
+        return self.row[v]
+
+
+class _SoAEngine:
+    """The batched executor.  Mirrors the serial engine's semantics state
+    for state; any divergence is a bug the differential suite catches."""
+
+    def __init__(
+        self,
+        graph: Graph,
+        model: ChannelModel,
+        protocol_factory: ProtocolFactory,
+        seeds: Sequence[int],
+        *,
+        knowledge: Knowledge,
+        uids: Sequence[int],
+        inputs: Dict[int, Dict[str, Any]],
+        time_limit: int,
+        meter_energy: bool,
+        stepping: str,
+        backend,
+    ) -> None:
+        np = _np
+        T = len(seeds)
+        N = graph.n
+        self.T = T
+        self.N = N
+        self.graph = graph
+        self.model = model
+        self.seeds = list(seeds)
+        self.time_limit = time_limit
+        self.meter = meter_energy
+        self.full_duplex = model.full_duplex
+        self.backend = backend
+        self._resolve = backend.trial_matrix_resolver()
+        self.needs_first = model.needs_first_message
+        self.spec = _stock_spec(model)
+        self.until_rule = self.spec[3] if self.spec is not None else None
+
+        self.st = np.zeros((T, N), dtype=np.int8)
+        self.rem = np.zeros((T, N), dtype=np.int64)
+        self.wake = np.full((T, N), _FAR, dtype=np.int64)
+        self.run_start = np.zeros((T, N), dtype=np.int64)
+        self.steps_next = np.full((T, N), -1, dtype=np.int64)
+        self.msg = np.empty((T, N), dtype=object)
+        self.finish = np.full((T, N), -1, dtype=np.int64)
+        self.e_send = np.zeros((T, N), dtype=np.int64)
+        self.e_listen = np.zeros((T, N), dtype=np.int64)
+        self.e_duplex = np.zeros((T, N), dtype=np.int64)
+        self.e_last = np.full((T, N), -1, dtype=np.int64)
+        self.cur = np.zeros(T, dtype=np.int64)
+        self.bucket = np.zeros(T, dtype=np.int64)
+        self.duration = np.zeros(T, dtype=np.int64)
+        self.remaining = np.zeros(T, dtype=np.int64)
+
+        self.gens: List[List[Any]] = [[None] * N for _ in range(T)]
+        self.ctxs: List[List[Any]] = [[None] * N for _ in range(T)]
+        self.plans: List[List[Any]] = [[None] * N for _ in range(T)]
+        self.outputs: List[List[Any]] = [[None] * N for _ in range(T)]
+        self.entries = [0] * T
+        self.hist: List[Any] = []
+        self.hist_base = 0
+        # Write-combining buffer for _load: per-cell scalar stores into
+        # six arrays are ~1us of numpy dispatch each; batching a whole
+        # boundary/wake batch into one fancy-indexed store per array
+        # makes run loading O(arrays), not O(cells * arrays).
+        self._pend: List[List[Any]] = [[], [], [], [], [], [], []]
+
+        slot_stepping = stepping == "slot"
+        for t, seed in enumerate(self.seeds):
+            master = random.Random(seed)
+            ctxs_row = self.ctxs[t]
+            gens_row = self.gens[t]
+            outputs_row = self.outputs[t]
+            remaining_t = 0
+            for v in range(N):
+                ctx = NodeCtx(
+                    index=v,
+                    uid=uids[v],
+                    knowledge=knowledge,
+                    rng=random.Random(master.getrandbits(64)),
+                    inputs=dict(inputs.get(v, ())),
+                )
+                ctxs_row[v] = ctx
+                gen = protocol_factory(ctx)
+                if slot_stepping:
+                    gen = expand_plans(gen, ctx.rng)
+                gens_row[v] = gen
+                self.entries[t] += 1
+                try:
+                    action = next(gen)
+                except StopIteration as stop:
+                    outputs_row[v] = stop.value
+                    continue
+                remaining_t += 1
+                self._load(t, v, action, 0, 0)
+            self.remaining[t] = remaining_t
+        self._flush()
+
+    # --- per-node boundary machinery (the non-vectorizable states) -----
+
+    def _load(self, t: int, v: int, action, base_slot: int,
+              base_round: int) -> None:
+        """Classify an emitted action into array state: start plans
+        (consuming their rng at exactly the serial draw point), compile
+        the current run via :func:`run_descriptor`, or record a
+        single-slot generator-path run.  Array stores are buffered —
+        callers flush via :meth:`_flush` before any array is re-read."""
+        plans_row = self.plans[t]
+        pend = self._pend
+        while True:
+            cls = action.__class__
+            if cls is Send:
+                kind = RUN_SEND
+            elif cls is Listen:
+                kind = RUN_LISTEN
+            elif cls is Idle:
+                pend[0].append(t)
+                pend[1].append(v)
+                pend[2].append(_IDLE)
+                pend[3].append(1)
+                pend[4].append(base_slot + action.duration)
+                pend[5].append(base_round)
+                pend[6].append(-1)
+                return
+            elif cls is SendListen:
+                if not self.full_duplex:
+                    raise ProtocolError(
+                        f"SendListen is illegal in the {self.model.name} model"
+                    )
+                kind = RUN_DUPLEX
+            elif isinstance(action, Plan):
+                plans_row[v], action = start_plan(action, self.ctxs[t][v].rng)
+                continue
+            elif isinstance(action, Idle):
+                pend[0].append(t)
+                pend[1].append(v)
+                pend[2].append(_IDLE)
+                pend[3].append(1)
+                pend[4].append(base_slot + action.duration)
+                pend[5].append(base_round)
+                pend[6].append(-1)
+                return
+            elif isinstance(action, Send):
+                kind = RUN_SEND
+            elif isinstance(action, Listen):
+                kind = RUN_LISTEN
+            elif isinstance(action, SendListen):
+                if not self.full_duplex:
+                    raise ProtocolError(
+                        f"SendListen is illegal in the {self.model.name} model"
+                    )
+                kind = RUN_DUPLEX
+            else:
+                raise ProtocolError(f"protocol yielded non-action {action!r}")
+            break
+        count = 1
+        snext = -1
+        ps = plans_row[v]
+        desc = run_descriptor(ps, action) if ps is not None else None
+        if desc is not None:
+            kind, count, message, snext = desc
+            if kind == RUN_SEND or kind == RUN_DUPLEX:
+                self.msg[t, v] = message
+            code = (
+                _SEND if kind == RUN_SEND
+                else _LISTEN if kind == RUN_LISTEN
+                else _UNTIL if kind == RUN_UNTIL
+                else _DUPLEX
+            )
+            snext = -1 if kind == RUN_UNTIL else snext
+        else:
+            if ps is not None:
+                snext = -2  # no compiled run: per-slot plan_feedback
+            if kind != RUN_LISTEN:
+                self.msg[t, v] = action.message
+            code = (
+                _SEND if kind == RUN_SEND
+                else _LISTEN if kind == RUN_LISTEN
+                else _DUPLEX
+            )
+        pend[0].append(t)
+        pend[1].append(v)
+        pend[2].append(code)
+        pend[3].append(count)
+        pend[4].append(_FAR)
+        pend[5].append(base_round)
+        pend[6].append(snext)
+
+    def _flush(self) -> None:
+        """Commit buffered :meth:`_load` stores: one fancy-indexed
+        assignment per state array for the whole batch."""
+        pend = self._pend
+        ti = pend[0]
+        if not ti:
+            return
+        np = _np
+        rows = np.array(ti, dtype=np.intp)
+        cols = np.array(pend[1], dtype=np.intp)
+        self.st[rows, cols] = np.array(pend[2], dtype=np.int8)
+        self.rem[rows, cols] = np.array(pend[3], dtype=np.int64)
+        self.wake[rows, cols] = np.array(pend[4], dtype=np.int64)
+        self.run_start[rows, cols] = np.array(pend[5], dtype=np.int64)
+        self.steps_next[rows, cols] = np.array(pend[6], dtype=np.int64)
+        self._pend = [[], [], [], [], [], [], []]
+
+    def _wake(self, t: int, v: int, slot: int, round_idx: int) -> None:
+        """Resume a sleeper due at ``slot`` — the engine's wake path:
+        plans continue via plan_resume, exhausted plans re-enter the
+        generator with their result."""
+        ps = self.plans[t][v]
+        action = None
+        result = None
+        if ps is not None:
+            action, result = plan_resume(ps)
+            if action is None:
+                self.plans[t][v] = None
+        if action is None:
+            ctx = self.ctxs[t][v]
+            ctx.time = slot
+            self.entries[t] += 1
+            try:
+                action = self.gens[t][v].send(result)
+            except StopIteration as stop:
+                self.outputs[t][v] = stop.value
+                self.finish[t, v] = slot - 1
+                self.remaining[t] -= 1
+                if self.duration[t] < slot:
+                    self.duration[t] = slot
+                self.st[t, v] = _DONE
+                self.wake[t, v] = _FAR
+                return
+        self._load(t, v, action, slot, round_idx)
+
+    def _boundaries(self, boundary, round_idx: int, cur_list) -> None:
+        """Advance every cell whose run ended this round: sync the plan
+        counters from the arrays, hand the run's feedbacks to the shared
+        referee, re-enter generators at plan exhaustion, and load the
+        next run."""
+        np = _np
+        bt, bv = np.nonzero(boundary)
+        ts = bt.tolist()
+        vs = bv.tolist()
+        sts = self.st[bt, bv].tolist()
+        rems = self.rem[bt, bv].tolist()
+        starts = self.run_start[bt, bv].tolist()
+        nexts = self.steps_next[bt, bv].tolist()
+        last_fb = self.hist[-1]
+        fbs = last_fb[bt, bv].tolist()
+        hist = self.hist
+        hist_base = self.hist_base
+        plans = self.plans
+        next_round = round_idx + 1
+
+        # Pre-gather the earlier feedbacks of every multi-slot listen run
+        # ending this round, vectorized: one fancy-indexed gather per
+        # history row over *all* such cells at once, one bulk tolist(),
+        # then a cheap per-cell list slice — instead of a numpy scalar
+        # read per (cell, slot) pair.
+        prefetch: Dict[int, List[Any]] = {}
+        gather_ks = [
+            k for k in range(len(ts))
+            if (sts[k] == _LISTEN or sts[k] == _DUPLEX)
+            and starts[k] < round_idx
+        ]
+        if gather_ks:
+            min_start = min(starts[k] for k in gather_ks)
+            base = min_start - hist_base
+            gt = bt[gather_ks]
+            gv = bv[gather_ks]
+            rows = [
+                hist[base + i][gt, gv]
+                for i in range(round_idx - min_start)
+            ]
+            per_cell = np.stack(rows, axis=0).T.tolist()
+            for j, k in enumerate(gather_ks):
+                offset = starts[k] - min_start
+                prefetch[k] = (
+                    per_cell[j][offset:] if offset else per_cell[j]
+                )
+
+        for k in range(len(ts)):
+            t = ts[k]
+            v = vs[k]
+            st_cell = sts[k]
+            slot = cur_list[t]
+            fb_cell = None if st_cell == _SEND else fbs[k]
+            ps = plans[t][v]
+            action = None
+            result = fb_cell
+            if ps is not None:
+                snext = nexts[k]
+                if snext >= 0:  # a run carved out of an OP_STEPS list
+                    if st_cell != _SEND:
+                        earlier = prefetch.get(k)
+                        if earlier:
+                            ps[3].extend(earlier)
+                    ps[1] = snext
+                    action, result = plan_feedback(ps, fb_cell)
+                elif snext == -1:
+                    op = ps[0]
+                    if op == OP_SEND:
+                        ps[1] = 1
+                        action, result = plan_feedback(ps, None)
+                    elif op == OP_LISTEN or op == OP_DUPLEX:
+                        earlier = prefetch.get(k)
+                        if earlier:
+                            ps[3].extend(earlier)
+                        ps[1] = 1
+                        action, result = plan_feedback(ps, fb_cell)
+                    elif op == OP_UNTIL:
+                        # rem still holds the slots left including this
+                        # one — what plan_feedback expects in ps[1] both
+                        # at an early match and at exhaustion.
+                        ps[1] = rems[k]
+                        action, result = plan_feedback(ps, fb_cell)
+                    else:
+                        action, result = plan_feedback(ps, fb_cell)
+                else:  # snext == -2: descriptor-less, generic referee
+                    action, result = plan_feedback(ps, fb_cell)
+                if action is not None:
+                    self._load(t, v, action, slot + 1, next_round)
+                    continue
+                plans[t][v] = None
+            ctx = self.ctxs[t][v]
+            ctx.time = slot + 1
+            self.entries[t] += 1
+            try:
+                action = self.gens[t][v].send(result)
+            except StopIteration as stop:
+                self.outputs[t][v] = stop.value
+                self.finish[t, v] = slot
+                self.remaining[t] -= 1
+                self.st[t, v] = _DONE
+                self.wake[t, v] = _FAR
+                continue
+            self._load(t, v, action, slot + 1, next_round)
+        self._flush()
+
+    # --- vectorized round machinery ------------------------------------
+
+    def _stage(self, round_idx: int):
+        """Bring every unfinished trial to its next active slot (firing
+        due wake-ups), mirroring the engine's bucket/heap scheduling.
+        Returns the boolean [T] mask of staged trials."""
+        np = _np
+        st = self.st
+        wake = self.wake
+        staged = np.zeros(self.T, dtype=bool)
+        while True:
+            alive = self.remaining > 0
+            todo = alive & ~staged
+            if not todo.any():
+                return staged
+            has_active = ((st >= _SEND) & (st <= _DUPLEX)).any(axis=1)
+            cand = np.where(has_active, self.bucket, wake.min(axis=1))
+            over = todo & (cand > self.time_limit)
+            if over.any():
+                t = int(np.nonzero(over)[0][0])
+                raise SimulationTimeout(
+                    f"simulation exceeded {self.time_limit} slots "
+                    f"({int(self.remaining[t])} protocols still running, "
+                    f"seed {self.seeds[t]})"
+                )
+            self.cur[todo] = cand[todo]
+            due = (st == _IDLE) & (wake == cand[:, None]) & todo[:, None]
+            if due.any():
+                dt, dv = np.nonzero(due)
+                cand_list = cand.tolist()
+                for t, v in zip(dt.tolist(), dv.tolist()):
+                    self._wake(t, v, cand_list[t], round_idx)
+                self._flush()
+            now_active = ((st >= _SEND) & (st <= _DUPLEX)).any(axis=1)
+            staged |= todo & now_active
+            # Trials still all-idle re-lap onto their (strictly later)
+            # next wake; finished trials drop out via `alive`.
+
+    def run(self) -> None:
+        np = _np
+        st = self.st
+        rem = self.rem
+        round_idx = 0
+        while True:
+            staged = self._stage(round_idx)
+            if not staged.any():
+                break
+            run_col = staged[:, None]
+            sending = ((st == _SEND) | (st == _DUPLEX)) & run_col
+            receiving = (
+                (st == _LISTEN) | (st == _UNTIL) | (st == _DUPLEX)
+            ) & run_col
+            counts, masked = self._resolve(sending)
+            firsts = None
+            if self.needs_first == "one":
+                firsts = self.backend.first_transmitter_matrix(
+                    masked, receiving & (counts == 1)
+                )
+            elif self.needs_first == "any":
+                firsts = self.backend.first_transmitter_matrix(
+                    masked, receiving & (counts > 0)
+                )
+            fb = self._classify(counts, receiving, firsts, masked)
+            self.hist.append(fb)
+
+            cur = self.cur
+            active = sending | receiving
+            if self.meter:
+                self.e_send[sending & (st == _SEND)] += 1
+                self.e_listen[
+                    receiving & ((st == _LISTEN) | (st == _UNTIL))
+                ] += 1
+                self.e_duplex[sending & (st == _DUPLEX)] += 1
+                np.copyto(self.e_last, cur[:, None], where=active)
+            np.maximum(
+                self.duration, cur + 1, out=self.duration, where=staged
+            )
+            self.bucket[staged] = cur[staged] + 1
+
+            boundary = active & (rem == 1)
+            until_cells = (st == _UNTIL) & run_col
+            if until_cells.any():
+                matched = self._until_matches(until_cells, counts, fb)
+                if matched is not None:
+                    boundary = boundary | matched
+            rem[active & ~boundary] -= 1
+            if boundary.any():
+                self._boundaries(boundary, round_idx, cur.tolist())
+            round_idx += 1
+            if (round_idx & 63) == 0:
+                self._truncate_hist(round_idx)
+
+    def _until_matches(self, until_cells, counts, fb):
+        """Boolean [T, N] mask of ListenUntil cells whose current
+        feedback ends their run early, or None.  The per-model count rule
+        prunes candidates vectorized; the survivors are re-checked per
+        element (is_message + accept), exactly the referee's condition."""
+        np = _np
+        rule = self.until_rule
+        if rule == "eq1":
+            cand = until_cells & (counts == 1)
+        elif rule == "ge1":
+            cand = until_cells & (counts >= 1)
+        elif rule == "never":
+            return None
+        else:  # unknown model: inspect every until feedback
+            cand = until_cells
+        if not cand.any():
+            return None
+        matched = np.zeros(cand.shape, dtype=bool)
+        ts, vs = np.nonzero(cand)
+        vals = fb[ts, vs].tolist()
+        plans = self.plans
+        any_hit = False
+        for t, v, x in zip(ts.tolist(), vs.tolist(), vals):
+            if is_message(x):
+                accept = plans[t][v][2]
+                if accept is None or accept(x):
+                    matched[t, v] = True
+                    any_hit = True
+        return matched if any_hit else None
+
+    # --- feedback classification ---------------------------------------
+
+    def _classify(self, counts, receiving, firsts, masked):
+        """[T, N] feedback object matrix for this round's receivers."""
+        np = _np
+        spec = self.spec
+        if spec is None:
+            return self._classify_generic(counts, receiving, firsts, masked)
+        k0, one_mode, many_mode, _ = spec
+        fb = np.empty(counts.shape, dtype=object)
+        fb[...] = k0
+        one = receiving & (counts == 1)
+        if one.any():
+            self._apply_mode(fb, one, one_mode, firsts, masked)
+        many = receiving & (counts >= 2)
+        if many.any():
+            self._apply_mode(fb, many, many_mode, firsts, masked)
+        return fb
+
+    def _apply_mode(self, fb, mask, mode, firsts, masked):
+        np = _np
+        if mode.__class__ is tuple:  # ("obj", cell): a fixed sentinel
+            fb[mask] = mode[1]
+            return
+        ts, vs = np.nonzero(mask)
+        if mode == "first":
+            fb[ts, vs] = self.msg[ts, firsts[ts, vs]]
+        elif mode == "first_tuple":
+            fb[ts, vs] = _WRAP1(self.msg[ts, firsts[ts, vs]])
+        else:  # "needs": full ordered message list (LOCAL contention)
+            msg = self.msg
+            resolve = self.model.resolve
+            for t, v in zip(ts.tolist(), vs.tolist()):
+                fb[t, v] = resolve(_cell_messages(masked[t, v], msg[t]))
+
+    def _classify_generic(self, counts, receiving, firsts, masked):
+        """Correctness path for count-based models without a stock spec:
+        one ``resolve_count_array`` call per trial per round."""
+        np = _np
+        fb = np.empty(counts.shape, dtype=object)
+        model = self.model
+        resolve = model.resolve
+        msg = self.msg
+        for t in range(self.T):
+            row = np.nonzero(receiving[t])[0]
+            if not row.size:
+                continue
+            out, needs = model.resolve_count_array(
+                counts[t, row],
+                None if firsts is None else firsts[t, row],
+                _RowMap(msg[t]),
+            )
+            if needs:
+                for i in needs:
+                    out[i] = resolve(
+                        _cell_messages(masked[t, row[i]], msg[t])
+                    )
+            cells = np.empty(len(out), dtype=object)
+            for i, value in enumerate(out):
+                cells[i] = value
+            fb[t, row] = cells
+        return fb
+
+    def _truncate_hist(self, next_round: int) -> None:
+        """Drop history rounds no in-flight collecting run still needs."""
+        collecting = (self.st == _LISTEN) | (self.st == _DUPLEX)
+        if collecting.any():
+            keep_from = int(self.run_start[collecting].min())
+        else:
+            keep_from = next_round
+        drop = keep_from - self.hist_base
+        if drop > 0:
+            del self.hist[:drop]
+            self.hist_base = keep_from
+
+    # --- results --------------------------------------------------------
+
+    def results(self) -> List[SimResult]:
+        N = self.N
+        finish = self.finish.tolist()
+        durations = self.duration.tolist()
+        entries = self.entries
+        if self.meter:
+            sends = self.e_send.tolist()
+            listens = self.e_listen.tolist()
+            duplex = self.e_duplex.tolist()
+            last = self.e_last.tolist()
+        out = []
+        for t, seed in enumerate(self.seeds):
+            if self.meter:
+                srow, lrow, drow, arow = (
+                    sends[t], listens[t], duplex[t], last[t]
+                )
+                energy = [
+                    EnergyReport(
+                        sends=srow[v],
+                        listens=lrow[v],
+                        duplex=drow[v],
+                        total=srow[v] + lrow[v] + drow[v],
+                        last_active_slot=arow[v],
+                    )
+                    for v in range(N)
+                ]
+            else:
+                energy = [
+                    EnergyReport(
+                        sends=0, listens=0, duplex=0, total=0,
+                        last_active_slot=-1,
+                    )
+                    for _ in range(N)
+                ]
+            out.append(SimResult(
+                outputs=self.outputs[t],
+                energy=energy,
+                finish_slot=finish[t],
+                duration=durations[t],
+                trace=None,
+                seed=seed,
+                gen_entries=entries[t],
+            ))
+        return out
+
+
+def run_trials_soa(
+    graph: Graph,
+    model: ChannelModel,
+    protocol_factory: ProtocolFactory,
+    seeds: Sequence[int],
+    *,
+    knowledge: Knowledge,
+    uids: Sequence[int],
+    inputs: Dict[int, Dict[str, Any]],
+    time_limit: int,
+    meter_energy: bool,
+    stepping: str,
+    backend,
+) -> List[SimResult]:
+    """Run one cell's seeds through the SoA batched executor.
+
+    Called by :func:`repro.sim.lockstep.run_trials_lockstep` after its
+    shared validation, when :func:`soa_engaged` holds; ``backend`` is the
+    already-constructed :class:`~repro.sim.resolution.NumpyBackend`.
+    Results are byte-identical to the serial engine, in ``seeds`` order.
+    """
+    engine = _SoAEngine(
+        graph,
+        model,
+        protocol_factory,
+        seeds,
+        knowledge=knowledge,
+        uids=uids,
+        inputs=inputs,
+        time_limit=time_limit,
+        meter_energy=meter_energy,
+        stepping=stepping,
+        backend=backend,
+    )
+    engine.run()
+    return engine.results()

@@ -12,22 +12,33 @@ import random
 import pytest
 
 import repro.sim.batch as batch_module
+import repro.sim.lockstep as lockstep_module
 from repro.graphs import clique, path_graph, random_gnp, star_graph
 from repro.sim import (
     ExecutionConfig,
     BEEPING,
     CD,
+    CD_FD,
     CD_STAR,
     LOCAL,
     NO_CD,
+    NO_CD_FD,
     ContentionHistogramObserver,
     Idle,
     Listen,
+    ListenUntil,
+    Repeat,
     Send,
+    SendListen,
+    SendProb,
+    SimulationTimeout,
+    Steps,
     numpy_available,
     run_trials,
 )
 from repro.sim.models import LossyModel
+from repro.sim.reference import ReferenceSimulator
+from repro.sim.trialsoa import soa_engaged
 
 FIVE_MODELS = {
     "LOCAL": LOCAL,
@@ -361,3 +372,316 @@ class TestContentionHistogramObserver:
         for cell, base in zip(cells, plain):
             assert cell.duration == base.duration
             assert cell.max_energy == base.max_energy
+
+
+# ---------------------------------------------------------------------------
+# Trial-SoA engine (repro.sim.trialsoa)
+# ---------------------------------------------------------------------------
+
+from hypothesis import given, settings  # noqa: E402
+from hypothesis import strategies as st  # noqa: E402
+
+
+def _plan_rich_protocol(ctx):
+    """Every vectorizable plan primitive, then an adaptive generator tail."""
+    yield Idle(1 + ctx.index % 3)
+    yield Repeat(Send(("r", ctx.index)), 1 + ctx.index % 2)
+    yield SendProb(("p", ctx.index), 0.5, 3)
+    match = yield ListenUntil(
+        5,
+        accept=lambda m: (
+            isinstance(m, tuple) and len(m) >= 2
+            and isinstance(m[1], int) and m[1] % 2 == 0
+        ),
+        pad=True,
+    )
+    feedbacks = yield Steps((Send(("s", ctx.index)), Idle(2), Listen()))
+    heard = 0
+    for _ in range(2 + ctx.rng.randrange(3)):
+        if ctx.rng.random() < 0.5:
+            fb = yield Listen()
+            if fb not in (None, ()):
+                heard += 1
+        else:
+            yield Send(("t", ctx.index, heard))
+    return (ctx.index, repr(match), repr(feedbacks), heard)
+
+
+def _mixed_fallback_protocol(ctx):
+    """Some nodes never vectorize; others drop out of plans mid-run."""
+    if ctx.index % 3 == 0:
+        # Pure adaptive generator: stays on the per-cell fallback path
+        # for its whole life even inside the SoA engine.
+        for step in range(4 + ctx.rng.randrange(4)):
+            if ctx.rng.random() < 0.4:
+                yield Send(("a", ctx.index, step))
+            else:
+                yield Listen()
+        return ("gen", ctx.index)
+    # Plan prologue (vectorized), then back to the generator.
+    yield Repeat(Send(("b", ctx.index)), 2)
+    got = yield ListenUntil(3)
+    if got is not None:
+        yield Send(("echo", ctx.index))
+    yield Idle(1 + ctx.rng.randrange(3))
+    return ("plan", ctx.index, repr(got))
+
+
+def _rng_heavy_protocol(steps: int):
+    """Plans whose shape and parameters come from the node rng, ending
+    with a raw draw that pins the exact stream position."""
+
+    def protocol(ctx):
+        total = 0
+        for _ in range(steps):
+            yield SendProb(("h", ctx.index), ctx.rng.random(), 1 + ctx.rng.randrange(3))
+            fb = yield ListenUntil(1 + ctx.rng.randrange(2))
+            if fb is not None:
+                total += 1
+        return (ctx.index, total, ctx.rng.random())
+
+    return protocol
+
+
+@pytest.mark.skipif(not numpy_available(), reason="SoA engine requires numpy")
+class TestTrialSoADispatch:
+    """run_trials_lockstep hands eligible batches to the SoA engine and
+    keeps ineligible ones on the per-trial driver."""
+
+    def _spy(self, monkeypatch):
+        calls = []
+        real = lockstep_module.run_trials_soa
+
+        def spy(*args, **kwargs):
+            calls.append(True)
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(lockstep_module, "run_trials_soa", spy)
+        return calls
+
+    def test_engages_on_numpy_resolution(self, monkeypatch):
+        calls = self._spy(monkeypatch)
+        run_trials(
+            clique(6), NO_CD, _plan_rich_protocol, (0, 1),
+            exec_config=ExecutionConfig(lockstep=True, resolution="numpy"),
+        )
+        assert calls
+
+    def test_stays_off_for_fallback_configs(self, monkeypatch):
+        calls = self._spy(monkeypatch)
+        graph = clique(6)
+        run_trials(
+            graph, NO_CD, _plan_rich_protocol, (0, 1),
+            exec_config=ExecutionConfig(lockstep=True, resolution="bitmask"),
+        )
+        run_trials(
+            graph, NO_CD, _plan_rich_protocol, (0, 1),
+            exec_config=ExecutionConfig(
+                lockstep=True, resolution="numpy", record_trace=True
+            ),
+        )
+        run_trials(
+            graph, NO_CD, _plan_rich_protocol, (0, 1),
+            exec_config=ExecutionConfig(
+                lockstep=True, resolution="numpy",
+                model_factory=lambda seed: LossyModel(NO_CD, 0.3, seed=seed),
+            ),
+        )
+        assert not calls
+
+    def test_soa_engaged_predicate(self):
+        assert soa_engaged(
+            NO_CD, ExecutionConfig(lockstep=True, resolution="numpy")
+        )
+        assert not soa_engaged(
+            NO_CD, ExecutionConfig(lockstep=True, resolution="bitmask")
+        )
+        assert not soa_engaged(
+            NO_CD,
+            ExecutionConfig(
+                lockstep=True, resolution="numpy", record_trace=True
+            ),
+        )
+        assert not soa_engaged(
+            LossyModel(NO_CD, 0.3, seed=1),
+            ExecutionConfig(lockstep=True, resolution="numpy"),
+        )
+
+
+class TestTrialSoAEquivalence:
+    """Differential matrix for the SoA path.  Without numpy the same
+    configs land on the per-trial driver, so the matrix stays valid on
+    the no-numpy CI leg (it just pins a different engine pair)."""
+
+    SEEDS = (0, 1, 2, 5, 9)
+
+    @pytest.mark.parametrize("stepping", ("slot", "phase"))
+    @pytest.mark.parametrize("resolution", RESOLUTIONS)
+    @pytest.mark.parametrize("model_name", sorted(FIVE_MODELS))
+    def test_plan_matrix_vs_serial(self, model_name, resolution, stepping):
+        model = FIVE_MODELS[model_name]
+        graph = random_gnp(9, 0.5, random.Random(33))
+        serial = run_trials(graph, model, _plan_rich_protocol, self.SEEDS)
+        lockstep = run_trials(
+            graph, model, _plan_rich_protocol, self.SEEDS,
+            exec_config=ExecutionConfig(
+                lockstep=True, resolution=resolution, stepping=stepping
+            ),
+        )
+        _assert_same_results(serial, lockstep)
+
+    @pytest.mark.parametrize("model_name", sorted(FIVE_MODELS))
+    def test_plan_matrix_vs_reference(self, model_name):
+        model = FIVE_MODELS[model_name]
+        graph = random_gnp(9, 0.5, random.Random(33))
+        lockstep = run_trials(
+            graph, model, _plan_rich_protocol, self.SEEDS[:2],
+            exec_config=ExecutionConfig(lockstep=True, resolution="numpy"),
+        )
+        for result in lockstep:
+            ref = ReferenceSimulator(graph, model, seed=result.seed).run(
+                _plan_rich_protocol
+            )
+            assert ref.outputs == result.outputs
+            assert ref.duration == result.duration
+            assert [e.total for e in ref.energy] == [
+                e.total for e in result.energy
+            ]
+
+    @pytest.mark.parametrize("stepping", ("slot", "phase"))
+    @pytest.mark.parametrize("resolution", RESOLUTIONS)
+    def test_lossy_fallback_matches_serial(self, resolution, stepping):
+        graph = random_gnp(8, 0.6, random.Random(12))
+        factory = lambda seed: LossyModel(NO_CD, 0.35, seed=seed)
+        serial = run_trials(
+            graph, NO_CD, _plan_rich_protocol, self.SEEDS,
+            exec_config=ExecutionConfig(model_factory=factory),
+        )
+        lockstep = run_trials(
+            graph, NO_CD, _plan_rich_protocol, self.SEEDS,
+            exec_config=ExecutionConfig(
+                model_factory=factory, lockstep=True,
+                resolution=resolution, stepping=stepping,
+            ),
+        )
+        _assert_same_results(serial, lockstep)
+
+    @pytest.mark.parametrize("stepping", ("slot", "phase"))
+    def test_mixed_generator_fallback(self, stepping):
+        graph = star_graph(7)
+        # Same stepping on both sides: gen_entries is a stepping-cost
+        # metric, so it only matches within one stepping mode.
+        serial = run_trials(
+            graph, CD, _mixed_fallback_protocol, self.SEEDS,
+            exec_config=ExecutionConfig(stepping=stepping),
+        )
+        lockstep = run_trials(
+            graph, CD, _mixed_fallback_protocol, self.SEEDS,
+            exec_config=ExecutionConfig(
+                lockstep=True, resolution="numpy", stepping=stepping
+            ),
+        )
+        _assert_same_results(serial, lockstep)
+        for a, b in zip(serial, lockstep):
+            assert a.gen_entries == b.gen_entries
+
+    @pytest.mark.parametrize("model", (CD_FD, NO_CD_FD), ids=("CD_FD", "NO_CD_FD"))
+    def test_full_duplex_send_listen(self, model):
+        def protocol(ctx):
+            fb = yield SendListen(("d", ctx.index))
+            yield Repeat(SendListen(("rep", ctx.index)), 2)
+            if ctx.index % 2:
+                yield Listen()
+            return (ctx.index, repr(fb))
+
+        graph = clique(6)
+        serial = run_trials(graph, model, protocol, self.SEEDS)
+        lockstep = run_trials(
+            graph, model, protocol, self.SEEDS,
+            exec_config=ExecutionConfig(
+                lockstep=True, resolution="numpy", stepping="phase"
+            ),
+        )
+        _assert_same_results(serial, lockstep)
+
+    @pytest.mark.parametrize("model_name", sorted(FIVE_MODELS))
+    def test_send_none_payload(self, model_name):
+        model = FIVE_MODELS[model_name]
+
+        def protocol(ctx):
+            if ctx.index == 0:
+                yield Repeat(Send(None), 3)
+                return "sender"
+            got = yield ListenUntil(3, accept=lambda m: m is not None, pad=True)
+            return (ctx.index, repr(got))
+
+        graph = star_graph(5)
+        serial = run_trials(graph, model, protocol, self.SEEDS[:3])
+        lockstep = run_trials(
+            graph, model, protocol, self.SEEDS[:3],
+            exec_config=ExecutionConfig(lockstep=True, resolution="numpy"),
+        )
+        _assert_same_results(serial, lockstep)
+
+    def test_meter_energy_off(self):
+        graph = clique(6)
+        serial = run_trials(
+            graph, NO_CD, _plan_rich_protocol, self.SEEDS, meter_energy=False
+        )
+        lockstep = run_trials(
+            graph, NO_CD, _plan_rich_protocol, self.SEEDS, meter_energy=False,
+            exec_config=ExecutionConfig(lockstep=True, resolution="numpy"),
+        )
+        _assert_same_results(serial, lockstep)
+        assert all(e.total == 0 for r in lockstep for e in r.energy)
+
+    def test_timeout_message_parity(self):
+        def forever(ctx):
+            while True:
+                yield Send(("f", ctx.index))
+
+        graph = clique(4)
+
+        def run(resolution):
+            with pytest.raises(SimulationTimeout) as exc:
+                run_trials(
+                    graph, NO_CD, forever, (0, 1), time_limit=16,
+                    exec_config=ExecutionConfig(
+                        lockstep=True, resolution=resolution
+                    ),
+                )
+            return str(exc.value)
+
+        messages = {run(resolution) for resolution in RESOLUTIONS}
+        assert len(messages) == 1  # SoA and per-trial drivers agree
+        assert "seed" in messages.pop()
+
+
+class TestTrialSoAProperty:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=2**16),
+        n=st.integers(min_value=2, max_value=9),
+        steps=st.integers(min_value=1, max_value=5),
+        stepping=st.sampled_from(("slot", "phase")),
+    )
+    def test_rng_draw_order_identity(self, seed, n, steps, stepping):
+        """A final rng draw in the protocol return value pins the exact
+        position of every node's random stream: any divergence in draw
+        order between the engines shows up as a different output."""
+        graph = clique(n)
+        protocol = _rng_heavy_protocol(steps)
+        seeds = (seed, seed + 1)
+        serial = run_trials(
+            graph, NO_CD, protocol, seeds,
+            exec_config=ExecutionConfig(stepping=stepping),
+        )
+        lockstep = run_trials(
+            graph, NO_CD, protocol, seeds,
+            exec_config=ExecutionConfig(
+                lockstep=True, resolution="numpy", stepping=stepping
+            ),
+        )
+        _assert_same_results(serial, lockstep)
+        for a, b in zip(serial, lockstep):
+            assert a.gen_entries == b.gen_entries
