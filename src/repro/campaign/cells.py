@@ -225,6 +225,11 @@ def run_cells(
                 f"ch_{key}": value
                 for key, value in histograms[seed].summary().items()
             })
+        # SoA engagement diagnostic: only lock-step runs set soa_reason,
+        # so default-path cells (and their stores/aggregates) are
+        # byte-unchanged.
+        if outcome.sim.soa_reason is not None:
+            extras["soa"] = 1.0 if outcome.sim.soa_reason == "ok" else 0.0
         cells.append(CellResult(
             label=label,
             size=size,
@@ -335,6 +340,13 @@ def aggregate_cells(cells: Sequence[CellResult], extended: bool = False) -> Swee
     extras_acc: Dict[str, List[float]] = {}
     for cell in cells:
         for key, value in cell.extras.items():
+            if key == "soa":
+                # Execution-path diagnostic (which engine ran the
+                # cell), not a measurement: it varies with execution
+                # options by design, and aggregates must not.  Cell
+                # stores keep the flag; the fabric events ledger is
+                # the aggregate engagement view.
+                continue
             extras_acc.setdefault(key, []).append(value)
     extras = {
         key: (

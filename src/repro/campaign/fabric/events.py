@@ -15,7 +15,9 @@ Event schema (all events carry ``ev`` and ``ts``; the rest varies)::
     worker_born        worker, pid
     worker_died        worker, reason, block (the assignment it held)
     block_dispatched   block, worker, row, size, seeds, attempt
-    block_completed    block, worker, ok, failed, elapsed
+    block_completed    block, worker, ok, failed, elapsed, soa (cells
+                       that ran on the trial-SoA engine; absent in
+                       pre-soa ledgers, read as 0)
     block_retried      block, attempt, reason, backoff
     block_quarantined  block, reason, cells
     run_completed      ok, errors, timeouts, quarantined, retries, elapsed
@@ -116,6 +118,10 @@ def summarize_events(events) -> Dict:
                 "workers": event.get("workers", 1),
                 "cells_ok": 0,
                 "cells_failed": 0,
+                "blocks": 0,
+                "soa_blocks": 0,
+                "soa_cells": 0,
+                "soa_seen": False,
                 "completed": False,
             }
             workers = {}
@@ -139,6 +145,13 @@ def summarize_events(events) -> Dict:
             if last_run:
                 last_run["cells_ok"] += event.get("ok", 0)
                 last_run["cells_failed"] += event.get("failed", 0)
+                last_run["blocks"] += 1
+                soa = event.get("soa")
+                if soa is not None:
+                    last_run["soa_seen"] = True
+                    last_run["soa_cells"] += soa
+                    if soa > 0:
+                        last_run["soa_blocks"] += 1
         elif ev == "block_retried":
             retried.append(event)
         elif ev == "block_quarantined":
@@ -178,6 +191,15 @@ def render_events_summary(summary: Dict) -> str:
             lines.append(
                 f"  wall {run['elapsed']:.1f}s, "
                 f"{run.get('cells_per_sec', 0.0):.1f} cells/s"
+            )
+        if run.get("soa_seen"):
+            blocks = run.get("blocks", 0)
+            soa_blocks = run.get("soa_blocks", 0)
+            rate = soa_blocks / blocks if blocks else 0.0
+            lines.append(
+                f"  SoA engagement: {soa_blocks}/{blocks} block(s) "
+                f"({rate:.0%}), {run.get('soa_cells', 0)} cell(s) on the "
+                f"trial-SoA engine"
             )
     order = (
         "run_started", "worker_born", "worker_died", "block_dispatched",

@@ -161,11 +161,20 @@ class _Bookkeeper:
         self, assignment: _Assignment, statuses, worker: int
     ) -> None:
         """A block completed and its records are durable: count the ok
-        cells now, retry or finalize the failed ones."""
-        ok_seeds = [s for s, status, _ in statuses if status == STATUS_OK]
-        failed = [(s, status) for s, status, _ in statuses if status != STATUS_OK]
+        cells now, retry or finalize the failed ones.
+
+        ``statuses`` rows are ``(seed, status, elapsed, soa)``; the
+        trailing SoA flag is tolerated missing (older ledger replays and
+        tests that hand-build 3-tuples).
+        """
+        statuses = [(tuple(row) + (None,))[:4] for row in statuses]
+        ok_seeds = [s for s, status, _, _ in statuses if status == STATUS_OK]
+        failed = [
+            (s, status) for s, status, _, _ in statuses
+            if status != STATUS_OK
+        ]
         self._count(STATUS_OK, len(ok_seeds))
-        for seed, status, elapsed in statuses:
+        for seed, status, elapsed, _ in statuses:
             tag = f"{assignment.job.row}/n={assignment.job.size}/seed={seed}"
             if status == STATUS_OK:
                 self.say(f"  ok {tag} ({elapsed:.2f}s)")
@@ -175,7 +184,8 @@ class _Bookkeeper:
             worker=worker,
             ok=len(ok_seeds),
             failed=len(failed),
-            elapsed=round(sum(e for _, _, e in statuses), 3),
+            elapsed=round(sum(e for _, _, e, _ in statuses), 3),
+            soa=sum(1 for _, _, _, soa in statuses if soa == 1.0),
         )
         if not failed:
             return
@@ -381,7 +391,12 @@ def _run_inline(
         books.block_done(
             assignment,
             [
-                (r["job"]["seed"], r["status"], r["elapsed"])
+                (
+                    r["job"]["seed"],
+                    r["status"],
+                    r["elapsed"],
+                    r.get("result", {}).get("extras", {}).get("soa"),
+                )
                 for r in records
             ],
             worker=0,

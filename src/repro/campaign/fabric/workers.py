@@ -87,7 +87,9 @@ def fabric_worker_main(
     * ``("hb", wid, block_id)`` — still executing ``block_id``;
     * ``("done", wid, block_id, statuses)`` — block finished and its
       records are durably in the shard; ``statuses`` is a list of
-      ``(seed, status, elapsed)`` per cell;
+      ``(seed, status, elapsed, soa)`` per cell, where ``soa`` is the
+      cell's SoA-engagement flag (1.0 engaged / 0.0 fell back / None
+      when the cell did not run lock-step);
     * ``("exit", wid)`` — clean shutdown after the ``None`` sentinel.
     """
     store = CampaignStore(worker_shard_path)
@@ -113,7 +115,12 @@ def fabric_worker_main(
         store.append_many(records)
         current["block"] = None
         statuses = [
-            (record["job"]["seed"], record["status"], record["elapsed"])
+            (
+                record["job"]["seed"],
+                record["status"],
+                record["elapsed"],
+                record.get("result", {}).get("extras", {}).get("soa"),
+            )
             for record in records
         ]
         result_queue.put(("done", worker_id, block_id, statuses))

@@ -57,7 +57,7 @@ from repro.graphs import (
 )
 from repro.graphs.graph import Graph
 from repro.lowerbounds import derive_leader_election, energy_before_reception
-from repro.sim.models import MODELS
+from repro.sim.models import MODELS, LossyModel
 
 __all__ = [
     "RowDefinition",
@@ -223,6 +223,15 @@ def execute_cell_block(
     ``lockstep``, ``contention_hist``) become the block's
     :class:`~repro.sim.config.ExecutionConfig`; rows with a
     ``custom_cell`` run seed by seed, as before.
+
+    A ``loss_rate`` row option runs the row's protocol under an erasure
+    channel: every seed gets its own
+    :class:`~repro.sim.models.LossyModel` wrapper (seeded by the trial
+    seed, so results are sharding-independent) around the row's model
+    via a per-block ``model_factory``.  Under ``lockstep: true`` +
+    ``resolution: "numpy"`` such blocks run on the trial-SoA engine's
+    vectorized drop-mask path, whole-block — this is how ``campaign run
+    --workers N`` gets array speed per worker on lossy rows.
     """
     definition = get_row(row)
     # Same door policy as CampaignSpec validation: reserved execution
@@ -232,6 +241,11 @@ def execute_cell_block(
     validate_execution_options(options)
     check_row_supports_options(row, options)
     if definition.custom_cell is not None:
+        if "loss_rate" in options:
+            raise ExecutionConfigError(
+                f"row {row!r} cannot honor loss_rate (it runs a bespoke "
+                f"cell with no channel-model layer to wrap)"
+            )
         return [
             definition.custom_cell(row, size, seed, options) for seed in seeds
         ]
@@ -239,6 +253,12 @@ def execute_cell_block(
     config = ExecutionConfig.from_options(options)
     if definition.record_trace:
         config = config.replace(record_trace=True)
+    if "loss_rate" in options:
+        inner = MODELS[definition.model]
+        rate = float(options["loss_rate"])
+        config = config.replace(
+            model_factory=lambda seed: LossyModel(inner, rate, seed=seed)
+        )
     return run_cells(
         graph,
         MODELS[definition.model],

@@ -410,6 +410,7 @@ def _cmd_bench(args) -> int:
         min_numpy_speedup=args.min_numpy_speedup,
         min_phase_speedup=args.min_phase_speedup,
         min_lockstep_speedup=args.min_lockstep_speedup,
+        min_lossy_soa_speedup=args.min_lossy_soa_speedup,
     )
     for violation in violations:
         print(f"FAIL: {violation}")
@@ -533,6 +534,13 @@ def build_parser() -> argparse.ArgumentParser:
              "per-slot path by this factor on the many-seed "
              "lockstep_trials workload (requires the SoA path to be "
              "active, i.e. numpy)",
+    )
+    p_bench.add_argument(
+        "--min-lossy-soa-speedup", type=float, default=None,
+        help="fail unless the vectorized lossy-channel SoA path beats "
+             "the serial oracle by this factor on the per-seed "
+             "LossyModel workload (lossy_sr_frame_n256; requires the "
+             "SoA dispatch verdict to be 'ok', i.e. numpy)",
     )
     p_bench.add_argument(
         "--seeds", type=int, default=64,

@@ -83,7 +83,7 @@ from repro.sim.config import ExecutionConfigError
 from repro.sim.feedback import is_message
 from repro.sim.batch import run_trials
 from repro.sim.legacy import LegacySimulator
-from repro.sim.models import MODELS, ChannelModel
+from repro.sim.models import MODELS, ChannelModel, LossyModel
 from repro.sim.observers import SlotObserver
 from repro.sim.plan import as_slot_protocol
 from repro.sim.reference import ReferenceSimulator
@@ -193,7 +193,7 @@ def _dense_single_hop(n: int, slots: int):
     return build
 
 
-def _sr_frame_protocol(windows: int, phase: bool):
+def _sr_frame_protocol(windows: int, phase: bool, senders: int = 2):
     """The paper's hottest communication shape at scale: a decay-style
     SR frame on a clique.  Two designated senders burst in lock-step (so
     burst slots always collide and no listener is ever released); every
@@ -207,12 +207,14 @@ def _sr_frame_protocol(windows: int, phase: bool):
 
     ``phase=False`` builds the byte-identical per-slot variant (the
     protocol is deterministic — no rng — so equivalence is structural).
+    ``senders`` widens the colliding burst (the lossy bench raises it so
+    collisions survive erasure w.h.p. and listeners stay dense).
     """
     W, B = 32, 4  # window length, burst length
     total = windows * W
 
     def protocol(ctx):
-        if ctx.index < 2:
+        if ctx.index < senders:
             send_act = Send(("m", ctx.index))
             for _ in range(windows):
                 yield Idle(W - B)
@@ -640,6 +642,126 @@ def _lockstep_section(
     return entry
 
 
+def _lossy_lockstep_section(
+    quick: bool,
+    base_config: Optional[ExecutionConfig] = None,
+    seeds_count: int = 64,
+) -> Dict:
+    """Serial vs lock-step batched trials under a per-seed lossy channel.
+
+    The workload (``lossy_sr_frame_n256``) is the SR-frame clique from
+    :func:`_lockstep_section` wrapped in a per-seed
+    ``model_factory=lambda s: LossyModel(NO_CD, rate, seed=s)`` — the
+    shape every erasure-sensitivity campaign row runs.  The lock-step
+    numpy variant rides the SoA engine's vectorized drop-mask path
+    (:mod:`repro.sim.trialsoa`): per trial per round, one transplanted
+    ``RandomState.random_sample`` call replaces the serial oracle's
+    per-transmission ``random.random()`` loop while drawing the exact
+    same stream, so results stay byte-identical.  The headline ratio
+    ``speedup_lossy_soa_vs_serial`` carries the perf-smoke
+    ``--min-lossy-soa-speedup`` gate, and ``soa_reason`` records which
+    dispatch verdict each variant actually got — the gate also requires
+    ``soa_active`` (the numpy variant reporting ``"ok"``), so a silent
+    fallback to the per-trial driver fails CI rather than hiding in a
+    slower-but-green run.
+    """
+    base = base_config or ExecutionConfig()
+    # Eight bursting senders (vs the clean section's two): with eight
+    # on-air transmissions per burst slot at rate 0.3, the chance a
+    # receiver sees exactly one survivor — and is released from its
+    # listen window — is ~0.1% per slot, so the cell stays dense for
+    # the whole schedule while erasure draws dominate the channel work.
+    n, windows, rate, senders = 256, (2 if quick else 4), 0.3, 8
+    seeds = list(range(seeds_count))
+    graph = clique(n)
+    knowledge = Knowledge(n=n, max_degree=n - 1, diameter=1)
+    slot_protocol = _sr_frame_protocol(windows, phase=False, senders=senders)
+    phase_protocol = _sr_frame_protocol(windows, phase=True, senders=senders)
+
+    def factory(seed: int) -> LossyModel:
+        # Fresh models per run_trials call: LossyModel is stateful (its
+        # erasure rng advances), so each timing rep must restart the
+        # per-seed stream to stay deterministic.
+        return LossyModel(NO_CD, rate, seed=seed)
+
+    soa_res = base.resolution
+    if soa_res == "bitmask" and numpy_available():
+        soa_res = "numpy"
+    variants: Dict[str, Tuple[Callable, ExecutionConfig]] = {
+        "serial_slot": (
+            slot_protocol,
+            base.replace(stepping="slot", model_factory=factory),
+        ),
+        "lockstep_slot": (
+            slot_protocol,
+            base.replace(lockstep=True, stepping="slot", model_factory=factory),
+        ),
+        "lockstep_phase": (
+            phase_protocol,
+            base.replace(
+                lockstep=True, stepping="phase", resolution=soa_res,
+                model_factory=factory,
+            ),
+        ),
+    }
+    seconds = {}
+    results = {}
+    reasons: Dict[str, Optional[str]] = {}
+    for name, (protocol, config) in variants.items():
+        best = float("inf")
+        outcome = None
+        # Best-of-2 (not 3): the serial lossy oracle draws one python
+        # rng sample per on-air transmission per receiver, making it
+        # the slowest leg of the whole bench.
+        for _ in range(2):
+            start = time.perf_counter()
+            outcome = run_trials(
+                graph, NO_CD, protocol, seeds, knowledge=knowledge,
+                exec_config=config,
+            )
+            best = min(best, time.perf_counter() - start)
+        seconds[name] = best
+        results[name] = outcome
+        reasons[name] = outcome[0].soa_reason if outcome else None
+    baseline = results["serial_slot"]
+    equivalent = all(
+        [r.outputs for r in other] == [r.outputs for r in baseline]
+        and [r.duration for r in other] == [r.duration for r in baseline]
+        and [[e.total for e in r.energy] for r in other]
+        == [[e.total for e in r.energy] for r in baseline]
+        for other in results.values()
+    )
+    soa_active = reasons["lockstep_phase"] == "ok"
+    entry: Dict[str, Any] = {
+        "workload": "lossy_sr_frame_n256",
+        "description": (
+            f"SR-frame clique n={n} under LossyModel(No-CD, rate={rate}) "
+            f"per seed, {senders} bursting senders, {windows} windows x "
+            f"32 slots x {len(seeds)} seeds (lockstep_phase resolution: "
+            f"{soa_res}, SoA engine {'active' if soa_active else 'inactive'})"
+        ),
+        "configs": {
+            name: config.to_dict(include_defaults=True)
+            for name, (_, config) in variants.items()
+        },
+        "seeds": len(seeds),
+        "loss_rate": rate,
+        "soa_active": soa_active,
+        "soa_reason": dict(reasons),
+        "seconds": {k: round(v, 6) for k, v in seconds.items()},
+        "equivalent": equivalent,
+        # Headline: the vectorized lossy SoA path vs the serial oracle.
+        "speedup_lossy_soa_vs_serial": round(
+            seconds["serial_slot"] / seconds["lockstep_phase"], 3
+        ),
+        # Same batch through the per-trial lock-step fallback driver.
+        "speedup_lossy_soa_vs_pertrial": round(
+            seconds["lockstep_slot"] / seconds["lockstep_phase"], 3
+        ),
+    }
+    return entry
+
+
 def _campaign_fabric_section(quick: bool) -> Dict:
     """Campaign dispatch overhead: serial runner vs the worker fabric.
 
@@ -861,6 +983,9 @@ def run_engine_benchmarks(
     report["lockstep_trials"] = _lockstep_section(
         quick, base_config, lockstep_seeds
     )
+    report["lossy_lockstep_trials"] = _lossy_lockstep_section(
+        quick, base_config, lockstep_seeds
+    )
     report["campaign_fabric"] = _campaign_fabric_section(quick)
     summary: Dict[str, float] = {}
     for key in (
@@ -899,6 +1024,7 @@ def check_thresholds(
     min_numpy_speedup: Optional[float] = None,
     min_phase_speedup: Optional[float] = None,
     min_lockstep_speedup: Optional[float] = None,
+    min_lossy_soa_speedup: Optional[float] = None,
 ) -> List[str]:
     """Return human-readable violations (empty = all thresholds met).
 
@@ -912,6 +1038,11 @@ def check_thresholds(
     (``speedup_lockstep_phase_vs_serial_slot``) and requires the SoA
     trial-axis engine to actually be the path measured — a run where it
     silently fell back to the per-trial driver is itself a violation.
+    ``min_lossy_soa_speedup`` applies the same discipline to the
+    lossy-channel workload (``lossy_lockstep_trials``): it gates
+    ``speedup_lossy_soa_vs_serial`` and demands ``soa_active`` — the
+    lossy variant must report dispatch verdict ``"ok"``, proving the
+    vectorized drop-mask path (not the per-trial fallback) was timed.
     """
     violations = []
     if min_numpy_speedup is not None and not report.get("numpy_available"):
@@ -941,6 +1072,32 @@ def check_thresholds(
                 violations.append(
                     f"lockstep_trials: speedup_lockstep_phase_vs_serial_slot "
                     f"{ratio}x < required {min_lockstep_speedup}x"
+                )
+    lossy = report.get("lossy_lockstep_trials")
+    if lossy is not None and not lossy.get("equivalent", True):
+        violations.append(
+            "lossy_lockstep_trials: lossy lock-step results diverge "
+            "from the serial oracle"
+        )
+    if min_lossy_soa_speedup is not None:
+        if lossy is None:
+            violations.append(
+                "min-lossy-soa-speedup requested but the "
+                "lossy_lockstep_trials section is missing from the report"
+            )
+        else:
+            if not lossy.get("soa_active"):
+                violations.append(
+                    "min-lossy-soa-speedup requested but the SoA lossy "
+                    "path was inactive (dispatch verdict "
+                    f"{lossy.get('soa_reason', {}).get('lockstep_phase')!r} "
+                    "instead of 'ok')"
+                )
+            ratio = lossy.get("speedup_lossy_soa_vs_serial")
+            if ratio is not None and ratio < min_lossy_soa_speedup:
+                violations.append(
+                    f"lossy_lockstep_trials: speedup_lossy_soa_vs_serial "
+                    f"{ratio}x < required {min_lossy_soa_speedup}x"
                 )
     fabric = report.get("campaign_fabric")
     if fabric is not None and not fabric.get("equivalent", True):
@@ -1072,6 +1229,24 @@ def format_report(report: Dict) -> str:
                     eq=lockstep["equivalent"],
                 )
             )
+    lossy = report.get("lossy_lockstep_trials")
+    if lossy is not None:
+        lines.append(f"  lossy_lockstep_trials: {lossy['description']}")
+        reasons = lossy.get("soa_reason", {})
+        lines.append(
+            "    lossy SoA x{a:.2f} vs serial, x{b:.2f} vs per-trial "
+            "lock-step (SoA={soa}) | equivalent={eq} | "
+            "soa_reason: {reasons}".format(
+                a=lossy["speedup_lossy_soa_vs_serial"],
+                b=lossy["speedup_lossy_soa_vs_pertrial"],
+                soa=lossy.get("soa_active", False),
+                eq=lossy["equivalent"],
+                reasons=", ".join(
+                    f"{name}={reason}"
+                    for name, reason in sorted(reasons.items())
+                ),
+            )
+        )
     fabric = report.get("campaign_fabric")
     if fabric is not None:
         lines.append(f"  campaign_fabric: {fabric['description']}")

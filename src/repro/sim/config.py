@@ -177,7 +177,9 @@ class ExecutionConfig:
     model_factory: Optional[Callable[[int], Any]] = field(
         default=None, metadata=_meta(
             "per-seed ChannelModel constructor for stateful channels "
-            "(seed -> model)",
+            "(seed -> model); under lockstep, factories producing "
+            "LossyModel wrappers of one shared stock inner model stay "
+            "on the trial-SoA fast path (vectorized drop masks)",
             hook=True,
         ))
 

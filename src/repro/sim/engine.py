@@ -116,6 +116,11 @@ class SimResult:
             (``next``/``send`` calls, including the final StopIteration
             ones).  The stepping-cost metric phase plans minimize; 0 for
             runners that do not track it (the frozen legacy engine).
+        soa_reason: why the trial-SoA lock-step engine did ("ok") or did
+            not (a fallback reason such as "resolution" or
+            "stateful_model") run this trial.  Set only by
+            :func:`repro.sim.lockstep.run_trials_lockstep`; None for
+            every other execution path.
     """
 
     outputs: List[Any]
@@ -125,6 +130,7 @@ class SimResult:
     trace: Optional[Trace] = None
     seed: int = 0
     gen_entries: int = 0
+    soa_reason: Optional[str] = None
 
     @property
     def max_energy(self) -> int:

@@ -62,7 +62,7 @@ from repro.sim.engine import (
     _RESUME,
 )
 from repro.sim.feedback import BEEP, NOISE, SILENCE
-from repro.sim.models import ChannelModel
+from repro.sim.models import ChannelModel, LossyModel
 from repro.sim.node import Knowledge, NodeCtx, validate_input_keys
 from repro.sim.observers import (
     EnergyObserver,
@@ -514,10 +514,28 @@ def run_trials_lockstep(
     validate_input_keys(inputs, graph.n)
 
     backend = create_backend(config.resolution, graph)
-    if seeds and soa_engaged(model, config) and isinstance(backend, NumpyBackend):
+
+    shared_model = model_factory is None
+    # Materialize every per-seed factory product exactly once, before
+    # routing: factories may carry side effects (run_cells' contention
+    # wrapper registers each seed's histogram observer at build time),
+    # and both the SoA path and the fallback driver reuse these same
+    # instances.
+    trial_models = (
+        None if shared_model else [model_factory(seed) for seed in seeds]
+    )
+    trial_observers = (
+        None if observer_factory is None
+        else [tuple(observer_factory(seed)) for seed in seeds]
+    )
+
+    soa_reason = _soa_fallback_reason(
+        model, config, backend, trial_models, trial_observers
+    )
+    if seeds and soa_reason is None:
         # Vectorizable cell: hand the whole batch to the trial-axis
         # struct-of-arrays engine (byte-identical, see trialsoa.py).
-        return run_trials_soa(
+        results = run_trials_soa(
             graph,
             model,
             protocol_factory,
@@ -529,11 +547,15 @@ def run_trials_lockstep(
             meter_energy=meter_energy,
             stepping=stepping,
             backend=backend,
+            trial_models=trial_models,
+            trial_observers=trial_observers,
         )
-    shared_model = model_factory is None
+        for result in results:
+            result.soa_reason = "ok"
+        return results
     trials = []
-    for seed in seeds:
-        trial_model = model if shared_model else model_factory(seed)
+    for i, seed in enumerate(seeds):
+        trial_model = model if shared_model else trial_models[i]
         trials.append(_LockstepTrial(
             graph,
             trial_model,
@@ -546,7 +568,7 @@ def run_trials_lockstep(
             meter_energy=meter_energy,
             record_trace=record_trace,
             extra_observers=(
-                tuple(observer_factory(seed)) if observer_factory else ()
+                trial_observers[i] if trial_observers is not None else ()
             ),
             stepping=stepping,
         ))
@@ -578,4 +600,58 @@ def run_trials_lockstep(
         for trial in live:
             trial.apply()
         live = [trial for trial in live if trial.collect()]
-    return [trial.result() for trial in trials]
+    results = [trial.result() for trial in trials]
+    for result in results:
+        result.soa_reason = soa_reason
+    return results
+
+
+def _soa_fallback_reason(
+    model: ChannelModel,
+    config: ExecutionConfig,
+    backend,
+    trial_models: Optional[Sequence[ChannelModel]],
+    trial_observers: Optional[Sequence[Sequence[SlotObserver]]],
+) -> Optional[str]:
+    """Why this batch must run on the per-trial fallback driver, or None
+    when the SoA engine can take it.
+
+    This is the dispatch-level superset of :func:`~repro.sim.trialsoa.
+    soa_engaged`: with the per-seed factory products already
+    materialized it can additionally admit uniform ``LossyModel``
+    batches over a shared stateless inner (vectorized drop masks) and
+    observer sets whose every member advertises the batch ABI.  The
+    returned string lands in ``SimResult.soa_reason`` so fallbacks are
+    diagnosable instead of silent.
+    """
+    if config.resolution != "numpy" or not isinstance(backend, NumpyBackend):
+        return "resolution"
+    if config.record_trace:
+        return "record_trace"
+    if trial_models is not None:
+        first = trial_models[0] if trial_models else None
+        if not (
+            first is not None
+            and type(first) is LossyModel
+            and first.inner.supports_count
+            and not first.inner.stateful
+            and all(
+                type(m) is LossyModel and m.inner is first.inner
+                for m in trial_models
+            )
+        ):
+            return "model_factory"
+    elif model.stateful:
+        # A shared stateful channel consumes one rng stream across
+        # interleaved trials; neither lock-step driver can reorder that
+        # (run_trials rejects it outright under lockstep).
+        return "stateful_model"
+    elif not model.supports_count:
+        return "model"
+    if trial_observers is not None and not all(
+        getattr(observer, "batch_capable", False)
+        for observers in trial_observers
+        for observer in observers
+    ):
+        return "observers"
+    return None

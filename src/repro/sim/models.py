@@ -11,7 +11,7 @@ failure probability f; erasures stress exactly that budget).
 from __future__ import annotations
 
 import random
-from typing import Any, Sequence
+from typing import Any, Optional, Sequence
 
 from repro.sim.feedback import BEEP, NOISE, SILENCE
 
@@ -311,13 +311,25 @@ class LossyModel(ChannelModel):
 
     stateful = True
 
-    def __init__(self, inner: ChannelModel, loss_rate: float, seed: int = 0) -> None:
+    def __init__(
+        self,
+        inner: ChannelModel,
+        loss_rate: float,
+        seed: int = 0,
+        rng: Optional[random.Random] = None,
+    ) -> None:
         if not 0 <= loss_rate < 1:
             raise ValueError(f"loss_rate must be in [0,1), got {loss_rate}")
         super().__init__(f"lossy({inner.name},{loss_rate})", inner.full_duplex)
         self.inner = inner
         self.loss_rate = loss_rate
-        self._rng = random.Random(seed)
+        self._rng = rng if rng is not None else random.Random(seed)
+
+    def __repr__(self) -> str:
+        return (
+            f"LossyModel({self.inner.name!r}, "
+            f"loss_rate={self.loss_rate})"
+        )
 
     def resolve(self, transmissions: Sequence[Any]) -> Any:
         surviving = [

@@ -59,11 +59,35 @@ vectorized.  The differential matrix in tests/test_lockstep.py pins the
 results byte-identical to the serial engine across models x backends x
 stepping modes.
 
-Eligibility (:func:`soa_engaged`): numpy importable, ``resolution ==
-"numpy"``, a shared count-based stateless model, no per-seed model or
-observer factories, no trace recording.  Everything else — including
-every no-numpy environment — runs the per-trial fallback driver in
-:mod:`repro.sim.lockstep`, unchanged.
+Eligibility: numpy importable, ``resolution == "numpy"``, no trace
+recording, and a vectorizable channel — either a shared count-based
+stateless model (:func:`soa_engaged`, the PR-7 core), or a per-seed
+``model_factory`` producing :class:`~repro.sim.models.LossyModel`
+wrappers around one shared stateless inner model (the erasure channel is
+lowered to per-trial Bernoulli drop masks, see below).  Batches with
+observers stay eligible when every observer advertises the batch ABI
+(``SlotObserver.batch_capable``); the dispatch in
+:func:`repro.sim.lockstep.run_trials_lockstep` probes the materialized
+factory products and records its decision as ``SimResult.soa_reason``.
+Everything else — including every no-numpy environment — runs the
+per-trial fallback driver in :mod:`repro.sim.lockstep`, unchanged.
+
+**Lossy channels.**  The serial oracle draws one ``rng.random()`` per
+on-the-air transmission per reception, receivers ascending (the
+lock-step driver sorts receivers for non-count models), senders
+ascending within each receiver (``_mask_messages`` walks the neighbor
+mask lowest-bit-first).  The SoA engine reproduces that stream exactly:
+each trial's ``LossyModel`` rng is transplanted into a
+``numpy.random.RandomState`` (same MT19937 state, and
+``random_sample(k)`` is the same genrand_res53 double stream as
+``random.random()``), and per round each staged trial enumerates its
+(receiver, sender) reception pairs in that order via one
+``unpackbits``/``nonzero`` sweep, draws the whole slot's Bernoulli mask
+in one call, and classifies *post-drop* counts/firsts under the inner
+model's stock spec.  ``ListenUntil`` early exit also matches on
+post-drop counts (a dropped transmission cannot end a listen).  The
+consumed rng state is written back into each ``LossyModel`` after the
+run, so trailing draws continue the serial stream.
 """
 
 from __future__ import annotations
@@ -138,10 +162,16 @@ def soa_engaged(model: ChannelModel, config: ExecutionConfig) -> bool:
 
     The SoA path engages only where it is provably byte-identical and
     actually vectorizable: the numpy backend requested and importable, a
-    shared count-based stateless channel (per-seed ``model_factory``
-    models and stateful channels consume randomness per reception),
-    and no per-slot observation hooks (traces and extra observers need
-    the per-slot dict views the fallback driver maintains).
+    shared count-based stateless channel (stateful channels consume
+    randomness per reception), and no per-slot observation hooks.
+
+    This predicate is the *static* core.  The dispatch in
+    :func:`repro.sim.lockstep.run_trials_lockstep` additionally engages
+    two cases it cannot see statically — per-seed ``LossyModel``
+    factories over a shared stateless inner, and observer factories
+    whose every product is ``batch_capable`` — by probing the
+    materialized per-seed products; the decision either way is recorded
+    in ``SimResult.soa_reason``.
     """
     return (
         _np is not None
@@ -160,6 +190,31 @@ def _cell(value):
     box = _np.empty((), dtype=object)
     box[()] = value
     return box
+
+
+def _transplant_rng(rng: random.Random):
+    """Clone a CPython ``Random``'s MT19937 state into a
+    ``numpy.random.RandomState`` whose ``random_sample`` emits the exact
+    double stream the source's ``random()`` would (both are
+    genrand_res53 over the same generator)."""
+    _, internal, _ = rng.getstate()
+    rs = _np.random.RandomState()
+    rs.set_state((
+        "MT19937",
+        _np.asarray(internal[:624], dtype=_np.uint32),
+        int(internal[624]),
+    ))
+    return rs
+
+
+def _store_rng(rng: random.Random, rs) -> None:
+    """Write a consumed ``RandomState`` back into the CPython ``Random``
+    it was transplanted from, so post-run draws continue the stream at
+    the serial position (the trailing-draw identity the property suite
+    pins)."""
+    state = rs.get_state()
+    keys, pos = state[1], state[2]
+    rng.setstate((3, tuple(int(x) for x in keys) + (int(pos),), None))
 
 
 def _stock_spec(model: ChannelModel):
@@ -238,6 +293,8 @@ class _SoAEngine:
         meter_energy: bool,
         stepping: str,
         backend,
+        trial_models: Optional[Sequence[Any]] = None,
+        trial_observers: Optional[Sequence[Sequence[Any]]] = None,
     ) -> None:
         np = _np
         T = len(seeds)
@@ -245,6 +302,12 @@ class _SoAEngine:
         self.T = T
         self.N = N
         self.graph = graph
+        if trial_models is not None:
+            # Lossy batch: per-trial LossyModel wrappers over one shared
+            # stateless inner (the dispatch validated this).  The wrapper
+            # supplies full_duplex/name; classification runs under the
+            # *inner* model's spec on post-drop counts.
+            model = trial_models[0]
         self.model = model
         self.seeds = list(seeds)
         self.time_limit = time_limit
@@ -252,9 +315,33 @@ class _SoAEngine:
         self.full_duplex = model.full_duplex
         self.backend = backend
         self._resolve = backend.trial_matrix_resolver()
-        self.needs_first = model.needs_first_message
-        self.spec = _stock_spec(model)
+        self.lossy_models = (
+            list(trial_models) if trial_models is not None else None
+        )
+        if self.lossy_models is not None:
+            inner = self.lossy_models[0].inner
+            self.inner = inner
+            self.loss_rates = [float(m.loss_rate) for m in self.lossy_models]
+            self._lossy_rs = [
+                _transplant_rng(m._rng) for m in self.lossy_models
+            ]
+            # Post-drop firsts are computed inside _classify_lossy; the
+            # whole-matrix pre-drop firsts would name dropped senders.
+            self.needs_first = None
+            self.spec = _stock_spec(inner)
+        else:
+            self.inner = None
+            self.needs_first = model.needs_first_message
+            self.spec = _stock_spec(model)
         self.until_rule = self.spec[3] if self.spec is not None else None
+        self.observers = (
+            [tuple(obs) for obs in trial_observers]
+            if trial_observers is not None else None
+        )
+        if self.observers is not None:
+            for obs_row in self.observers:
+                for observer in obs_row:
+                    observer.on_run_start(N)
 
         self.st = np.zeros((T, N), dtype=np.int8)
         self.rem = np.zeros((T, N), dtype=np.int64)
@@ -609,16 +696,26 @@ class _SoAEngine:
                 (st == _LISTEN) | (st == _UNTIL) | (st == _DUPLEX)
             ) & run_col
             counts, masked = self._resolve(sending)
-            firsts = None
-            if self.needs_first == "one":
-                firsts = self.backend.first_transmitter_matrix(
-                    masked, receiving & (counts == 1)
+            if self.observers is not None:
+                self._observe(staged, sending, receiving, counts)
+            if self.lossy_models is not None:
+                # Erasure channel: draw each staged trial's Bernoulli
+                # mask in serial order, classify post-drop.
+                fb, match_counts = self._classify_lossy(
+                    staged, sending, receiving, masked
                 )
-            elif self.needs_first == "any":
-                firsts = self.backend.first_transmitter_matrix(
-                    masked, receiving & (counts > 0)
-                )
-            fb = self._classify(counts, receiving, firsts, masked)
+            else:
+                firsts = None
+                if self.needs_first == "one":
+                    firsts = self.backend.first_transmitter_matrix(
+                        masked, receiving & (counts == 1)
+                    )
+                elif self.needs_first == "any":
+                    firsts = self.backend.first_transmitter_matrix(
+                        masked, receiving & (counts > 0)
+                    )
+                fb = self._classify(counts, receiving, firsts, masked)
+                match_counts = counts
             self.hist.append(fb)
 
             cur = self.cur
@@ -638,7 +735,7 @@ class _SoAEngine:
             boundary = active & (rem == 1)
             until_cells = (st == _UNTIL) & run_col
             if until_cells.any():
-                matched = self._until_matches(until_cells, counts, fb)
+                matched = self._until_matches(until_cells, match_counts, fb)
                 if matched is not None:
                     boundary = boundary | matched
             rem[active & ~boundary] -= 1
@@ -647,6 +744,11 @@ class _SoAEngine:
             round_idx += 1
             if (round_idx & 63) == 0:
                 self._truncate_hist(round_idx)
+        if self.lossy_models is not None:
+            # Leave each trial's channel rng exactly where the serial
+            # oracle would: the next draw continues the same stream.
+            for m, rs in zip(self.lossy_models, self._lossy_rs):
+                _store_rng(m._rng, rs)
 
     def _until_matches(self, until_cells, counts, fb):
         """Boolean [T, N] mask of ListenUntil cells whose current
@@ -678,7 +780,131 @@ class _SoAEngine:
                     any_hit = True
         return matched if any_hit else None
 
+    def _observe(self, staged, sending, receiving, counts) -> None:
+        """Fire each staged trial's batch-capable observers for this
+        round — one :meth:`SlotObserver.observe_matrix` call per observer
+        per trial, at the trial's own slot number, with the *pre-drop*
+        count row (on-the-air semantics, matching ``on_slot``)."""
+        np = _np
+        cur = self.cur
+        observers = self.observers
+        for t in np.nonzero(staged)[0].tolist():
+            obs_row = observers[t]
+            if not obs_row:
+                continue
+            slot = int(cur[t])
+            srow = sending[t]
+            rrow = receiving[t]
+            crow = counts[t]
+            for observer in obs_row:
+                observer.observe_matrix(slot, srow, rrow, crow)
+
     # --- feedback classification ---------------------------------------
+
+    def _classify_lossy(self, staged, sending, receiving, masked):
+        """Erasure-channel classification: returns the ``[T, N]``
+        feedback matrix plus the post-drop count matrix (the counts
+        ``ListenUntil`` early exit must match on).
+
+        Per staged trial, in trial order: enumerate this slot's
+        (receiver, sender) reception pairs in serial draw order —
+        receivers ascending, senders ascending within each receiver —
+        draw the whole slot's Bernoulli mask from the trial's
+        transplanted rng in one ``random_sample`` call, then classify
+        the surviving counts and first-surviving senders under the
+        *inner* model's stock spec.  Pairs come from extracting just the
+        transmitting senders' bit columns out of the reception bitmask
+        (columns ascending, so row-major ``nonzero`` order *is* the
+        serial order) — never from unpacking the full ``N``-bit mask
+        width, which profiles as the round's dominant cost on dense
+        cliques.  Zero-pair cells draw nothing, exactly like the serial
+        ``LossyModel.resolve([])``.
+        """
+        np = _np
+        spec = self.spec
+        fb = np.empty((self.T, self.N), dtype=object)
+        if spec is not None:
+            fb[...] = spec[0]
+        post = np.zeros((self.T, self.N), dtype=np.int64)
+        msg = self.msg
+        inner = self.inner
+        rates = self.loss_rates
+        rss = self._lossy_rs
+        one = np.uint64(1)
+        for t in np.nonzero(staged)[0].tolist():
+            rows = np.nonzero(receiving[t])[0]
+            n_rows = rows.size
+            if not n_rows:
+                continue
+            send_idx = np.nonzero(sending[t])[0]
+            if send_idx.size:
+                sub = masked[t][rows]
+                bits = (
+                    sub[:, send_idx >> 6]
+                    >> (send_idx & 63).astype(np.uint64)
+                ) & one
+                pair_row, pair_col = np.nonzero(bits)
+            else:
+                pair_row = pair_col = send_idx
+            if pair_row.size:
+                draws = rss[t].random_sample(pair_row.size)
+                keep = draws >= rates[t]
+                kept_rows = pair_row[keep]
+                kept_senders = send_idx[pair_col[keep]]
+            else:
+                kept_rows = pair_row
+                kept_senders = pair_row
+            if spec is not None and not kept_rows.size:
+                continue  # every cell keeps k0 feedback, zero count
+            counts_row = np.bincount(kept_rows, minlength=n_rows)
+            post[t, rows] = counts_row
+            msg_row = msg[t]
+            if spec is None:
+                # Non-stock inner: materialize each cell's surviving
+                # messages (already in lowest-sender-first order) and
+                # delegate, exactly the serial wrapper's call.
+                lists: List[List[Any]] = [[] for _ in range(n_rows)]
+                for r, s in zip(kept_rows.tolist(), kept_senders.tolist()):
+                    lists[r].append(msg_row[s])
+                resolve = inner.resolve
+                cells = np.empty(n_rows, dtype=object)
+                for i in range(n_rows):
+                    cells[i] = resolve(lists[i])
+                fb[t, rows] = cells
+                continue
+            _, one_mode, many_mode, _ = spec
+            # First surviving sender per cell: pairs are in (receiver,
+            # sender) ascending order and np.unique returns the first
+            # occurrence index, so this is the lowest survivor.
+            uniq, first_idx = np.unique(kept_rows, return_index=True)
+            first_sender = np.zeros(n_rows, dtype=np.int64)
+            first_sender[uniq] = kept_senders[first_idx]
+            ones = np.nonzero(counts_row == 1)[0]
+            if ones.size:
+                if one_mode.__class__ is tuple:
+                    fb[t, rows[ones]] = one_mode[1]
+                elif one_mode == "first":
+                    fb[t, rows[ones]] = msg_row[first_sender[ones]]
+                else:  # "first_tuple" (LOCAL)
+                    fb[t, rows[ones]] = _WRAP1(msg_row[first_sender[ones]])
+            manys = np.nonzero(counts_row >= 2)[0]
+            if manys.size:
+                if many_mode.__class__ is tuple:
+                    fb[t, rows[manys]] = many_mode[1]
+                elif many_mode == "first":
+                    fb[t, rows[manys]] = msg_row[first_sender[manys]]
+                else:  # "needs": full surviving list (LOCAL contention)
+                    many_set = set(manys.tolist())
+                    lists = {r: [] for r in many_set}
+                    for r, s in zip(
+                        kept_rows.tolist(), kept_senders.tolist()
+                    ):
+                        if r in many_set:
+                            lists[r].append(msg_row[s])
+                    resolve = inner.resolve
+                    for r in manys.tolist():
+                        fb[t, rows[r]] = resolve(lists[r])
+        return fb, post
 
     def _classify(self, counts, receiving, firsts, masked):
         """[T, N] feedback object matrix for this round's receivers."""
@@ -814,13 +1040,21 @@ def run_trials_soa(
     meter_energy: bool,
     stepping: str,
     backend,
+    trial_models: Optional[Sequence[Any]] = None,
+    trial_observers: Optional[Sequence[Sequence[Any]]] = None,
 ) -> List[SimResult]:
     """Run one cell's seeds through the SoA batched executor.
 
     Called by :func:`repro.sim.lockstep.run_trials_lockstep` after its
-    shared validation, when :func:`soa_engaged` holds; ``backend`` is the
+    shared validation and eligibility probe; ``backend`` is the
     already-constructed :class:`~repro.sim.resolution.NumpyBackend`.
-    Results are byte-identical to the serial engine, in ``seeds`` order.
+    ``trial_models`` (when given) are the materialized per-seed
+    ``model_factory`` products — uniform ``LossyModel`` wrappers over one
+    shared stateless inner, run via vectorized drop masks.
+    ``trial_observers`` (when given) are the materialized per-seed
+    observer tuples, every one batch-capable, fired through
+    ``observe_matrix``.  Results are byte-identical to the serial
+    engine, in ``seeds`` order.
     """
     engine = _SoAEngine(
         graph,
@@ -834,6 +1068,8 @@ def run_trials_soa(
         meter_energy=meter_energy,
         stepping=stepping,
         backend=backend,
+        trial_models=trial_models,
+        trial_observers=trial_observers,
     )
     engine.run()
     return engine.results()

@@ -35,7 +35,9 @@ def _tiny_workload() -> BenchWorkload:
 
 class TestBenchHarness:
     def test_report_shape_and_equivalence(self):
-        report = run_engine_benchmarks(workloads=[_tiny_workload()])
+        report = run_engine_benchmarks(
+            workloads=[_tiny_workload()], lockstep_seeds=8
+        )
         entry = report["workloads"]["tiny"]
         assert entry["equivalent"] is True
         assert entry["n"] == 5
@@ -67,7 +69,7 @@ class TestBenchHarness:
 
         workload = _tiny_workload()
         workload.backend_bench = True
-        report = run_engine_benchmarks(workloads=[workload])
+        report = run_engine_benchmarks(workloads=[workload], lockstep_seeds=8)
         backends = report["workloads"]["tiny"]["resolution_backends"]
         assert backends["equivalent"] is True
         assert backends["slots_replayed"] == 3
@@ -83,6 +85,8 @@ class TestBenchHarness:
             assert any("not installed" in v for v in violations)
         assert "lockstep_trials" in report
         assert report["lockstep_trials"]["equivalent"] is True
+        assert "lossy_lockstep_trials" in report
+        assert report["lossy_lockstep_trials"]["equivalent"] is True
 
     def test_backend_replay_with_no_active_slots(self):
         from repro.sim import Idle
@@ -99,14 +103,16 @@ class TestBenchHarness:
         workload = BenchWorkload(
             "idle-only", "no active slots", build, reps=1, backend_bench=True
         )
-        report = run_engine_benchmarks(workloads=[workload])
+        report = run_engine_benchmarks(workloads=[workload], lockstep_seeds=8)
         backends = report["workloads"]["idle-only"]["resolution_backends"]
         assert backends == {
             "slots_replayed": 0, "seconds": {}, "equivalent": True,
         }
 
     def test_thresholds(self):
-        report = run_engine_benchmarks(workloads=[_tiny_workload()])
+        report = run_engine_benchmarks(
+            workloads=[_tiny_workload()], lockstep_seeds=8
+        )
         # Impossible bars must be flagged...
         violations = check_thresholds(
             report, min_legacy_speedup=1e9, min_ref_speedup=1e9
@@ -124,14 +130,50 @@ class TestBenchHarness:
         violations = check_thresholds(report, min_phase_speedup=1e9)
         assert len(violations) == 1 and "phase_vs_slot" in violations[0]
 
+    def test_lossy_soa_section_and_gate(self):
+        from repro.sim.resolution import numpy_available
+
+        report = run_engine_benchmarks(
+            workloads=[_tiny_workload()], lockstep_seeds=8
+        )
+        lossy = report["lossy_lockstep_trials"]
+        assert lossy["workload"] == "lossy_sr_frame_n256"
+        assert lossy["equivalent"] is True
+        # The dispatch verdict is surfaced per variant: the serial
+        # oracle never routes through the lock-step dispatcher (None)
+        # and the bitmask lock-step variant falls back on resolution.
+        assert lossy["soa_reason"]["serial_slot"] is None
+        assert lossy["soa_reason"]["lockstep_slot"] == "resolution"
+        if numpy_available():
+            assert lossy["soa_active"] is True
+            assert lossy["soa_reason"]["lockstep_phase"] == "ok"
+            violations = check_thresholds(report, min_lossy_soa_speedup=1e9)
+            assert any("speedup_lossy_soa_vs_serial" in v for v in violations)
+        else:
+            assert lossy["soa_active"] is False
+            violations = check_thresholds(report, min_lossy_soa_speedup=0.0)
+            assert any("inactive" in v for v in violations)
+        # A fast-but-wrong lossy engine fails before any ratio counts.
+        report["lossy_lockstep_trials"]["equivalent"] = False
+        violations = check_thresholds(report)
+        assert any("diverge" in v for v in violations)
+        # Requesting the gate without the section is itself a violation.
+        del report["lossy_lockstep_trials"]
+        violations = check_thresholds(report, min_lossy_soa_speedup=1.0)
+        assert any("missing" in v for v in violations)
+
     def test_equivalence_failure_is_a_violation(self):
-        report = run_engine_benchmarks(workloads=[_tiny_workload()])
+        report = run_engine_benchmarks(
+            workloads=[_tiny_workload()], lockstep_seeds=8
+        )
         report["workloads"]["tiny"]["equivalent"] = False
         violations = check_thresholds(report)
         assert violations and "disagree" in violations[0]
 
     def test_write_results_round_trips(self, tmp_path):
-        report = run_engine_benchmarks(workloads=[_tiny_workload()])
+        report = run_engine_benchmarks(
+            workloads=[_tiny_workload()], lockstep_seeds=8
+        )
         path = tmp_path / "BENCH_engine.json"
         write_results(report, str(path))
         loaded = json.loads(path.read_text())
@@ -159,3 +201,12 @@ class TestBenchCli:
         assert args.quick and args.out == "x.json"
         assert args.min_ref_speedup == 1.2
         assert args.min_legacy_speedup is None
+        assert args.min_lossy_soa_speedup is None
+
+    def test_cli_lossy_soa_gate_parses(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["bench", "--quick", "--min-lossy-soa-speedup", "2.0"]
+        )
+        assert args.min_lossy_soa_speedup == 2.0

@@ -333,6 +333,46 @@ class TestFabricDifferential:
             == _points_blob(aggregate_campaign(spec, fabric, extended=True)) \
             == _points_blob(aggregate_campaign_streaming(spec, fabric))
 
+    def test_lossy_row_matches_serial_oracle(self, tmp_path):
+        """The PR acceptance shape: a lossy many-seed row through
+        ``--workers 2`` stores the same results as the serial runner,
+        and (with numpy) the events ledger shows every block SoA-engaged.
+        """
+        from repro.sim.resolution import numpy_available
+
+        options = {"loss_rate": 0.3}
+        if numpy_available():
+            options.update({
+                "lockstep": True, "resolution": "numpy", "stepping": "slot",
+            })
+        spec = _spec([{
+            "row": "bounded", "sizes": [8, 12], "seeds": [0, 1],
+            "options": options,
+        }])
+        serial = _store(tmp_path / "serial")
+        run_campaign(spec, serial, progress=None)
+        fabric = _store(tmp_path / "fabric")
+        events_path = os.path.join(str(tmp_path), "events.jsonl")
+        report = _fabric(spec, fabric, workers=2, events_path=events_path)
+        assert report.all_ok and report.ok == 4
+
+        def results(store):
+            return [
+                record["result"] for record in sorted(
+                    store.load().values(),
+                    key=lambda r: (r["job"]["size"], r["job"]["seed"]),
+                )
+            ]
+
+        assert results(serial) == results(fabric)
+        if numpy_available():
+            done = [
+                e for e in read_events(events_path)
+                if e["ev"] == "block_completed"
+            ]
+            assert done and all(e.get("soa", 0) > 0 for e in done)
+            assert sum(e["soa"] for e in done) == 4
+
     def test_resume_computes_only_delta(self, tmp_path):
         spec = _spec([{"row": "path", "sizes": [8, 12], "seeds": [0, 1]}])
         store = _store(tmp_path)
@@ -478,6 +518,42 @@ class TestEventsLedger:
         text = render_events_summary(summary)
         assert "last run (fabtest): completed" in text
         assert "cells/s" in text
+
+    def test_soa_engagement_summary_and_rendering(self, tmp_path):
+        from repro.sim.resolution import numpy_available
+
+        if not numpy_available():
+            pytest.skip("the SoA lossy path needs numpy")
+        spec = _spec([{
+            "row": "bounded", "sizes": [8], "seeds": [0, 1],
+            "options": {
+                "loss_rate": 0.3, "lockstep": True,
+                "resolution": "numpy", "stepping": "slot",
+            },
+        }])
+        store = _store(tmp_path)
+        events_path = os.path.join(str(tmp_path), "events.jsonl")
+        _fabric(spec, store, workers=2, events_path=events_path)
+        summary = summarize_events(read_events(events_path))
+        run = summary["last_run"]
+        assert run["soa_seen"] is True
+        assert run["soa_cells"] == 2
+        assert run["soa_blocks"] == run["blocks"] > 0
+        text = render_events_summary(summary)
+        assert "SoA engagement" in text
+        assert "2 cell(s) on the trial-SoA engine" in text
+
+    def test_pre_soa_ledger_renders_without_engagement_line(self):
+        # Ledgers written before the soa field existed (or by runs that
+        # never engaged lock-step) must summarize and render unchanged.
+        summary = summarize_events([
+            {"ev": "run_started", "campaign": "x", "pending": 1},
+            {"ev": "block_completed", "worker": 0, "ok": 1, "failed": 0},
+            {"ev": "run_completed", "elapsed": 1.0},
+        ])
+        run = summary["last_run"]
+        assert run["soa_seen"] is False and run["blocks"] == 1
+        assert "SoA engagement" not in render_events_summary(summary)
 
     def test_no_ledger_renders_placeholder(self):
         assert "no events recorded" in render_events_summary(

@@ -37,6 +37,7 @@ from repro.sim import (
     run_trials,
 )
 from repro.sim.models import LossyModel
+from repro.sim.observers import SlotObserver
 from repro.sim.reference import ReferenceSimulator
 from repro.sim.trialsoa import soa_engaged
 
@@ -263,6 +264,46 @@ class TestObserverFactory:
         assert set(serial) == set(seeds)
         assert all(s["active_slots"] > 0 for s in serial.values())
 
+    @pytest.mark.parametrize("lossy", (False, True), ids=("clean", "lossy"))
+    def test_batch_observer_matches_per_slot(self, lossy):
+        """ContentionHistogramObserver tallies identically through
+        ``observe_matrix`` (SoA engine, numpy) and ``on_slot`` (per-trial
+        driver, bitmask) — including under erasure, where the histogram
+        must count *pre-drop* on-the-air transmissions."""
+        graph = random_gnp(8, 0.5, random.Random(2))
+        protocol = _random_protocol(10)
+        seeds = (0, 1, 2)
+        model_factory = (
+            (lambda seed: LossyModel(NO_CD, 0.3, seed=seed))
+            if lossy else None
+        )
+
+        def collect(resolution):
+            observers = {}
+
+            def factory(seed):
+                observer = ContentionHistogramObserver(graph)
+                observers[seed] = observer
+                return (observer,)
+
+            run_trials(
+                graph, NO_CD, protocol, seeds,
+                exec_config=ExecutionConfig(
+                    observer_factory=factory, model_factory=model_factory,
+                    lockstep=True, resolution=resolution,
+                ),
+            )
+            return {
+                seed: (observer.summary(), observer.load_histogram)
+                for seed, observer in observers.items()
+            }
+
+        per_slot = collect("bitmask")
+        if not numpy_available():
+            return
+        batched = collect("numpy")
+        assert per_slot == batched
+
 
 class TestStatefulReuseWarning:
     def test_warns_once_for_shared_stateful_model(self, monkeypatch):
@@ -480,14 +521,81 @@ class TestTrialSoADispatch:
                 lockstep=True, resolution="numpy", record_trace=True
             ),
         )
+        # A lossy factory over *mixed* inners cannot share one spec.
         run_trials(
             graph, NO_CD, _plan_rich_protocol, (0, 1),
+            exec_config=ExecutionConfig(
+                lockstep=True, resolution="numpy",
+                model_factory=lambda seed: LossyModel(
+                    NO_CD if seed % 2 else CD, 0.3, seed=seed
+                ),
+            ),
+        )
+        # Observers without the batch ABI need per-slot dict views.
+        run_trials(
+            graph, NO_CD, _plan_rich_protocol, (0, 1),
+            exec_config=ExecutionConfig(
+                lockstep=True, resolution="numpy",
+                observer_factory=lambda seed: (SlotObserver(),),
+            ),
+        )
+        assert not calls
+
+    def test_engages_on_lossy_factory(self, monkeypatch):
+        calls = self._spy(monkeypatch)
+        results = run_trials(
+            clique(6), NO_CD, _plan_rich_protocol, (0, 1),
             exec_config=ExecutionConfig(
                 lockstep=True, resolution="numpy",
                 model_factory=lambda seed: LossyModel(NO_CD, 0.3, seed=seed),
             ),
         )
-        assert not calls
+        assert calls
+        assert all(r.soa_reason == "ok" for r in results)
+
+    def test_engages_with_batch_observers(self, monkeypatch):
+        calls = self._spy(monkeypatch)
+        graph = clique(6)
+        results = run_trials(
+            graph, NO_CD, _plan_rich_protocol, (0, 1),
+            exec_config=ExecutionConfig(
+                lockstep=True, resolution="numpy",
+                observer_factory=lambda seed: (
+                    ContentionHistogramObserver(graph),
+                ),
+            ),
+        )
+        assert calls
+        assert all(r.soa_reason == "ok" for r in results)
+
+    def test_soa_reason_surfaced(self):
+        graph = clique(6)
+
+        def reason(**kwargs):
+            results = run_trials(
+                graph, NO_CD, _plan_rich_protocol, (0, 1),
+                exec_config=ExecutionConfig(lockstep=True, **kwargs),
+            )
+            reasons = {r.soa_reason for r in results}
+            assert len(reasons) == 1
+            return reasons.pop()
+
+        assert reason(resolution="numpy") == "ok"
+        assert reason(resolution="bitmask") == "resolution"
+        assert reason(resolution="numpy", record_trace=True) == "record_trace"
+        assert reason(
+            resolution="numpy",
+            observer_factory=lambda seed: (SlotObserver(),),
+        ) == "observers"
+        assert reason(
+            resolution="numpy",
+            model_factory=lambda seed: LossyModel(
+                NO_CD if seed % 2 else CD, 0.3, seed=seed
+            ),
+        ) == "model_factory"
+        # Non-lockstep paths leave the diagnostic unset.
+        serial = run_trials(graph, NO_CD, _plan_rich_protocol, (0, 1))
+        assert all(r.soa_reason is None for r in serial)
 
     def test_soa_engaged_predicate(self):
         assert soa_engaged(
@@ -550,15 +658,21 @@ class TestTrialSoAEquivalence:
 
     @pytest.mark.parametrize("stepping", ("slot", "phase"))
     @pytest.mark.parametrize("resolution", RESOLUTIONS)
-    def test_lossy_fallback_matches_serial(self, resolution, stepping):
+    @pytest.mark.parametrize("model_name", sorted(FIVE_MODELS))
+    def test_lossy_matrix_vs_serial(self, model_name, resolution, stepping):
+        # Under "numpy" this pins the vectorized drop-mask path against
+        # the serial oracle for every inner model; under "bitmask"/"list"
+        # it pins the per-trial fallback driver (and the whole matrix
+        # stays valid on the no-numpy CI leg).
+        inner = FIVE_MODELS[model_name]
         graph = random_gnp(8, 0.6, random.Random(12))
-        factory = lambda seed: LossyModel(NO_CD, 0.35, seed=seed)
+        factory = lambda seed: LossyModel(inner, 0.35, seed=seed)
         serial = run_trials(
-            graph, NO_CD, _plan_rich_protocol, self.SEEDS,
+            graph, inner, _plan_rich_protocol, self.SEEDS,
             exec_config=ExecutionConfig(model_factory=factory),
         )
         lockstep = run_trials(
-            graph, NO_CD, _plan_rich_protocol, self.SEEDS,
+            graph, inner, _plan_rich_protocol, self.SEEDS,
             exec_config=ExecutionConfig(
                 model_factory=factory, lockstep=True,
                 resolution=resolution, stepping=stepping,
@@ -658,6 +772,48 @@ class TestTrialSoAEquivalence:
 
 
 class TestTrialSoAProperty:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=2**16),
+        n=st.integers(min_value=2, max_value=9),
+        steps=st.integers(min_value=1, max_value=5),
+        stepping=st.sampled_from(("slot", "phase")),
+        loss_rate=st.sampled_from((0.0, 0.2, 0.6)),
+    )
+    def test_lossy_drop_mask_draw_order(
+        self, seed, n, steps, stepping, loss_rate
+    ):
+        """The vectorized drop masks must consume each trial's channel
+        rng in the serial order (receivers ascending, senders ascending,
+        one draw per on-the-air transmission), and leave the rng at the
+        serial position: the trailing draw after the run pins the exact
+        number and order of draws on both engines."""
+        graph = clique(n)
+        protocol = _rng_heavy_protocol(steps)
+        seeds = (seed, seed + 1)
+
+        def run(lockstep):
+            models = {
+                s: LossyModel(NO_CD, loss_rate, seed=s) for s in seeds
+            }
+            results = run_trials(
+                graph, NO_CD, protocol, seeds,
+                exec_config=ExecutionConfig(
+                    model_factory=models.__getitem__,
+                    lockstep=lockstep, resolution="numpy",
+                    stepping=stepping,
+                ),
+            )
+            trailing = {s: models[s]._rng.random() for s in seeds}
+            return results, trailing
+
+        serial, serial_trailing = run(lockstep=False)
+        lockstep, soa_trailing = run(lockstep=True)
+        _assert_same_results(serial, lockstep)
+        assert serial_trailing == soa_trailing
+        for a, b in zip(serial, lockstep):
+            assert a.gen_entries == b.gen_entries
+
     @settings(max_examples=20, deadline=None)
     @given(
         seed=st.integers(min_value=0, max_value=2**16),
