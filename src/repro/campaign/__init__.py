@@ -15,9 +15,11 @@ CLI::
 """
 
 from repro.campaign.aggregate import (
+    FAULT_OPTION_KEYS,
     aggregate_campaign,
     campaign_status,
     cells_for_campaign,
+    render_degradation,
     render_report,
     render_status,
     variant_label,
@@ -58,9 +60,11 @@ from repro.campaign.spec import CampaignSpec, JobSpec, RowPlan, job_key
 from repro.campaign.store import CampaignStore, make_record
 
 __all__ = [
+    "FAULT_OPTION_KEYS",
     "aggregate_campaign",
     "campaign_status",
     "cells_for_campaign",
+    "render_degradation",
     "render_report",
     "render_status",
     "variant_label",

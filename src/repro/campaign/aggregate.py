@@ -16,15 +16,22 @@ from repro.campaign.spec import CampaignSpec
 from repro.campaign.store import STATUS_OK, CampaignStore
 
 __all__ = [
+    "FAULT_OPTION_KEYS",
     "variant_label",
     "cells_for_campaign",
     "aggregate_campaign",
     "campaign_status",
     "render_status",
     "render_report",
+    "render_degradation",
 ]
 
 Options = Tuple[Tuple[str, object], ...]
+
+#: Cell options that inject faults (the adversity layer).  A row variant
+#: carrying any of these is "faulted"; stripping them names its clean
+#: twin for the ``campaign report --degradation`` pairing.
+FAULT_OPTION_KEYS = ("churn", "jam", "burst_loss")
 
 
 def variant_label(row: str, options: Options) -> str:
@@ -152,4 +159,71 @@ def render_report(spec: CampaignSpec, store: CampaignStore) -> str:
             columns=columns,
             bounds=resolve_bounds(definition, plan.options),
         ))
+    return "\n\n".join(sections)
+
+
+def render_degradation(spec: CampaignSpec, store: CampaignStore) -> str:
+    """Clean-vs-faulted comparison table for every faulted row variant.
+
+    A variant is faulted when its options carry any of
+    :data:`FAULT_OPTION_KEYS`; its clean twin is the same row with the
+    fault keys stripped.  Twins missing from the campaign (or with no
+    completed cells yet) are reported, not errors — a half-finished run
+    still renders whatever pairs exist.
+    """
+    from repro.experiments.analysis import fault_degradation
+
+    points = aggregate_campaign(spec, store, extended=False)
+    seen = set()
+    sections = []
+    for plan in spec.rows:
+        options = tuple(sorted(plan.options.items()))
+        faults = [(k, v) for k, v in options if k in FAULT_OPTION_KEYS]
+        if not faults:
+            continue
+        label = variant_label(plan.row, options)
+        if label in seen:
+            continue
+        seen.add(label)
+        clean_options = tuple(
+            (k, v) for k, v in options if k not in FAULT_OPTION_KEYS
+        )
+        clean_label = variant_label(plan.row, clean_options)
+        fault_desc = ",".join(f"{k}={v}" for k, v in faults)
+        header = f"{label}  vs clean twin {clean_label}"
+        faulted_points = points.get(label)
+        clean_points = points.get(clean_label)
+        if not faulted_points:
+            sections.append(f"{header}\n  (no completed faulted cells)")
+            continue
+        if not clean_points:
+            sections.append(
+                f"{header}\n  (clean twin has no completed cells — add a "
+                f"row without {fault_desc} to the campaign)"
+            )
+            continue
+        rows = fault_degradation(clean_points, faulted_points)
+        if not rows:
+            sections.append(f"{header}\n  (no common sizes completed yet)")
+            continue
+        lines = [header]
+        lines.append(
+            f"  {'n':>6}  {'energy c/f':>15}  {'xE':>6}  "
+            f"{'time c/f':>17}  {'xT':>6}  {'success c/f':>12}"
+        )
+        for row in rows:
+            lines.append(
+                f"  {row['n']:>6}  "
+                f"{row['energy_clean']:>7.1f}/{row['energy_faulted']:<7.1f}  "
+                f"{row['energy_ratio']:>6.2f}  "
+                f"{row['time_clean']:>8.1f}/{row['time_faulted']:<8.1f}  "
+                f"{row['time_ratio']:>6.2f}  "
+                f"{row['success_clean']:>5.0%}/{row['success_faulted']:<5.0%}"
+            )
+        sections.append("\n".join(lines))
+    if not sections:
+        return (
+            "no faulted rows in this campaign (rows gain churn/jam/"
+            "burst_loss options to enter the degradation report)"
+        )
     return "\n\n".join(sections)

@@ -230,6 +230,11 @@ def run_cells(
         # byte-unchanged.
         if outcome.sim.soa_reason is not None:
             extras["soa"] = 1.0 if outcome.sim.soa_reason == "ok" else 0.0
+            # The verdict itself rides along as a one-hot key so the
+            # fabric ledger can count *why* the SoA engine disengaged
+            # (fallback taxonomy: churn, jammer, burst_loss, ...), not
+            # just that it did.
+            extras[f"soa_reason_{outcome.sim.soa_reason}"] = 1.0
         cells.append(CellResult(
             label=label,
             size=size,
@@ -340,11 +345,13 @@ def aggregate_cells(cells: Sequence[CellResult], extended: bool = False) -> Swee
     extras_acc: Dict[str, List[float]] = {}
     for cell in cells:
         for key, value in cell.extras.items():
-            if key == "soa":
-                # Execution-path diagnostic (which engine ran the
-                # cell), not a measurement: it varies with execution
-                # options by design, and aggregates must not.  Cell
-                # stores keep the flag; the fabric events ledger is
+            if key == "soa" or key.startswith("soa_reason_"):
+                # Execution-path diagnostics (which engine ran the
+                # cell and why), not measurements: they vary with
+                # execution options by design, and aggregates must
+                # not.  Note soa_reason_ok would otherwise hit the
+                # conjunctive ``_ok`` rule below — skip first.  Cell
+                # stores keep the flags; the fabric events ledger is
                 # the aggregate engagement view.
                 continue
             extras_acc.setdefault(key, []).append(value)

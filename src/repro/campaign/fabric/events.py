@@ -17,7 +17,11 @@ Event schema (all events carry ``ev`` and ``ts``; the rest varies)::
     block_dispatched   block, worker, row, size, seeds, attempt
     block_completed    block, worker, ok, failed, elapsed, soa (cells
                        that ran on the trial-SoA engine; absent in
-                       pre-soa ledgers, read as 0)
+                       pre-soa ledgers, read as 0), soa_reasons (cell
+                       counts by SoA verdict string, e.g. {"ok": 3,
+                       "churn": 1}; absent in older ledgers — readers
+                       must render *any* reason string gracefully,
+                       since new fault families mint new verdicts)
     block_retried      block, attempt, reason, backoff
     block_quarantined  block, reason, cells
     run_completed      ok, errors, timeouts, quarantined, retries, elapsed
@@ -121,6 +125,7 @@ def summarize_events(events) -> Dict:
                 "blocks": 0,
                 "soa_blocks": 0,
                 "soa_cells": 0,
+                "soa_reasons": {},
                 "soa_seen": False,
                 "completed": False,
             }
@@ -152,6 +157,17 @@ def summarize_events(events) -> Dict:
                     last_run["soa_cells"] += soa
                     if soa > 0:
                         last_run["soa_blocks"] += 1
+                # Verdict counts arrive as an open string->count map;
+                # fold whatever strings appear (old ledgers omit the
+                # field, future fault families mint new reasons).
+                reasons = event.get("soa_reasons")
+                if isinstance(reasons, dict):
+                    acc = last_run["soa_reasons"]
+                    for reason, count in reasons.items():
+                        try:
+                            acc[str(reason)] = acc.get(str(reason), 0) + int(count)
+                        except (TypeError, ValueError):
+                            continue
         elif ev == "block_retried":
             retried.append(event)
         elif ev == "block_quarantined":
@@ -201,6 +217,13 @@ def render_events_summary(summary: Dict) -> str:
                 f"({rate:.0%}), {run.get('soa_cells', 0)} cell(s) on the "
                 f"trial-SoA engine"
             )
+            reasons = run.get("soa_reasons") or {}
+            if reasons:
+                breakdown = ", ".join(
+                    f"{reason}={count}"
+                    for reason, count in sorted(reasons.items())
+                )
+                lines.append(f"  SoA verdicts: {breakdown}")
     order = (
         "run_started", "worker_born", "worker_died", "block_dispatched",
         "block_completed", "block_retried", "block_quarantined",

@@ -45,7 +45,11 @@ from typing import Callable, Dict, List, Optional
 
 from repro.campaign.fabric.events import EventLog
 from repro.campaign.fabric.shards import merge_shards, shard_dir_for
-from repro.campaign.fabric.workers import WorkerHandle, fabric_context
+from repro.campaign.fabric.workers import (
+    WorkerHandle,
+    _soa_reason,
+    fabric_context,
+)
 from repro.campaign.runner import CampaignRunReport, execute_job, plan_pending
 from repro.campaign.spec import CampaignSpec, JobSpec
 from repro.campaign.store import (
@@ -163,29 +167,38 @@ class _Bookkeeper:
         """A block completed and its records are durable: count the ok
         cells now, retry or finalize the failed ones.
 
-        ``statuses`` rows are ``(seed, status, elapsed, soa)``; the
-        trailing SoA flag is tolerated missing (older ledger replays and
-        tests that hand-build 3-tuples).
+        ``statuses`` rows are ``(seed, status, elapsed, soa,
+        soa_reason)``; the trailing SoA flag and verdict string are
+        tolerated missing (older ledger replays and tests that
+        hand-build 3- or 4-tuples).
         """
-        statuses = [(tuple(row) + (None,))[:4] for row in statuses]
-        ok_seeds = [s for s, status, _, _ in statuses if status == STATUS_OK]
+        statuses = [(tuple(row) + (None, None))[:5] for row in statuses]
+        ok_seeds = [s for s, status, _, _, _ in statuses if status == STATUS_OK]
         failed = [
-            (s, status) for s, status, _, _ in statuses
+            (s, status) for s, status, _, _, _ in statuses
             if status != STATUS_OK
         ]
         self._count(STATUS_OK, len(ok_seeds))
-        for seed, status, elapsed, _ in statuses:
+        for seed, status, elapsed, _, _ in statuses:
             tag = f"{assignment.job.row}/n={assignment.job.size}/seed={seed}"
             if status == STATUS_OK:
                 self.say(f"  ok {tag} ({elapsed:.2f}s)")
+        # Fallback taxonomy: count lock-step cells by SoA verdict string
+        # ("ok", "churn", "jammer", "burst_loss", ...) so the ledger
+        # records *why* vectorization disengaged, not just how often.
+        soa_reasons: Dict[str, int] = {}
+        for _, _, _, _, reason in statuses:
+            if reason is not None:
+                soa_reasons[reason] = soa_reasons.get(reason, 0) + 1
         self.events.emit(
             "block_completed",
             block=assignment.block_id,
             worker=worker,
             ok=len(ok_seeds),
             failed=len(failed),
-            elapsed=round(sum(e for _, _, e, _ in statuses), 3),
-            soa=sum(1 for _, _, _, soa in statuses if soa == 1.0),
+            elapsed=round(sum(e for _, _, e, _, _ in statuses), 3),
+            soa=sum(1 for _, _, _, soa, _ in statuses if soa == 1.0),
+            soa_reasons=soa_reasons,
         )
         if not failed:
             return
@@ -396,6 +409,7 @@ def _run_inline(
                     r["status"],
                     r["elapsed"],
                     r.get("result", {}).get("extras", {}).get("soa"),
+                    _soa_reason(r.get("result", {}).get("extras", {})),
                 )
                 for r in records
             ],

@@ -87,9 +87,11 @@ def fabric_worker_main(
     * ``("hb", wid, block_id)`` — still executing ``block_id``;
     * ``("done", wid, block_id, statuses)`` — block finished and its
       records are durably in the shard; ``statuses`` is a list of
-      ``(seed, status, elapsed, soa)`` per cell, where ``soa`` is the
-      cell's SoA-engagement flag (1.0 engaged / 0.0 fell back / None
-      when the cell did not run lock-step);
+      ``(seed, status, elapsed, soa, soa_reason)`` per cell, where
+      ``soa`` is the cell's SoA-engagement flag (1.0 engaged / 0.0
+      fell back / None when the cell did not run lock-step) and
+      ``soa_reason`` is the verdict string behind that flag (``"ok"``,
+      ``"churn"``, ``"jammer"``, ``"burst_loss"``, ... / None);
     * ``("exit", wid)`` — clean shutdown after the ``None`` sentinel.
     """
     store = CampaignStore(worker_shard_path)
@@ -120,12 +122,21 @@ def fabric_worker_main(
                 record["status"],
                 record["elapsed"],
                 record.get("result", {}).get("extras", {}).get("soa"),
+                _soa_reason(record.get("result", {}).get("extras", {})),
             )
             for record in records
         ]
         result_queue.put(("done", worker_id, block_id, statuses))
     stop.set()
     result_queue.put(("exit", worker_id))
+
+
+def _soa_reason(extras: Dict) -> Optional[str]:
+    """Recover the SoA verdict string from a cell's one-hot extras key."""
+    for key in extras:
+        if key.startswith("soa_reason_"):
+            return key[len("soa_reason_"):]
+    return None
 
 
 def execute_block_payload(payload: Dict):

@@ -238,7 +238,10 @@ def execute_cell_block(
     # fields (record_trace, time_limit, hooks) in an options dict are
     # rejected, never silently dropped — this also covers direct
     # execute_cell/execute_cell_block callers that bypass a spec.
-    validate_execution_options(options)
+    try:
+        validate_execution_options(options)
+    except ExecutionConfigError as exc:
+        raise ExecutionConfigError(f"row {row!r}: {exc}") from None
     check_row_supports_options(row, options)
     if definition.custom_cell is not None:
         if "loss_rate" in options:
@@ -255,6 +258,7 @@ def execute_cell_block(
         config = config.replace(record_trace=True)
     if "loss_rate" in options:
         inner = MODELS[definition.model]
+        # Range-checked by validate_execution_options at the door above.
         rate = float(options["loss_rate"])
         config = config.replace(
             model_factory=lambda seed: LossyModel(inner, rate, seed=seed)

@@ -18,9 +18,11 @@ Commands:
 * ``campaign status CONFIG [--out DIR] [--watch] [--interval S]`` —
   per-row completion accounting; ``--watch`` adds the live fabric view
   (throughput, ETA, per-worker state) replayed from the events ledger.
-* ``campaign report CONFIG [--out DIR] [--events]`` — render
-  Table-1-style tables from the store; ``--events`` appends the fabric
-  events summary (per-worker tallies, retries, quarantines).
+* ``campaign report CONFIG [--out DIR] [--events] [--degradation]`` —
+  render Table-1-style tables from the store; ``--events`` appends the
+  fabric events summary (per-worker tallies, retries, quarantines);
+  ``--degradation`` renders the clean-vs-faulted comparison table for
+  rows carrying churn/jam/burst_loss options instead.
 * ``campaign run-all TARGET [--out-root DIR]`` — run every config named
   by a manifest (or directory of configs) through the fabric, one store
   per campaign.
@@ -275,7 +277,12 @@ def _cmd_campaign_report(args) -> int:
     from repro.campaign import render_report
 
     spec, store = _campaign_store(args)
-    print(render_report(spec, store))
+    if args.degradation:
+        from repro.campaign import render_degradation
+
+        print(render_degradation(spec, store))
+    else:
+        print(render_report(spec, store))
     if args.events:
         from repro.campaign.fabric import (
             read_events,
@@ -609,6 +616,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--events", action="store_true",
         help="append the fabric events summary (workers, retries, "
              "quarantines) from the run's events ledger",
+    )
+    p_report.add_argument(
+        "--degradation", action="store_true",
+        help="render the fault-degradation table instead: energy/time/"
+             "success-rate of faulted rows (churn/jam/burst_loss "
+             "options) against their clean twins",
     )
     p_report.set_defaults(func=_cmd_campaign_report)
 

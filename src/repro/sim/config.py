@@ -103,6 +103,7 @@ def _meta(
     cli: bool = False,
     hook: bool = False,
     runner: bool = False,
+    fault: bool = False,
 ) -> Dict[str, Any]:
     return {
         "help": help,
@@ -111,6 +112,7 @@ def _meta(
         "cli": cli,
         "hook": hook,
         "runner": runner,
+        "fault": fault,
     }
 
 
@@ -152,6 +154,25 @@ class ExecutionConfig:
         "attach a per-trial ContentionHistogramObserver and fold its "
         "summary into cell extras as ch_* keys (changes cell identity)",
         cell_option=True, cli=True,
+    ))
+    churn: Optional[str] = field(default=None, metadata=_meta(
+        "node churn schedule: 'periodic:period=P,down=D[,stagger=S]' or "
+        "'random:p=R,period=P,down=D' — down nodes neither transmit nor "
+        "hear; deterministic per trial seed (repro.sim.faults; changes "
+        "what cells measure, like any fault knob)",
+        cell_option=True, cli=True, fault=True,
+    ))
+    jam: Optional[str] = field(default=None, metadata=_meta(
+        "slot-level jamming adversary: 'periodic:period=P[,offset=K]', "
+        "'random:rate=R', or 'reactive[:min=K]' — jammed slots resolve "
+        "to the model's collision feedback (repro.sim.faults)",
+        cell_option=True, cli=True, fault=True,
+    ))
+    burst_loss: Optional[str] = field(default=None, metadata=_meta(
+        "Gilbert-Elliott bursty loss: 'p_gb=R,p_bg=R[,good=R][,bad=R]' "
+        "— two-state Markov fade wrapping the row's model "
+        "(repro.sim.faults)",
+        cell_option=True, cli=True, fault=True,
     ))
     workers: int = field(default=1, metadata=_meta(
         "campaign fabric worker processes (1 = in-process serial; "
@@ -199,6 +220,24 @@ class ExecutionConfig:
                         f"{spec.name} must be a callable (seed -> ...) or "
                         f"None, got {value!r}"
                     )
+            elif meta["fault"]:
+                if value is None:
+                    continue
+                if not isinstance(value, str) or not value:
+                    raise ExecutionConfigError(
+                        f"{spec.name} must be a fault spec string or None "
+                        f"(see repro.sim.faults), got {value!r}"
+                    )
+                # Lazy import: faults builds on models; keeping the
+                # schema layer import-light avoids any cycle risk.
+                from repro.sim.faults import validate_fault_spec
+
+                try:
+                    validate_fault_spec(spec.name, value)
+                except ValueError as exc:
+                    raise ExecutionConfigError(
+                        f"{spec.name}: {exc}"
+                    ) from None
             elif spec.name == "time_limit":
                 if value is not None and (
                     isinstance(value, bool)
@@ -268,7 +307,9 @@ class ExecutionConfig:
             allowed = (
                 "/".join(spec.metadata["choices"])
                 if spec.metadata["choices"] else
-                ("hook" if spec.metadata["hook"] else type(spec.default).__name__)
+                ("hook" if spec.metadata["hook"] else
+                 ("fault spec" if spec.metadata["fault"] else
+                  type(spec.default).__name__))
             )
             lines.append(
                 f"{spec.name} (default {spec.default!r}, {allowed}): "
@@ -369,6 +410,22 @@ def _check_cell_options(options: Optional[Dict]) -> None:
             f"{sorted(ExecutionConfig.option_keys())}"
         )
     ExecutionConfig.from_options(options)
+    # loss_rate is a channel knob consumed by the campaign registry (it
+    # wraps the row's model in per-seed LossyModel factories), not an
+    # ExecutionConfig field — but a bad rate should still fail at config
+    # load like the fault specs do, not mid-sweep as a cell error.
+    if "loss_rate" in options:
+        raw = options["loss_rate"]
+        try:
+            rate = float(raw)
+        except (TypeError, ValueError):
+            raise ExecutionConfigError(
+                f"loss_rate must be a number in [0, 1], got {raw!r}"
+            ) from None
+        if not 0 <= rate <= 1:
+            raise ExecutionConfigError(
+                f"loss_rate must be in [0, 1], got {rate!r}"
+            )
 
 
 def validate_execution_options(options: Optional[Dict]) -> None:
@@ -465,6 +522,14 @@ def add_execution_args(
                 choices=list(spec.metadata["choices"]),
                 default=None,
                 help=f"{spec.metadata['help']} (default: {spec.default})",
+            )
+        elif spec.metadata["fault"]:
+            group.add_argument(
+                _flag(spec.name),
+                dest=spec.name,
+                metavar="SPEC",
+                default=None,
+                help=f"{spec.metadata['help']} (default: off)",
             )
         else:
             group.add_argument(

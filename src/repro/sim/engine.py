@@ -66,6 +66,7 @@ from repro.sim.plan import (
     plan_resume,
     start_plan,
 )
+from repro.sim.faults import parse_fault_specs
 from repro.sim.feedback import BEEP, NOISE, SILENCE
 from repro.sim.resolution import RESOLUTION_MODES, create_backend
 from repro.sim.observers import (
@@ -238,6 +239,11 @@ class Simulator:
         self.graph = graph
         self.model = model
         self.seed = seed
+        # Fault injection (churn/jam/burst_loss) is consumed right here:
+        # run() materializes the per-trial fault objects from the run
+        # seed, so batched trials stay seed-reproducible and
+        # sharding-independent.  None on the clean path.
+        self._faults = parse_fault_specs(config)
         self.time_limit = config.resolved_time_limit(DEFAULT_TIME_LIMIT)
         self.record_trace = config.record_trace
         # Resolves "numpy" to the bitmask backend (with a warning) when
@@ -285,6 +291,19 @@ class Simulator:
         """
         graph, model = self.graph, self.model
         run_seed = self.seed if seed is None else seed
+        faults = self._faults
+        if faults is None:
+            churn = None
+            down_fb = SILENCE
+        else:
+            # Per-trial fault realization: jam/burst wrappers seeded by
+            # the run seed replace the model for this run only; churn
+            # rides alongside as a slot filter.
+            model, churn = faults.for_trial(model, run_seed)
+            from repro.sim.faults import down_feedback
+
+            down_fb = down_feedback(model)
+        slot_aware = getattr(model, "slot_aware", False)
         master = random.Random(run_seed)
         inputs = inputs or {}
         validate_input_keys(inputs, graph.n)
@@ -460,9 +479,29 @@ class Simulator:
                 # models are stateless, so their order cannot matter.
                 receivers = sorted(receivers)
 
-            # Resolve receptions.
+            # Resolve receptions.  Churn filters crashed nodes out of
+            # the air (their sends vanish) and out of the live receiver
+            # set (their listens hear the model's empty-reception value
+            # below); the clean path aliases the unfiltered sets,
+            # costing nothing.
             feedbacks: Dict[int, Any] = {}
-            resolve_slot(transmitting, receivers, feedbacks)
+            if churn is None:
+                air = transmitting
+                live = receivers
+            else:
+                down = churn.down
+                air = {
+                    v: m for v, m in transmitting.items()
+                    if not down(v, slot)
+                }
+                live = [v for v in receivers if not down(v, slot)]
+            if slot_aware:
+                model.begin_slot(slot, len(air))
+            resolve_slot(air, live, feedbacks)
+            if live is not receivers:
+                for v in receivers:
+                    if v not in feedbacks:
+                        feedbacks[v] = down_fb
             for v in senders:
                 feedbacks[v] = None
 

@@ -61,6 +61,7 @@ from repro.sim.engine import (
     SimulationTimeout,
     _RESUME,
 )
+from repro.sim.faults import GilbertElliottModel, parse_fault_specs
 from repro.sim.feedback import BEEP, NOISE, SILENCE
 from repro.sim.models import ChannelModel, LossyModel
 from repro.sim.node import Knowledge, NodeCtx, validate_input_keys
@@ -99,6 +100,7 @@ class _LockstepTrial:
         "bucket_duplexers", "observers", "energy", "trace",
         "slot", "senders", "listeners", "duplexers",
         "transmitting", "receivers", "feedbacks",
+        "churn", "slot_aware", "air", "live", "down_fb",
     )
 
     def __init__(
@@ -116,12 +118,21 @@ class _LockstepTrial:
         record_trace: bool,
         extra_observers: Sequence[SlotObserver],
         stepping: str = "phase",
+        churn=None,
     ) -> None:
         self.graph = graph
         self.model = model
         self.seed = seed
         self.time_limit = time_limit
         self.count_based = model.supports_count
+        self.churn = churn
+        self.slot_aware = getattr(model, "slot_aware", False)
+        if churn is None:
+            self.down_fb = SILENCE
+        else:
+            from repro.sim.faults import down_feedback
+
+            self.down_fb = down_feedback(model)
         master = random.Random(seed)
 
         energy = EnergyObserver() if meter_energy else _ZeroEnergyObserver()
@@ -291,12 +302,32 @@ class _LockstepTrial:
                 # reception: ascending vertex order, like the oracle.
                 receivers = sorted(receivers)
 
+            # Churn filter, mirroring the engine: crashed transmissions
+            # vanish from the air, crashed listeners leave the live set
+            # (apply() forces their feedback to silence).  The clean
+            # path aliases the unfiltered sets.
+            churn = self.churn
+            if churn is None:
+                air = transmitting
+                live = receivers
+            else:
+                down = churn.down
+                air = {
+                    v: m for v, m in transmitting.items()
+                    if not down(v, slot)
+                }
+                live = [v for v in receivers if not down(v, slot)]
+            if self.slot_aware:
+                self.model.begin_slot(slot, len(air))
+
             self.slot = slot
             self.senders = senders
             self.listeners = listeners
             self.duplexers = duplexers
             self.transmitting = transmitting
             self.receivers = receivers
+            self.air = air
+            self.live = live
             self.feedbacks = {}
             return True
         return False
@@ -306,6 +337,10 @@ class _LockstepTrial:
         slot = self.slot
         senders = self.senders
         feedbacks = self.feedbacks
+        if self.live is not self.receivers:
+            for v in self.receivers:
+                if v not in feedbacks:
+                    feedbacks[v] = self.down_fb
         for v in senders:
             feedbacks[v] = None
         for observer in self.observers:
@@ -529,6 +564,28 @@ def run_trials_lockstep(
         else [tuple(observer_factory(seed)) for seed in seeds]
     )
 
+    # Fault injection (repro.sim.faults): realize the per-trial fault
+    # objects from each trial seed — the same FaultPlan.for_trial the
+    # serial engine and the oracle-form reference use, so all paths see
+    # identical fault realizations.  Jam/burst wrap the channel model
+    # (per-trial state), churn rides alongside as a slot filter.
+    fault_plan = parse_fault_specs(config)
+    churns = None
+    if fault_plan is not None:
+        base_models = (
+            trial_models if trial_models is not None
+            else [model] * len(seeds)
+        )
+        faulted = [
+            fault_plan.for_trial(m, seed)
+            for m, seed in zip(base_models, seeds)
+        ]
+        if fault_plan.wraps_model():
+            trial_models = [m for m, _ in faulted]
+            shared_model = False
+        if fault_plan.churn_params is not None:
+            churns = [c for _, c in faulted]
+
     soa_reason = _soa_fallback_reason(
         model, config, backend, trial_models, trial_observers
     )
@@ -571,6 +628,7 @@ def run_trials_lockstep(
                 trial_observers[i] if trial_observers is not None else ()
             ),
             stepping=stepping,
+            churn=churns[i] if churns is not None else None,
         ))
 
     if shared_model:
@@ -578,7 +636,7 @@ def run_trials_lockstep(
 
         def resolve_live(live):
             batch_fn([
-                (trial.transmitting, trial.receivers, trial.feedbacks)
+                (trial.air, trial.live, trial.feedbacks)
                 for trial in live
             ])
     else:
@@ -591,7 +649,7 @@ def run_trials_lockstep(
         def resolve_live(live):
             for trial in live:
                 resolvers[id(trial)](
-                    trial.transmitting, trial.receivers, trial.feedbacks
+                    trial.air, trial.live, trial.feedbacks
                 )
 
     live = [trial for trial in trials if trial.collect()]
@@ -628,9 +686,34 @@ def _soa_fallback_reason(
         return "resolution"
     if config.record_trace:
         return "record_trace"
+    # Fault verdicts: churn needs per-trial slot filtering and jamming
+    # per-slot adversary state — neither is vectorized yet, so both fall
+    # back with their own reason.  Burst loss (Gilbert-Elliott) *is*
+    # vectorizable when the batch is uniform over one shared stateless
+    # count-based inner (admitted below); anything else reports
+    # "burst_loss".
+    if config.churn:
+        return "churn"
+    if config.jam:
+        return "jammer"
     if trial_models is not None:
         first = trial_models[0] if trial_models else None
-        if not (
+        if first is not None and type(first) is GilbertElliottModel:
+            if not (
+                first.inner.supports_count
+                and not first.inner.stateful
+                and all(
+                    type(m) is GilbertElliottModel
+                    and m.inner is first.inner
+                    and m.p_gb == first.p_gb
+                    and m.p_bg == first.p_bg
+                    and m.good_rate == first.good_rate
+                    and m.bad_rate == first.bad_rate
+                    for m in trial_models
+                )
+            ):
+                return "burst_loss"
+        elif not (
             first is not None
             and type(first) is LossyModel
             and first.inner.supports_count
@@ -640,7 +723,7 @@ def _soa_fallback_reason(
                 for m in trial_models
             )
         ):
-            return "model_factory"
+            return "burst_loss" if config.burst_loss else "model_factory"
     elif model.stateful:
         # A shared stateful channel consumes one rng stream across
         # interleaved trials; neither lock-step driver can reorder that

@@ -76,6 +76,12 @@ class ChannelModel:
     supports_count = False
     stateful = False
     needs_first_message = "any"
+    #: Whether the model needs per-slot context (:meth:`begin_slot`)
+    #: before resolving receptions.  False for every stock model; fault
+    #: wrappers (:mod:`repro.sim.faults`) set it to thread the slot
+    #: number and on-air transmitter count into jamming decisions and
+    #: Gilbert-Elliott chain advancement.
+    slot_aware = False
 
     def __init__(self, name: str, full_duplex: bool = False) -> None:
         self.name = name
@@ -155,6 +161,20 @@ class ChannelModel:
                 needs.append(i)
             out.append(feedback)
         return out, (needs or None)
+
+    def begin_slot(self, slot: int, n_transmitters: int) -> None:
+        """Per-slot context hook for :attr:`slot_aware` models.
+
+        Engines call this at most once per processed slot, with slots in
+        ascending order, *before* any :meth:`resolve` call of that slot.
+        ``n_transmitters`` is the number of on-air transmitters (after
+        churn removed crashed nodes).  Engines may legally skip slots in
+        which nothing transmits or listens, so implementations must be
+        *path-independent*: the feedback produced at slot ``t`` may not
+        depend on which earlier slots received a ``begin_slot`` call
+        (see :class:`repro.sim.faults.GilbertElliottModel` for the lazy
+        catch-up pattern that preserves rng-stream identity).
+        """
 
     def __repr__(self) -> str:
         return f"ChannelModel({self.name})"
@@ -315,15 +335,26 @@ class LossyModel(ChannelModel):
         self,
         inner: ChannelModel,
         loss_rate: float,
-        seed: int = 0,
+        seed: Optional[int] = None,
         rng: Optional[random.Random] = None,
     ) -> None:
-        if not 0 <= loss_rate < 1:
-            raise ValueError(f"loss_rate must be in [0,1), got {loss_rate}")
+        if not (
+            isinstance(loss_rate, (int, float))
+            and not isinstance(loss_rate, bool)
+            and 0 <= loss_rate <= 1
+        ):
+            raise ValueError(f"loss_rate must be in [0,1], got {loss_rate!r}")
+        if seed is not None and rng is not None:
+            raise ValueError(
+                "LossyModel takes seed= or rng=, not both (a seed builds "
+                "a fresh random.Random(seed); an rng is used as-is)"
+            )
         super().__init__(f"lossy({inner.name},{loss_rate})", inner.full_duplex)
         self.inner = inner
         self.loss_rate = loss_rate
-        self._rng = rng if rng is not None else random.Random(seed)
+        self._rng = rng if rng is not None else random.Random(
+            0 if seed is None else seed
+        )
 
     def __repr__(self) -> str:
         return (

@@ -22,6 +22,7 @@ from repro.graphs.graph import Graph
 from repro.sim.actions import Idle, Listen, Send, SendListen
 from repro.sim.energy import EnergyMeter
 from repro.sim.engine import ProtocolError, SimResult, SimulationTimeout
+from repro.sim.feedback import SILENCE
 from repro.sim.models import ChannelModel
 from repro.sim.node import Knowledge, NodeCtx, validate_input_keys
 from repro.sim.plan import expand_plans
@@ -64,11 +65,16 @@ class ReferenceSimulator:
         time_limit: int = 1_000_000,
         knowledge: Optional[Knowledge] = None,
         uids: Optional[Sequence[int]] = None,
+        churn=None,
     ) -> None:
         self.graph = graph
         self.model = model
         self.seed = seed
         self.time_limit = time_limit
+        # Oracle-form fault injection: a CrashSchedule built by the same
+        # FaultPlan.for_trial the engines use (repro.sim.faults), so the
+        # differential tests compare identical fault realizations.
+        self.churn = churn
         self.knowledge = knowledge or Knowledge(
             n=graph.n, max_degree=max(graph.max_degree, 1), diameter=None
         )
@@ -98,6 +104,12 @@ class ReferenceSimulator:
 
         slot = 0
         duration = 0
+        if self.churn is not None:
+            from repro.sim.faults import down_feedback
+
+            down_fb = down_feedback(self.model)
+        else:
+            down_fb = SILENCE
         while any(not node.done for node in nodes):
             if slot > self.time_limit:
                 raise SimulationTimeout("reference simulator exceeded time limit")
@@ -120,6 +132,21 @@ class ReferenceSimulator:
                 if isinstance(node.action, (Send, SendListen)):
                     transmitting[v] = node.action.message
 
+            # Churn: a down node's transmission never reaches the air
+            # (and, below, its listens hear forced silence).  Its plan
+            # and meters advance normally — a crash is a radio outage,
+            # not an execution freeze.
+            churn = self.churn
+            if churn is None:
+                air = transmitting
+            else:
+                air = {
+                    v: m for v, m in transmitting.items()
+                    if not churn.down(v, slot)
+                }
+            if getattr(self.model, "slot_aware", False):
+                self.model.begin_slot(slot, len(air))
+
             # Resolve and advance.
             for v, node in enumerate(nodes):
                 if node.done:
@@ -138,12 +165,15 @@ class ReferenceSimulator:
                     node.meter.charge_send(slot)
                     feedback = None
                 else:
-                    heard = [
-                        transmitting[w]
-                        for w in self.graph.neighbors(v)
-                        if w in transmitting
-                    ]
-                    feedback = self.model.resolve(heard)
+                    if churn is not None and churn.down(v, slot):
+                        feedback = down_fb
+                    else:
+                        heard = [
+                            air[w]
+                            for w in self.graph.neighbors(v)
+                            if w in air
+                        ]
+                        feedback = self.model.resolve(heard)
                     if isinstance(action, Listen):
                         node.meter.charge_listen(slot)
                     else:

@@ -105,6 +105,7 @@ from repro.sim.engine import (
     SimResult,
     SimulationTimeout,
 )
+from repro.sim.faults import GilbertElliottModel
 from repro.sim.feedback import BEEP, NOISE, SILENCE, is_message
 from repro.sim.models import (
     BEEPING,
@@ -181,6 +182,12 @@ def soa_engaged(model: ChannelModel, config: ExecutionConfig) -> bool:
         and config.model_factory is None
         and config.observer_factory is None
         and not config.record_trace
+        # Churn and jamming fall back to the per-trial driver; burst
+        # loss does NOT disqualify — a uniform Gilbert-Elliott wrap of
+        # a shared stateless count model runs on the vectorized
+        # drop-mask path (see _classify_lossy).
+        and not config.churn
+        and not config.jam
     )
 
 
@@ -319,18 +326,34 @@ class _SoAEngine:
             list(trial_models) if trial_models is not None else None
         )
         if self.lossy_models is not None:
-            inner = self.lossy_models[0].inner
+            first = self.lossy_models[0]
+            inner = first.inner
             self.inner = inner
             self.loss_rates = [float(m.loss_rate) for m in self.lossy_models]
             self._lossy_rs = [
                 _transplant_rng(m._rng) for m in self.lossy_models
             ]
+            if type(first) is GilbertElliottModel:
+                # Bursty-loss batch (uniform params, validated by the
+                # dispatch): the chain state/slot live here as plain
+                # lists and advance lazily per trial in _classify_lossy,
+                # consuming transition draws from the same transplanted
+                # stream as the drop draws — the serial path-independence
+                # contract (see repro.sim.faults).
+                self.ge = (
+                    first.p_gb, first.p_bg, first.good_rate, first.bad_rate
+                )
+                self.ge_state = [m._state for m in self.lossy_models]
+                self.ge_slot = [m._slot for m in self.lossy_models]
+            else:
+                self.ge = None
             # Post-drop firsts are computed inside _classify_lossy; the
             # whole-matrix pre-drop firsts would name dropped senders.
             self.needs_first = None
             self.spec = _stock_spec(inner)
         else:
             self.inner = None
+            self.ge = None
             self.needs_first = model.needs_first_message
             self.spec = _stock_spec(model)
         self.until_rule = self.spec[3] if self.spec is not None else None
@@ -749,6 +772,14 @@ class _SoAEngine:
             # oracle would: the next draw continues the same stream.
             for m, rs in zip(self.lossy_models, self._lossy_rs):
                 _store_rng(m._rng, rs)
+            if self.ge is not None:
+                # Persist the chain position too (note the *slot* is
+                # the last drop slot, not the last processed slot — an
+                # engine-dependent detail the lazy catch-up makes
+                # observationally irrelevant).
+                for i, m in enumerate(self.lossy_models):
+                    m._state = self.ge_state[i]
+                    m._slot = self.ge_slot[i]
 
     def _until_matches(self, until_cells, counts, fb):
         """Boolean [T, N] mask of ListenUntil cells whose current
@@ -830,6 +861,12 @@ class _SoAEngine:
         inner = self.inner
         rates = self.loss_rates
         rss = self._lossy_rs
+        ge = self.ge
+        if ge is not None:
+            p_gb, p_bg, good_rate, bad_rate = ge
+            ge_state = self.ge_state
+            ge_slot = self.ge_slot
+            cur = self.cur
         one = np.uint64(1)
         for t in np.nonzero(staged)[0].tolist():
             rows = np.nonzero(receiving[t])[0]
@@ -847,8 +884,29 @@ class _SoAEngine:
             else:
                 pair_row = pair_col = send_idx
             if pair_row.size:
+                if ge is not None:
+                    # Lazy Gilbert-Elliott catch-up: exactly one
+                    # transition draw per simulated slot since the chain
+                    # was last advanced, consumed *before* this slot's
+                    # drop draws — the same absolute stream positions as
+                    # the serial begin_slot/resolve pair.
+                    slot = int(cur[t])
+                    state = ge_state[t]
+                    steps = slot - ge_slot[t]
+                    if steps > 0:
+                        for r in rss[t].random_sample(steps).tolist():
+                            if state == 0:
+                                if r < p_gb:
+                                    state = 1
+                            elif r < p_bg:
+                                state = 0
+                        ge_state[t] = state
+                        ge_slot[t] = slot
+                    rate = bad_rate if state else good_rate
+                else:
+                    rate = rates[t]
                 draws = rss[t].random_sample(pair_row.size)
-                keep = draws >= rates[t]
+                keep = draws >= rate
                 kept_rows = pair_row[keep]
                 kept_senders = send_idx[pair_col[keep]]
             else:

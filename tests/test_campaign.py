@@ -270,12 +270,19 @@ class TestRunner:
         fast = [r["result"] for r in sorted(
             fast_store.load().values(), key=lambda r: r["job"]["seed"]
         )]
-        # The ``soa`` extras key is an execution-path diagnostic (which
-        # engine ran the cell) — it varies with execution options by
-        # design.  Measurements must still be identical.
-        soa_flags = [r["extras"].pop("soa", None) for r in fast]
+        # The ``soa`` and ``soa_reason_*`` extras keys are execution-path
+        # diagnostics (which engine ran the cell, and its dispatch
+        # verdict) — they vary with execution options by design.
+        # Measurements must still be identical.
+        def strip_diagnostics(r):
+            extras = r["extras"]
+            for key in [k for k in extras if k.startswith("soa_reason_")]:
+                del extras[key]
+            return extras.pop("soa", None)
+
+        soa_flags = [strip_diagnostics(r) for r in fast]
         for r in plain:
-            r["extras"].pop("soa", None)
+            strip_diagnostics(r)
         assert plain == fast
         assert all(flag in (None, 0.0, 1.0) for flag in soa_flags)
 
@@ -409,6 +416,7 @@ class TestLossyRows:
         for cell in fast_dicts:
             # The whole block rode the vectorized drop-mask path...
             assert cell["extras"].pop("soa") == 1.0
+            assert cell["extras"].pop("soa_reason_ok") == 1.0
         # ...and every measurement matches the serial oracle exactly.
         assert [c.to_dict() for c in serial] == fast_dicts
 

@@ -169,6 +169,7 @@ class TestSchema:
         assert EXECUTION_OPTION_KEYS == ExecutionConfig.option_keys()
         assert set(EXECUTION_OPTION_KEYS) == {
             "resolution", "stepping", "lockstep", "contention_hist",
+            "churn", "jam", "burst_loss",
         }
 
     def test_cli_flags_derive_from_schema(self):
@@ -222,6 +223,7 @@ class TestRoundTrip:
             "resolution", "stepping", "lockstep", "time_limit",
             "record_trace", "meter_energy", "contention_hist",
             "workers", "retries", "heartbeat",
+            "churn", "jam", "burst_loss",
         }
 
     @pytest.mark.parametrize("include_defaults", [False, True])

@@ -685,7 +685,7 @@ class TestRunAll:
         name, configs = resolve_run_all("configs")
         assert name == "run-all"
         assert [os.path.basename(c) for c in configs] == [
-            "figure1.json", "table1.json", "ablations.json",
+            "figure1.json", "table1.json", "ablations.json", "faults.json",
         ]
 
 

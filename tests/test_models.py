@@ -113,9 +113,18 @@ class TestFeedbackSentinels:
 class TestLossyModel:
     def test_rate_validation(self):
         with pytest.raises(ValueError):
-            LossyModel(CD, 1.0)
+            LossyModel(CD, 1.1)
         with pytest.raises(ValueError):
             LossyModel(CD, -0.1)
+        # The bounds are inclusive: 0 and 1 are both legal rates.
+        LossyModel(CD, 0.0)
+        LossyModel(CD, 1.0)
+
+    def test_seed_and_rng_are_exclusive(self):
+        import random as _random
+
+        with pytest.raises(ValueError, match="not both"):
+            LossyModel(CD, 0.5, seed=1, rng=_random.Random(1))
 
     def test_zero_loss_matches_inner(self):
         lossy = LossyModel(CD, 0.0, seed=1)
